@@ -1,0 +1,29 @@
+"""Benchmark-harness plumbing.
+
+Each ``test_*`` regenerates one of the paper's tables or figures at the
+workloads' default scales.  The human-readable rows (measured vs paper)
+are written to ``benchmarks/results/<experiment>.txt`` and echoed to
+stdout; pipeline runs are shared across files through
+:func:`repro.experiments.runner.cached_run_benchmark`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a formatted experiment table and echo it."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

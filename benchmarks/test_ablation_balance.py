@@ -1,0 +1,61 @@
+"""Ablation — load-balance extension (§6.6 future work, §7.5).
+
+The published greedy schemes do not consider load balance; the paper
+predicts FP programs could improve if they did.  This ablation sweeps
+the balance cap on the FP surrogates and on m88ksim (whose published
+result already suffers measurable INT-idle-while-FPa-busy imbalance).
+"""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+
+CASES = {"ear": 1, "swim": 2, "m88ksim": 6}
+LIMITS = [None, 0.5, 0.35, 0.2]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for name, scale in CASES.items():
+        baseline = run_benchmark(name, "conventional", scale=scale)
+        for limit in LIMITS:
+            result = run_benchmark(
+                name, "advanced", scale=scale, balance_limit=limit
+            )
+            results[(name, limit)] = (
+                result.offload_fraction,
+                result.speedup_over(baseline),
+                result.stats.int_idle_while_fp_busy_fraction,
+            )
+    return results
+
+
+def test_balance_ablation(sweep, save_table, benchmark):
+    lines = ["Ablation: load-balance cap on the advanced scheme"]
+    for (name, limit), (offload, speedup, imbalance) in sweep.items():
+        label = "greedy" if limit is None else f"cap={limit:.2f}"
+        lines.append(
+            f"{name:8s} {label:9s} offload={100 * offload:5.1f}%  "
+            f"speedup={100 * (speedup - 1):+5.1f}%  "
+            f"int-idle-while-fpa-busy={100 * imbalance:5.1f}%"
+        )
+    save_table("ablation_balance", "\n".join(lines))
+
+    for name in CASES:
+        # tightening the cap monotonically reduces offload
+        offloads = [sweep[(name, limit)][0] for limit in LIMITS]
+        assert all(a >= b - 1e-9 for a, b in zip(offloads, offloads[1:])), name
+        # balance caps sacrifice speedup for balance but never produce a
+        # real slowdown over the conventional machine
+        for limit in LIMITS[1:]:
+            assert sweep[(name, limit)][1] > 0.97, (name, limit)
+    # on the FP programs the cap does what §7.5 hoped: less INT idling
+    # under FPa-busy cycles than the greedy partition
+    assert sweep[("ear", 0.35)][2] < sweep[("ear", None)][2]
+
+    benchmark.pedantic(
+        lambda: run_benchmark("swim", "advanced", scale=CASES["swim"], balance_limit=0.35),
+        rounds=1,
+        iterations=1,
+    )

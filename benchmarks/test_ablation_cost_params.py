@@ -1,0 +1,59 @@
+"""Ablation — cost-model parameters (DESIGN.md §5.3).
+
+The paper found o_copy in [3, 6] and o_dupl in [1.5, 3] empirically
+"yield the best results".  This sweep regenerates that finding on two
+benchmarks whose advanced partitions depend on copies/duplicates.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+from repro.partition.cost import CostParams
+
+SCALES = {"compress": 400, "go": 2}
+SETTINGS = [(3.0, 1.5), (4.0, 2.0), (6.0, 3.0), (6.0, 1.5), (12.0, 6.0)]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for name, scale in SCALES.items():
+        baseline = run_benchmark(name, "conventional", scale=scale)
+        for o_copy, o_dupl in SETTINGS:
+            result = run_benchmark(
+                name,
+                "advanced",
+                scale=scale,
+                cost_params=CostParams(o_copy=o_copy, o_dupl=o_dupl),
+            )
+            results[(name, o_copy, o_dupl)] = (
+                result.offload_fraction,
+                result.speedup_over(baseline),
+            )
+    return results
+
+
+def test_cost_parameter_sweep(sweep, save_table, benchmark):
+    lines = ["Ablation: cost parameters (o_copy, o_dupl) -> offload%, speedup%"]
+    for (name, o_copy, o_dupl), (offload, speedup) in sorted(sweep.items()):
+        lines.append(
+            f"{name:10s} o_copy={o_copy:4.1f} o_dupl={o_dupl:4.1f}  "
+            f"offload={100 * offload:5.1f}%  speedup={100 * (speedup - 1):+5.1f}%"
+        )
+    save_table("ablation_cost_params", "\n".join(lines))
+
+    for name in SCALES:
+        # cheaper communication can only offload at least as much
+        low = sweep[(name, 3.0, 1.5)][0]
+        high = sweep[(name, 12.0, 6.0)][0]
+        assert low >= high - 1e-9, name
+        # every setting is semantically safe and none is catastrophic
+        for o_copy, o_dupl in SETTINGS:
+            _, speedup = sweep[(name, o_copy, o_dupl)]
+            assert speedup > 0.9, (name, o_copy, o_dupl)
+
+    benchmark.pedantic(
+        lambda: run_benchmark("go", "advanced", scale=SCALES["go"]),
+        rounds=1,
+        iterations=1,
+    )

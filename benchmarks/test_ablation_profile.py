@@ -1,0 +1,56 @@
+"""Ablation — profile source (DESIGN.md §5.5).
+
+The advanced scheme's cost model uses measured basic-block profiles when
+available and the probabilistic estimate ``n_B = p_B * 5^{d_B}``
+otherwise (§6.1).  This ablation compares both on benchmarks where the
+choice plausibly matters.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+
+SCALES = {"compress": 400, "gcc": 1, "perl": 1}
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    out = {}
+    for name, scale in SCALES.items():
+        baseline = run_benchmark(name, "conventional", scale=scale)
+        measured = run_benchmark(name, "advanced", scale=scale, use_profile=True)
+        estimated = run_benchmark(name, "advanced", scale=scale, use_profile=False)
+        out[name] = {
+            "measured": (measured.offload_fraction, measured.speedup_over(baseline)),
+            "estimated": (estimated.offload_fraction, estimated.speedup_over(baseline)),
+        }
+    return out
+
+
+def test_profile_ablation(comparison, save_table, benchmark):
+    lines = ["Ablation: measured profile vs p_B * 5^d_B estimate (advanced scheme)"]
+    for name, data in comparison.items():
+        for kind in ("measured", "estimated"):
+            offload, speedup = data[kind]
+            lines.append(
+                f"{name:10s} {kind:9s} offload={100 * offload:5.1f}%  "
+                f"speedup={100 * (speedup - 1):+5.1f}%"
+            )
+    save_table("ablation_profile", "\n".join(lines))
+
+    for name, data in comparison.items():
+        # both profile sources must produce working, beneficial partitions
+        assert data["measured"][1] > 0.95, name
+        assert data["estimated"][1] > 0.95, name
+        # and broadly similar offload (the estimate is crude but sane)
+        measured_off = data["measured"][0]
+        estimated_off = data["estimated"][0]
+        assert abs(measured_off - estimated_off) < 0.30, name
+
+    benchmark.pedantic(
+        lambda: run_benchmark(
+            "perl", "advanced", scale=SCALES["perl"], use_profile=False
+        ),
+        rounds=1,
+        iterations=1,
+    )

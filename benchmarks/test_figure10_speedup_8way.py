@@ -1,0 +1,40 @@
+"""Figure 10 — speedups on the 8-way machine.
+
+Paper: improvements shrink dramatically once the INT subsystem alone is
+4-wide; only high-ILP programs (m88ksim) retain a sizeable gain.
+"""
+
+import pytest
+
+from repro.experiments import figure9, figure10
+
+
+@pytest.fixture(scope="module")
+def rows_8way():
+    return figure10.run()
+
+
+@pytest.fixture(scope="module")
+def rows_4way():
+    return figure9.run()
+
+
+def test_figure10_rows(rows_8way, rows_4way, save_table, benchmark):
+    save_table("figure10", figure10.format_table(rows_8way))
+    by8 = {row.benchmark: row for row in rows_8way}
+    by4 = {row.benchmark: row for row in rows_4way}
+
+    # headline: 8-way gains are smaller than 4-way gains
+    smaller = sum(
+        by8[name].advanced_speedup_percent < by4[name].advanced_speedup_percent
+        for name in by8
+    )
+    assert smaller >= len(by8) - 1  # allow one noisy exception
+    # nothing slows down materially
+    for row in rows_8way:
+        assert row.advanced_speedup_percent > -2.0, row.benchmark
+    # m88ksim (high parallelism) still benefits most (paper: ~12%)
+    best = max(rows_8way, key=lambda r: r.advanced_speedup_percent)
+    assert by8["m88ksim"].advanced_speedup_percent >= best.advanced_speedup_percent - 3.0
+
+    benchmark.pedantic(lambda: figure10.run(), rounds=1, iterations=1)

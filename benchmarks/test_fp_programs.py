@@ -1,0 +1,37 @@
+"""§7.5 — floating-point programs.
+
+Paper: negligible change for most FP programs; ear gains ~18% because a
+large slice of its *integer* branch/store-value work offloads into an
+FP subsystem with spare capacity.
+"""
+
+import pytest
+
+from repro.experiments import table_fp
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table_fp.run()
+
+
+def test_fp_rows(rows, save_table, benchmark):
+    save_table("fp_programs", table_fp.format_table(rows))
+    by_name = {row.benchmark: row for row in rows}
+
+    # nothing is materially hurt (paper: "without hurting performance")
+    for row in rows:
+        assert row.basic_speedup_percent > -3.0, row.benchmark
+        assert row.advanced_speedup_percent > -3.0, row.benchmark
+    # the ear-like outlier gains clearly (paper: 18%)
+    assert by_name["ear"].advanced_speedup_percent > 5.0
+    assert by_name["ear"].extra_offload_percent > 10.0
+    # the pure stencil barely moves
+    assert abs(by_name["swim"].advanced_speedup_percent) < 5.0
+    # ear wins because its integer side offloads more
+    assert (
+        by_name["ear"].extra_offload_percent
+        > by_name["swim"].extra_offload_percent
+    )
+
+    benchmark.pedantic(lambda: table_fp.run(), rounds=1, iterations=1)

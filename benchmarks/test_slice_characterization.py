@@ -1,0 +1,41 @@
+"""§4's premise — the LdSt slice bounds the FPa partition near 50%.
+
+Palacharla & Smith measured LdSt slices at "close to 50% of all dynamic
+instructions" for integer programs; the paper uses this as the upper
+bound on what its greedy partitioners could ever offload.  This
+regenerates the characterization on the surrogates.
+"""
+
+import pytest
+
+from repro.experiments import slices
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return slices.run()
+
+
+def test_slice_characterization(rows, save_table, benchmark):
+    save_table("slices", slices.format_table(rows))
+
+    for row in rows:
+        ldst_total = row.ldst_fraction + row.memory_ops_fraction
+        # "close to 50%": accept a generous band around it
+        assert 0.30 <= ldst_total <= 0.70, (row.benchmark, ldst_total)
+        # shares are a partition of the dynamic instruction stream
+        total = (
+            row.ldst_fraction
+            + row.memory_ops_fraction
+            + row.offloadable_fraction
+            + row.call_glue_fraction
+            + row.other_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-6), row.benchmark
+    by_name = {row.benchmark: row for row in rows}
+    # li's call-intensity shows up as the largest glue share
+    assert by_name["li"].call_glue_fraction == max(
+        row.call_glue_fraction for row in rows
+    )
+
+    benchmark.pedantic(lambda: slices.characterize("m88ksim", 2), rounds=1, iterations=1)

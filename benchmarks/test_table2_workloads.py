@@ -1,0 +1,23 @@
+"""Table 2 — benchmark programs.
+
+Renders the workload registry and times the full compiler pipeline
+(lex -> parse -> sema -> codegen -> optimize) on the largest surrogate.
+"""
+
+from repro.experiments.report import format_table2
+from repro.minic.compile import compile_source
+from repro.workloads import INT_BENCHMARKS, WORKLOADS, workload_source
+
+
+def test_table2_workloads(benchmark, save_table):
+    table = format_table2()
+    save_table("table2", table)
+    assert len(INT_BENCHMARKS) == 7  # the SPECINT95 suite
+
+    source = workload_source("gcc")
+
+    def compile_gcc():
+        return compile_source(source).instruction_count()
+
+    static = benchmark.pedantic(compile_gcc, rounds=3, iterations=1)
+    assert static > 100

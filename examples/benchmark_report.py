@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Detailed microarchitectural report for one benchmark.
+
+Runs a SPECINT95 surrogate through every configuration — conventional /
+basic / advanced on the 4-way and 8-way machines — and prints the
+per-run pipeline statistics the paper discusses in §7.3 (including the
+INT-idle-while-FPa-busy load-imbalance metric it uses to explain
+m88ksim).
+
+Usage::
+
+    python examples/benchmark_report.py [benchmark] [scale]
+
+    python examples/benchmark_report.py m88ksim
+    python examples/benchmark_report.py compress 400
+"""
+
+import sys
+
+from repro.experiments.runner import run_benchmark
+from repro.workloads import WORKLOADS
+
+
+def report(name: str, scale: int | None) -> None:
+    spec = WORKLOADS[name]
+    print(f"benchmark : {name} ({spec.description})")
+    print(f"paper ran : {spec.paper_input}")
+    print()
+
+    header = (
+        f"{'machine':7s} {'scheme':13s} {'dyn instr':>10s} {'cycles':>9s} "
+        f"{'IPC':>5s} {'offload':>8s} {'br.acc':>7s} {'d$miss':>7s} "
+        f"{'imbalance':>9s} {'speedup':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for width in (4, 8):
+        baseline = None
+        for scheme in ("conventional", "basic", "advanced"):
+            result = run_benchmark(name, scheme, width=width, scale=scale)
+            if scheme == "conventional":
+                baseline = result
+                speedup = ""
+            else:
+                speedup = f"{100 * (result.speedup_over(baseline) - 1):+.1f}%"
+            stats = result.stats
+            print(
+                f"{result.machine:7s} {scheme:13s} "
+                f"{result.dynamic_instructions:10d} {result.cycles:9d} "
+                f"{stats.ipc:5.2f} {100 * result.offload_fraction:7.1f}% "
+                f"{100 * stats.branch_accuracy:6.1f}% "
+                f"{100 * stats.dcache_miss_rate:6.2f}% "
+                f"{100 * stats.int_idle_while_fp_busy_fraction:8.1f}% "
+                f"{speedup:>8s}"
+            )
+        print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    if name not in WORKLOADS:
+        print(f"unknown benchmark {name!r}; choose from {sorted(WORKLOADS)}")
+        raise SystemExit(2)
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else None
+    report(name, scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Walk through the paper's running example (Figures 3–6).
+
+The paper develops its algorithms on ``invalidate_for_call`` from gcc:
+a loop that bumps ``reg_tick[regno]`` for call-clobbered registers.
+This script builds that loop in IR and shows
+
+* the register dependence graph's computational slices (§3),
+* the basic partition — Figure 4: only the load-value/branch/
+  store-value component moves, via ``l.s``/``s.s`` conversion;
+* the advanced partition — Figure 6: the induction variable is
+  *duplicated* (``I1d``/``I15d``) so the loop-termination branch slice
+  executes in FPa too.
+
+Usage::
+
+    python examples/paper_walkthrough.py
+"""
+
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.partition import (
+    advanced_partition,
+    apply_partition,
+    basic_partition,
+    partition_stats,
+)
+from repro.rdg import build_rdg, ldst_slice
+from repro.rdg.classify import TerminalKind, terminals
+from repro.rdg.slices import branch_slice, store_value_slice
+
+FIGURE3 = """
+func invalidate_for_call(0) {
+entry:
+  v0 = li 0              # regno = 0                      (I1)
+loop:
+  v1 = li @reg_tick
+  v2 = sll v0, 2         # regno * 4                      (I9)
+  v3 = addu v1, v2       # &reg_tick[regno]               (I10)
+  v4 = lw v3, 0          # reg_tick[regno]                (I11)
+  bltz v4, skip          # if (reg_tick[regno] < 0)       (I12)
+body:
+  v6 = addiu v4, 1       # reg_tick[regno] + 1            (I13)
+  sw v6, v3, 0           # reg_tick[regno]++              (I14)
+skip:
+  v0 = addiu v0, 1       # regno++                        (I15)
+  v7 = slti v0, 66       # regno < FIRST_PSEUDO_REGISTER  (I16)
+  v8 = li 0
+  bne v7, v8, loop       #                                (I17)
+exit:
+  ret
+}
+"""
+
+
+def show_slices() -> None:
+    func = parse_function(FIGURE3)
+    rdg = build_rdg(func)
+    print(f"RDG: {len(rdg.nodes)} nodes "
+          f"(loads/stores split into address + value halves)\n")
+
+    slice_nodes = ldst_slice(rdg)
+    print(f"LdSt slice ({len(slice_nodes)} nodes) — always assigned to INT:")
+    for node in sorted(slice_nodes, key=lambda n: n.uid):
+        print(f"  {node!r}: {rdg.instruction(node).op}")
+
+    kinds = terminals(rdg)
+    for branch in kinds[TerminalKind.BRANCH]:
+        nodes = branch_slice(rdg, branch)
+        ops = ", ".join(str(rdg.instruction(n).op) for n in sorted(nodes, key=lambda n: n.uid))
+        print(f"\nbranch slice of {rdg.instruction(branch).op}: {ops}")
+    for sv in kinds[TerminalKind.STORE_VALUE]:
+        nodes = store_value_slice(rdg, sv)
+        ops = ", ".join(str(rdg.instruction(n).op) for n in sorted(nodes, key=lambda n: n.uid))
+        print(f"store-value slice: {ops}")
+
+
+def show_partition(scheme: str) -> None:
+    func = parse_function(FIGURE3)
+    if scheme == "basic":
+        partition = basic_partition(func)
+    else:
+        partition = advanced_partition(func)
+    stats = partition_stats(partition)
+    apply_partition(func, partition)
+    print(f"\n=== {scheme} scheme "
+          f"(offloaded {stats['offloaded_instructions']} instructions, "
+          f"{stats['copies']} copies, {stats['dups']} duplicates) ===")
+    print(print_function(func))
+
+
+def main() -> None:
+    show_slices()
+    show_partition("basic")  # reproduces Figure 4
+    show_partition("advanced")  # reproduces Figure 6
+    print(
+        "\nCompare with the paper: the basic scheme converts the load/store\n"
+        "to l.s/s.s and offloads bltz/addiu; the advanced scheme also\n"
+        "duplicates regno (li.a in entry, addiu.a in skip — the paper's\n"
+        "I1d and I15d) so slti/bne execute in FPa as slti.a/bne.a."
+    )
+
+
+if __name__ == "__main__":
+    main()

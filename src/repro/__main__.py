@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro compile prog.mc            # print optimized IR
+    python -m repro run prog.mc                # execute, print the result
+    python -m repro partition prog.mc          # annotated partition + stats
+    python -m repro simulate prog.mc           # conventional vs partitioned
+    python -m repro report [fig8 fig9 ...]     # regenerate paper artifacts
+
+``prog.mc`` is a MiniC source file (see ``examples/`` and the README for
+the language).  ``-`` reads from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _compile(args: argparse.Namespace):
+    from repro.minic.compile import compile_source
+
+    return compile_source(_read_source(args.file), optimize=not args.no_opt)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.ir.printer import print_program
+
+    print(print_program(_compile(args)), end="")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.runtime.interp import run_program
+
+    result = run_program(_compile(args), fuel=args.fuel)
+    print(f"result: {result.value}")
+    print(f"dynamic instructions: {result.instructions}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    from repro.partition.advanced import advanced_partition
+    from repro.partition.basic import basic_partition
+    from repro.partition.interproc import decide_fp_arguments
+    from repro.partition.partition import partition_stats
+    from repro.partition.report import annotate_partition, offload_by_opcode
+    from repro.runtime.interp import run_program
+
+    program = _compile(args)
+    profile = run_program(program).profile if args.scheme == "advanced" else None
+    partitions = {}
+    for name, func in program.functions.items():
+        if args.scheme == "basic":
+            partitions[name] = basic_partition(func)
+        else:
+            partitions[name] = advanced_partition(
+                func, profile=profile, balance_limit=args.balance_limit
+            )
+    if args.interprocedural:
+        decisions = decide_fp_arguments(program, partitions)
+        for callee, indices in sorted(decisions.fp_params.items()):
+            print(
+                f"interprocedural: {callee} receives parameter(s) "
+                f"{sorted(indices)} in FP registers"
+            )
+        if not decisions.fp_params:
+            print("interprocedural: no safe FP-argument opportunities found")
+        print()
+    for func in program.functions.values():
+        partition = partitions[func.name]
+        print(annotate_partition(func, partition))
+        stats = partition_stats(partition)
+        print(
+            f"  -> {stats['offloaded_instructions']} offloaded, "
+            f"{stats['copies']} copies, {stats['dups']} duplicates, "
+            f"{stats['back_copies']} back-copies"
+        )
+        usage = offload_by_opcode(partition)
+        if usage:
+            ops = ", ".join(f"{op}x{n}" for op, n in sorted(usage.items()))
+            print(f"  -> opcodes: {ops}")
+        print()
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.partition.advanced import advanced_partition
+    from repro.partition.basic import basic_partition
+    from repro.partition.rewrite import apply_partition
+    from repro.regalloc.linear_scan import allocate_program
+    from repro.runtime.interp import run_program
+    from repro.runtime.trace import dynamic_mix
+    from repro.sim.config import eight_way, four_way
+    from repro.sim.pipeline import simulate_trace
+
+    config = four_way() if args.width == 4 else eight_way()
+    source = _read_source(args.file)
+
+    def build(scheme: str | None):
+        from repro.minic.compile import compile_source
+
+        program = compile_source(source, optimize=not args.no_opt)
+        if scheme is not None:
+            profile = run_program(program).profile
+            for func in program.functions.values():
+                if scheme == "basic":
+                    partition = basic_partition(func)
+                else:
+                    partition = advanced_partition(func, profile=profile)
+                apply_partition(func, partition)
+        allocate_program(program)
+        return program
+
+    baseline_run = run_program(build(None), collect_trace=True, fuel=args.fuel)
+    baseline = simulate_trace(baseline_run.trace, config)
+    print(f"machine: {config.name}")
+    print(
+        f"conventional : {baseline.cycles:>9d} cycles, IPC {baseline.ipc:.2f}, "
+        f"result {baseline_run.value}"
+    )
+    for scheme in ("basic", "advanced"):
+        run = run_program(build(scheme), collect_trace=True, fuel=args.fuel)
+        if run.value != baseline_run.value:
+            raise ReproError(f"{scheme}: result changed ({run.value})")
+        stats = simulate_trace(run.trace, config)
+        offload = dynamic_mix(run.trace)["fp_executed"] / run.instructions
+        print(
+            f"{scheme:13s}: {stats.cycles:>9d} cycles, IPC {stats.ipc:.2f}, "
+            f"offload {100 * offload:.1f}%, "
+            f"speedup {100 * (baseline.cycles / stats.cycles - 1):+.1f}%"
+        )
+        if args.timeline and scheme == "advanced":
+            from repro.sim.timeline import render_timeline, simulate_with_timeline
+
+            _, timeline = simulate_with_timeline(run.trace, config)
+            print("\npipeline timeline (advanced, first instructions):")
+            print(render_timeline(timeline, max_instructions=args.timeline))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    return report_main(args.experiments)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploiting Idle Floating-Point "
+        "Resources for Integer Execution' (PLDI 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(p):
+        p.add_argument("file", help="MiniC source file, or - for stdin")
+        p.add_argument("--no-opt", action="store_true", help="skip optimizations")
+
+    p = sub.add_parser("compile", help="compile MiniC and print the IR")
+    add_source(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    add_source(p)
+    p.add_argument("--fuel", type=int, default=50_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("partition", help="show the partition, annotated")
+    add_source(p)
+    p.add_argument("--scheme", choices=("basic", "advanced"), default="advanced")
+    p.add_argument("--balance-limit", type=float, default=None,
+                   help="optional FPa share cap (the §6.6 extension)")
+    p.add_argument("--interprocedural", action="store_true",
+                   help="pass integer arguments in FP registers where safe "
+                        "(the §6.6 extension)")
+    p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("simulate", help="conventional vs partitioned timing")
+    add_source(p)
+    p.add_argument("--width", type=int, choices=(4, 8), default=4)
+    p.add_argument("--fuel", type=int, default=50_000_000)
+    p.add_argument("--timeline", type=int, default=0, metavar="N",
+                   help="print an N-instruction pipeline diagram of the "
+                        "advanced-scheme run")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("report", help="regenerate the paper's tables/figures")
+    p.add_argument("experiments", nargs="*", default=[])
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Dataflow and control-flow analyses over the IR.
+
+* :mod:`repro.analysis.dataflow` — generic iterative bit-vector solver.
+* :mod:`repro.analysis.reaching` — reaching definitions (feeds the RDG).
+* :mod:`repro.analysis.liveness` — live registers (feeds regalloc).
+* :mod:`repro.analysis.dominators` — dominator tree.
+* :mod:`repro.analysis.loops` — natural loops and nesting depth (feeds
+  the probabilistic execution-count estimate of the cost model).
+"""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.analysis.reaching import ReachingDefinitions, DefSite
+from repro.analysis.liveness import LivenessResult, compute_liveness
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.loops import NaturalLoop, find_loops, loop_nesting_depth
+
+__all__ = [
+    "DataflowProblem",
+    "solve_dataflow",
+    "ReachingDefinitions",
+    "DefSite",
+    "LivenessResult",
+    "compute_liveness",
+    "DominatorTree",
+    "compute_dominators",
+    "NaturalLoop",
+    "find_loops",
+    "loop_nesting_depth",
+]

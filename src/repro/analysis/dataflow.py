@@ -1,0 +1,110 @@
+"""Generic iterative bit-vector dataflow solver.
+
+Facts are encoded as arbitrary-precision Python integers used as bitsets,
+which keeps the inner loop in C.  A problem instance supplies per-block
+``gen``/``kill`` masks and the solver iterates to a fixed point with a
+worklist, in reverse postorder for forward problems and postorder for
+backward problems.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.cfg import predecessors, reverse_postorder, successor_map
+from repro.ir.function import Function
+
+
+@dataclass(slots=True)
+class DataflowProblem:
+    """A bit-vector dataflow problem over a function's CFG.
+
+    Attributes:
+        forward: Direction of propagation.
+        may: True for union (may) confluence, False for intersection.
+        gen: Block label -> generated-facts mask.
+        kill: Block label -> killed-facts mask.
+        entry_fact: Boundary fact at the entry (forward) or exits
+            (backward).
+        universe: Mask of all facts; used as the initial interior value
+            for must (intersection) problems.
+    """
+
+    forward: bool
+    may: bool
+    gen: dict[str, int]
+    kill: dict[str, int]
+    entry_fact: int = 0
+    universe: int = 0
+
+
+@dataclass(slots=True)
+class DataflowResult:
+    """Fixed-point solution: facts at block entry and exit."""
+
+    in_facts: dict[str, int]
+    out_facts: dict[str, int]
+
+
+def solve_dataflow(func: Function, problem: DataflowProblem) -> DataflowResult:
+    """Solve ``problem`` over ``func`` and return per-block facts."""
+    succ = successor_map(func)
+    preds = predecessors(func)
+    rpo = reverse_postorder(func)
+    labels = [blk.label for blk in func.blocks]
+
+    if problem.forward:
+        order = rpo
+        inputs_of: Callable[[str], list[str]] = lambda b: preds[b]
+        outputs_of = lambda b: succ[b]
+        boundary = {func.entry.label} if func.blocks else set()
+    else:
+        order = list(reversed(rpo))
+        inputs_of = lambda b: succ[b]
+        outputs_of = lambda b: preds[b]
+        boundary = {b for b in labels if not succ[b]}
+
+    init = 0 if problem.may else problem.universe
+    before: dict[str, int] = {b: init for b in labels}
+    after: dict[str, int] = {b: init for b in labels}
+    for b in boundary:
+        before[b] = problem.entry_fact if problem.may else problem.entry_fact
+
+    position = {b: i for i, b in enumerate(order)}
+    work = deque(order)
+    queued = set(order)
+    while work:
+        label = work.popleft()
+        queued.discard(label)
+
+        incoming = inputs_of(label)
+        if incoming:
+            if problem.may:
+                fact = 0
+                for other in incoming:
+                    fact |= after[other]
+                if label in boundary:
+                    fact |= problem.entry_fact
+            else:
+                fact = problem.universe
+                for other in incoming:
+                    fact &= after[other]
+                if label in boundary:
+                    fact &= problem.entry_fact
+        else:
+            fact = problem.entry_fact if label in boundary else init
+        before[label] = fact
+
+        new_after = (fact & ~problem.kill.get(label, 0)) | problem.gen.get(label, 0)
+        if new_after != after[label]:
+            after[label] = new_after
+            for nxt in outputs_of(label):
+                if nxt not in queued:
+                    queued.add(nxt)
+                    work.append(nxt)
+
+    if problem.forward:
+        return DataflowResult(in_facts=before, out_facts=after)
+    return DataflowResult(in_facts=after, out_facts=before)

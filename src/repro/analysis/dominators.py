@@ -1,0 +1,88 @@
+"""Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+Needed by natural-loop detection, which in turn feeds the advanced
+partitioning scheme's probabilistic execution-count estimate
+(``n_B = p_B * 5^{d_B}``) for blocks not covered by a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.ir.cfg import predecessors, reachable_blocks, reverse_postorder
+from repro.ir.function import Function
+
+
+@dataclass(slots=True)
+class DominatorTree:
+    """Immediate-dominator mapping plus helpers.
+
+    Attributes:
+        idom: Block label -> immediate dominator label.  The entry maps
+            to itself.  Unreachable blocks are absent.
+    """
+
+    entry: str
+    idom: dict[str, str] = field(default_factory=dict)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        if b not in self.idom:
+            raise AnalysisError(f"block {b!r} unreachable: no dominator info")
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:
+                return a == node
+            node = parent
+
+    def dominators_of(self, label: str) -> list[str]:
+        """All dominators of ``label``, from itself up to the entry."""
+        if label not in self.idom:
+            raise AnalysisError(f"block {label!r} unreachable: no dominator info")
+        chain = [label]
+        node = label
+        while self.idom[node] != node:
+            node = self.idom[node]
+            chain.append(node)
+        return chain
+
+
+def compute_dominators(func: Function) -> DominatorTree:
+    """Compute the dominator tree of ``func`` over reachable blocks."""
+    reachable = reachable_blocks(func)
+    rpo = [b for b in reverse_postorder(func) if b in reachable]
+    order = {b: i for i, b in enumerate(rpo)}
+    preds = predecessors(func)
+    entry = func.entry.label
+
+    idom: dict[str, str] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while order[a] > order[b]:
+                a = idom[a]
+            while order[b] > order[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            candidates = [p for p in preds[label] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    return DominatorTree(entry=entry, idom=idom)

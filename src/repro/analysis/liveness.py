@@ -1,0 +1,74 @@
+"""Live-register analysis (backward, may).
+
+Used by the linear-scan register allocator to build live intervals and by
+dead-code elimination to find instructions whose results are never read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.ir.function import Function
+from repro.ir.registers import Reg, ZERO
+
+
+@dataclass(slots=True)
+class LivenessResult:
+    """Live registers at block boundaries.
+
+    Attributes:
+        live_in: Block label -> registers live on entry.
+        live_out: Block label -> registers live on exit.
+    """
+
+    live_in: dict[str, set[Reg]]
+    live_out: dict[str, set[Reg]]
+
+    def live_through(self, label: str) -> set[Reg]:
+        """Registers live on both entry and exit of a block."""
+        return self.live_in[label] & self.live_out[label]
+
+
+def compute_liveness(func: Function) -> LivenessResult:
+    """Solve liveness for ``func``."""
+    regs: list[Reg] = []
+    index: dict[Reg, int] = {}
+
+    def reg_bit(reg: Reg) -> int:
+        if reg not in index:
+            index[reg] = len(regs)
+            regs.append(reg)
+        return 1 << index[reg]
+
+    gen: dict[str, int] = {}  # upward-exposed uses
+    kill: dict[str, int] = {}  # defs
+    for blk in func.blocks:
+        used = 0
+        defined = 0
+        for instr in blk.instructions:
+            for reg in instr.uses:
+                if reg != ZERO:
+                    bit = reg_bit(reg)
+                    if not defined & bit:
+                        used |= bit
+            for reg in instr.defs:
+                defined |= reg_bit(reg)
+        gen[blk.label] = used
+        kill[blk.label] = defined & ~used
+
+    problem = DataflowProblem(forward=False, may=True, gen=gen, kill=kill)
+    solution = solve_dataflow(func, problem)
+
+    def decode(mask: int) -> set[Reg]:
+        out = set()
+        while mask:
+            low = mask & -mask
+            out.add(regs[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    return LivenessResult(
+        live_in={b: decode(m) for b, m in solution.in_facts.items()},
+        live_out={b: decode(m) for b, m in solution.out_facts.items()},
+    )

@@ -1,0 +1,62 @@
+"""Natural-loop detection and nesting depth.
+
+The advanced partitioning cost model estimates execution counts for
+unprofiled blocks as ``n_B = p_B * 5^{d_B}`` where ``d_B`` is the loop
+nesting depth of block ``B`` (paper §6.1).  This module supplies ``d_B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dominators import compute_dominators
+from repro.ir.cfg import predecessors, reachable_blocks, successor_map
+from repro.ir.function import Function
+
+
+@dataclass(slots=True)
+class NaturalLoop:
+    """A natural loop: header plus the blocks of its body (incl. header)."""
+
+    header: str
+    body: set[str] = field(default_factory=set)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+
+def find_loops(func: Function) -> list[NaturalLoop]:
+    """Find all natural loops (one per header; multiple back edges to the
+    same header are merged into a single loop, textbook-style)."""
+    reachable = reachable_blocks(func)
+    dom = compute_dominators(func)
+    succ = successor_map(func)
+    preds = predecessors(func)
+
+    loops: dict[str, NaturalLoop] = {}
+    for tail in reachable:
+        for head in succ[tail]:
+            if head not in reachable or head not in dom.idom:
+                continue
+            if not dom.dominates(head, tail):
+                continue
+            loop = loops.setdefault(head, NaturalLoop(header=head, body={head}))
+            # walk predecessors backwards from the back edge's tail
+            work = [tail]
+            while work:
+                label = work.pop()
+                if label in loop.body:
+                    continue
+                loop.body.add(label)
+                work.extend(p for p in preds[label] if p in reachable)
+    return list(loops.values())
+
+
+def loop_nesting_depth(func: Function) -> dict[str, int]:
+    """Map every block label to its loop nesting depth (0 = not in any
+    loop).  Unreachable blocks get depth 0."""
+    depth = {blk.label: 0 for blk in func.blocks}
+    for loop in find_loops(func):
+        for label in loop.body:
+            depth[label] += 1
+    return depth

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the pipeline stage that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation (verifier failures, bad
+    operands, unknown opcodes, duplicate labels, ...)."""
+
+
+class ParseError(ReproError):
+    """Syntax error while parsing IR assembly or MiniC source.
+
+    Attributes:
+        line: 1-based source line of the offending token, when known.
+        column: 1-based source column, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """MiniC semantic-analysis failure (type errors, undeclared names,
+    arity mismatches, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A dataflow or graph analysis was asked something it cannot answer
+    (e.g. dominators of an unreachable block)."""
+
+
+class PartitionError(ReproError):
+    """A partitioning algorithm produced or was given an illegal state
+    (e.g. an FPa node with an integer multiply, a violated partition
+    condition)."""
+
+
+class RegAllocError(ReproError):
+    """Register allocation could not complete (e.g. more simultaneously
+    live spill temporaries than reserved scratch registers)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure inside the functional interpreter (unmapped memory,
+    division by zero in the guest, fuel exhaustion, ...)."""
+
+
+class FuelExhausted(ExecutionError):
+    """The interpreter hit its dynamic-instruction budget.
+
+    Used both as a safety net against non-terminating guest programs and,
+    by some experiments, to cap simulated trace length deliberately.
+    """
+
+
+class SimulationError(ReproError):
+    """The timing simulator was misconfigured or reached an impossible
+    microarchitectural state."""
+
+
+class WorkloadError(ReproError):
+    """Unknown workload name or invalid workload scale parameters."""

@@ -1,0 +1,29 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment module exposes a ``run(...)`` returning structured rows
+plus a ``format_table(rows)`` for human-readable output:
+
+* :mod:`figure8`  — size of the FPa partition, basic vs advanced.
+* :mod:`figure9`  — speedups over the conventional 4-way machine.
+* :mod:`figure10` — speedups on the 8-way machine.
+* :mod:`table_overhead` — §7.2 overheads of the advanced scheme.
+* :mod:`table_fp` — §7.5 floating-point program behaviour.
+* :mod:`runner`   — the shared compile/partition/allocate/simulate
+  pipeline.
+"""
+
+from repro.experiments.runner import (
+    BenchmarkResult,
+    PipelineArtifacts,
+    prepare_program,
+    run_benchmark,
+    run_pair,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "PipelineArtifacts",
+    "prepare_program",
+    "run_benchmark",
+    "run_pair",
+]

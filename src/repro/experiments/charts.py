@@ -1,0 +1,69 @@
+"""ASCII bar charts, in the spirit of the paper's Figures 8-10.
+
+The report CLI renders each figure both as a table (exact values) and as
+a grouped bar chart so the shape comparison with the paper's plots is
+immediate in a terminal.
+"""
+
+from __future__ import annotations
+
+_FULL = "#"
+_HALF = "+"
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """Render ``value`` as a bar against ``scale`` (the axis maximum)."""
+    if scale <= 0:
+        return ""
+    units = max(0.0, value) / scale * width
+    whole = int(units)
+    text = _FULL * whole
+    if units - whole >= 0.5:
+        text += _HALF
+    return text
+
+
+def grouped_bars(
+    title: str,
+    rows: list[tuple[str, dict[str, float]]],
+    unit: str = "%",
+    width: int = 40,
+) -> str:
+    """Render a grouped bar chart.
+
+    Args:
+        title: Chart heading.
+        rows: ``(group label, {series name: value})`` in display order.
+        unit: Unit suffix for the value column.
+        width: Bar width in characters at the axis maximum.
+    """
+    if not rows:
+        return title
+    scale = max(
+        (value for _, series in rows for value in series.values()),
+        default=0.0,
+    )
+    scale = max(scale, 1e-9)
+    label_width = max(len(label) for label, _ in rows)
+    series_width = max(len(name) for _, series in rows for name in series)
+    lines = [title, f"(axis maximum: {scale:.1f}{unit})"]
+    for label, series in rows:
+        for i, (name, value) in enumerate(series.items()):
+            group = label if i == 0 else ""
+            lines.append(
+                f"{group:{label_width}s} {name:{series_width}s} "
+                f"{value:6.1f}{unit} |{bar(value, scale, width)}"
+            )
+    return "\n".join(lines)
+
+
+def figure_chart(rows, value_attrs: dict[str, str], title: str) -> str:
+    """Chart experiment rows (Figure8Row / SpeedupRow objects).
+
+    ``value_attrs`` maps series labels to row attribute names.
+    """
+    data = [
+        (row.benchmark, {name: getattr(row, attr) for name, attr in value_attrs.items()})
+        for row in rows
+    ]
+    return grouped_bars(title, data)

@@ -1,0 +1,34 @@
+"""Figure 10 — Speedups on the 8-way (4 int + 4 fp) machine.
+
+Same measurement as Figure 9 on the wider machine.  The paper's
+headline: improvements are much smaller than on the 4-way machine
+because the 4-wide INT subsystem alone already covers most of the
+available ILP; only high-parallelism programs (m88ksim) still benefit
+appreciably.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure9 import SpeedupRow, format_table as _format, run as _run
+
+#: Approximate Figure 10 values (percent speedup on the 8-way machine).
+PAPER_FIGURE10 = {
+    "compress": {"basic": 2.0, "advanced": 4.0},
+    "gcc": {"basic": 1.5, "advanced": 2.0},
+    "go": {"basic": 1.0, "advanced": 2.0},
+    "ijpeg": {"basic": 3.0, "advanced": 7.0},
+    "li": {"basic": 1.0, "advanced": 1.0},
+    "m88ksim": {"basic": 5.0, "advanced": 12.0},
+    "perl": {"basic": 1.0, "advanced": 2.0},
+}
+
+WIDTH = 8
+
+
+def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[SpeedupRow]:
+    """Regenerate Figure 10 (8-way machine)."""
+    return _run(benchmarks, scale=scale, width=WIDTH, paper_values=PAPER_FIGURE10)
+
+
+def format_table(rows: list[SpeedupRow]) -> str:
+    return _format(rows, title="Figure 10: speedups on an 8-way machine")

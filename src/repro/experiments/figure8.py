@@ -1,0 +1,71 @@
+"""Figure 8 — Size of the FPa partition.
+
+The paper's Figure 8 plots, for each SPECINT95 benchmark, the percentage
+of total dynamic instructions offloaded to the FPa subsystem by the
+basic and advanced partitioning schemes.  Paper result: 5–29 % (basic),
+9–41 % (advanced), with the advanced scheme always at least matching the
+basic scheme, roughly doubling it for go and compress, and leaving li
+nearly unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.workloads import INT_BENCHMARKS
+
+#: The paper's approximate Figure 8 values (percent of dynamic
+#: instructions offloaded), transcribed from the bar chart for
+#: shape comparison in EXPERIMENTS.md.
+PAPER_FIGURE8 = {
+    "compress": {"basic": 14.0, "advanced": 27.0},
+    "gcc": {"basic": 21.0, "advanced": 24.0},
+    "go": {"basic": 9.0, "advanced": 19.0},
+    "ijpeg": {"basic": 10.7, "advanced": 32.1},
+    "li": {"basic": 13.0, "advanced": 13.0},
+    "m88ksim": {"basic": 20.0, "advanced": 32.0},
+    "perl": {"basic": 5.0, "advanced": 9.0},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Figure8Row:
+    benchmark: str
+    basic_percent: float
+    advanced_percent: float
+    paper_basic: float
+    paper_advanced: float
+
+
+def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[Figure8Row]:
+    """Regenerate Figure 8; returns one row per benchmark."""
+    rows = []
+    for name in benchmarks or INT_BENCHMARKS:
+        basic = run_benchmark(name, "basic", width=4, scale=scale)
+        advanced = run_benchmark(name, "advanced", width=4, scale=scale)
+        paper = PAPER_FIGURE8.get(name, {"basic": float("nan"), "advanced": float("nan")})
+        rows.append(
+            Figure8Row(
+                benchmark=name,
+                basic_percent=100.0 * basic.offload_fraction,
+                advanced_percent=100.0 * advanced.offload_fraction,
+                paper_basic=paper["basic"],
+                paper_advanced=paper["advanced"],
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Figure8Row]) -> str:
+    """Render rows in the paper's series order (measured vs paper)."""
+    lines = [
+        "Figure 8: size of the FPa partition (% of dynamic instructions)",
+        f"{'benchmark':10s} {'basic':>8s} {'advanced':>9s}   {'paper-b':>8s} {'paper-a':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:10s} {row.basic_percent:7.1f}% {row.advanced_percent:8.1f}%"
+            f"   {row.paper_basic:7.1f}% {row.paper_advanced:7.1f}%"
+        )
+    return "\n".join(lines)

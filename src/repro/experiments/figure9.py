@@ -1,0 +1,84 @@
+"""Figure 9 — Speedups on the 4-way (2 int + 2 fp) machine.
+
+For each benchmark, the percentage performance improvement of the
+basic- and advanced-partitioned programs over the identical conventional
+machine running the unpartitioned program.  Paper result: 2.5–23.1 %
+for the advanced scheme, with m88ksim (23 %), ijpeg and compress
+(> 10 %) at the top and li at the bottom; the advanced scheme beats the
+basic scheme everywhere except li and m88ksim (where load imbalance
+bites, §7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.workloads import INT_BENCHMARKS
+
+#: Approximate Figure 9 values (percent speedup on the 4-way machine).
+PAPER_FIGURE9 = {
+    "compress": {"basic": 6.0, "advanced": 11.0},
+    "gcc": {"basic": 4.0, "advanced": 5.0},
+    "go": {"basic": 2.0, "advanced": 5.0},
+    "ijpeg": {"basic": 8.0, "advanced": 17.0},
+    "li": {"basic": 3.0, "advanced": 2.5},
+    "m88ksim": {"basic": 10.0, "advanced": 23.0},
+    "perl": {"basic": 3.0, "advanced": 6.0},
+}
+
+WIDTH = 4
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupRow:
+    benchmark: str
+    basic_speedup_percent: float
+    advanced_speedup_percent: float
+    paper_basic: float
+    paper_advanced: float
+    baseline_cycles: int
+    advanced_cycles: int
+
+
+def run(
+    benchmarks: list[str] | None = None,
+    scale: int | None = None,
+    width: int = WIDTH,
+    paper_values: dict | None = None,
+) -> list[SpeedupRow]:
+    """Regenerate the speedup figure at the given machine width."""
+    if paper_values is None:
+        paper_values = PAPER_FIGURE9
+    rows = []
+    for name in benchmarks or INT_BENCHMARKS:
+        baseline = run_benchmark(name, "conventional", width=width, scale=scale)
+        basic = run_benchmark(name, "basic", width=width, scale=scale)
+        advanced = run_benchmark(name, "advanced", width=width, scale=scale)
+        paper = paper_values.get(name, {"basic": float("nan"), "advanced": float("nan")})
+        rows.append(
+            SpeedupRow(
+                benchmark=name,
+                basic_speedup_percent=100.0 * (basic.speedup_over(baseline) - 1.0),
+                advanced_speedup_percent=100.0 * (advanced.speedup_over(baseline) - 1.0),
+                paper_basic=paper["basic"],
+                paper_advanced=paper["advanced"],
+                baseline_cycles=baseline.cycles,
+                advanced_cycles=advanced.cycles,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[SpeedupRow], title: str = "Figure 9: speedups on a 4-way machine") -> str:
+    lines = [
+        title,
+        f"{'benchmark':10s} {'basic':>8s} {'advanced':>9s}   {'paper-b':>8s} {'paper-a':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:10s} {row.basic_speedup_percent:+7.1f}% "
+            f"{row.advanced_speedup_percent:+8.1f}%   "
+            f"{row.paper_basic:+7.1f}% {row.paper_advanced:+7.1f}%"
+        )
+    return "\n".join(lines)

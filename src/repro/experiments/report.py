@@ -1,0 +1,154 @@
+"""Full-report driver: regenerate every table and figure.
+
+Run as a module::
+
+    python -m repro.experiments.report            # everything
+    python -m repro.experiments.report fig8 fig9  # selected experiments
+
+Table 1 (machine parameters) and Table 2 (benchmarks) are static
+configuration; they are printed from the live objects so the report
+always reflects what the simulator actually uses.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.sim.config import MachineConfig, eight_way, four_way
+from repro.workloads import WORKLOADS
+
+
+def format_table1() -> str:
+    """Render Table 1 from the live machine configurations."""
+
+    def describe(config: MachineConfig) -> dict[str, str]:
+        return {
+            "Fetch width": f"any {config.fetch_width} instructions",
+            "Decode/Rename width": f"any {config.decode_width} instructions",
+            "Issue window size": f"{config.int_window} int + {config.fp_window} fp",
+            "Max in-flight": str(config.max_inflight),
+            "Retire width": str(config.retire_width),
+            "Functional units": f"{config.int_units} Int + {config.fp_units} Fp",
+            "FU latency": f"{config.mul_latency} cyc mul, {config.div_latency} cyc div, 1 cyc rest",
+            "Load/store ports": str(config.ls_ports),
+            "Physical registers": f"{config.phys_int} int + {config.phys_fp} fp",
+            "I-cache": (
+                f"{config.icache.size_bytes // 1024}KB, {config.icache.assoc}-way, "
+                f"{config.icache.line_bytes}B lines, {config.icache.hit_cycles} cyc hit, "
+                f"{config.icache.miss_penalty} cyc miss"
+            ),
+            "D-cache": (
+                f"{config.dcache.size_bytes // 1024}KB, {config.dcache.assoc}-way, "
+                f"{config.dcache.line_bytes}B lines, {config.dcache.hit_cycles} cyc hit, "
+                f"{config.dcache.miss_penalty} cyc miss"
+            ),
+            "Branch predictor": (
+                f"gshare, {config.predictor.table_entries // 1024}K {config.predictor.counter_bits}-bit "
+                f"counters, {config.predictor.history_bits}-bit history"
+            ),
+        }
+
+    four = describe(four_way())
+    eight = describe(eight_way())
+    lines = [
+        "Table 1: machine parameters",
+        f"{'Parameter':22s} {'4-way':>34s} {'8-way':>34s}",
+    ]
+    for key in four:
+        lines.append(f"{key:22s} {four[key]:>34s} {eight[key]:>34s}")
+    return "\n".join(lines)
+
+
+def format_table2() -> str:
+    """Render Table 2 from the live workload registry."""
+    lines = [
+        "Table 2: benchmark programs (surrogates)",
+        f"{'benchmark':10s} {'kind':5s} {'paper input':22s} description",
+    ]
+    for spec in WORKLOADS.values():
+        lines.append(
+            f"{spec.name:10s} {spec.category:5s} {spec.paper_input:22s} {spec.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate the requested experiments (all by default)."""
+    from repro.experiments import (
+        charts,
+        figure8,
+        figure9,
+        figure10,
+        slices,
+        table_fp,
+        table_overhead,
+    )
+
+    def _fig8() -> str:
+        rows = figure8.run()
+        return (
+            figure8.format_table(rows)
+            + "\n\n"
+            + charts.figure_chart(
+                rows,
+                {"basic": "basic_percent", "advanced": "advanced_percent"},
+                "Figure 8 as bars (% of dynamic instructions in FPa)",
+            )
+        )
+
+    def _speedup_chart(rows, title):
+        return charts.figure_chart(
+            rows,
+            {
+                "basic": "basic_speedup_percent",
+                "advanced": "advanced_speedup_percent",
+            },
+            title,
+        )
+
+    def _fig9() -> str:
+        rows = figure9.run()
+        return (
+            figure9.format_table(rows)
+            + "\n\n"
+            + _speedup_chart(rows, "Figure 9 as bars (% speedup, 4-way)")
+        )
+
+    def _fig10() -> str:
+        rows = figure10.run()
+        return (
+            figure10.format_table(rows)
+            + "\n\n"
+            + _speedup_chart(rows, "Figure 10 as bars (% speedup, 8-way)")
+        )
+
+    wanted = set(argv if argv is not None else sys.argv[1:])
+    experiments = {
+        "table1": lambda: format_table1(),
+        "table2": lambda: format_table2(),
+        "slices": lambda: slices.format_table(slices.run()),
+        "fig8": _fig8,
+        "fig9": _fig9,
+        "fig10": _fig10,
+        "overhead": lambda: table_overhead.format_table(table_overhead.run()),
+        "fp": lambda: table_fp.format_table(table_fp.run()),
+    }
+    if not wanted:
+        wanted = set(experiments)
+    unknown = wanted - set(experiments)
+    if unknown:
+        print(f"unknown experiments: {sorted(unknown)}; "
+              f"available: {sorted(experiments)}", file=sys.stderr)
+        return 2
+    for key in experiments:
+        if key not in wanted:
+            continue
+        start = time.time()
+        print(experiments[key]())
+        print(f"[{key}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

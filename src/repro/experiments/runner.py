@@ -1,0 +1,211 @@
+"""The shared experiment pipeline.
+
+One benchmark run is::
+
+    MiniC source -> optimized IR -> [profile run]
+        -> partition (basic | advanced) -> rewrite -> register allocation
+        -> traced functional run -> timing simulation (Table 1 machine)
+
+The *conventional* configuration skips partitioning but goes through the
+identical compiler (same optimizer, same register allocator) and the
+identical machine — the FP subsystem simply sits idle, as in the paper's
+baseline.  Functional results (checksums) are asserted equal across all
+configurations of a benchmark: a partitioning bug cannot silently
+produce a "speedup".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ir.program import Program
+from repro.ir.verify import verify_program
+from repro.partition.cost import CostParams, ExecutionProfile
+from repro.partition.program import partition_program
+from repro.regalloc.linear_scan import allocate_program
+from repro.runtime.interp import run_program
+from repro.runtime.trace import dynamic_mix
+from repro.sim.config import MachineConfig, eight_way, four_way
+from repro.sim.pipeline import simulate_trace
+from repro.sim.stats import SimStats
+from repro.workloads import compile_workload
+
+SCHEMES = ("conventional", "basic", "advanced")
+
+
+@dataclass(eq=False, slots=True)
+class PipelineArtifacts:
+    """Everything produced while preparing one program configuration."""
+
+    program: Program
+    scheme: str
+    profile: ExecutionProfile | None = None
+    partition_summary: dict[str, int] = field(default_factory=dict)
+    static_instructions: int = 0
+
+
+@dataclass(eq=False, slots=True)
+class BenchmarkResult:
+    """Outcome of simulating one (benchmark, scheme, machine) triple."""
+
+    name: str
+    scheme: str
+    machine: str
+    checksum: int | None
+    dynamic_instructions: int
+    offload_fraction: float
+    cycles: int
+    ipc: float
+    stats: SimStats
+    partition_summary: dict[str, int]
+    static_instructions: int
+    mix: dict[str, int]
+
+    def speedup_over(self, baseline: "BenchmarkResult") -> float:
+        """Relative speedup of this run over ``baseline`` (1.0 = equal)."""
+        if self.checksum != baseline.checksum:
+            raise ReproError(
+                f"{self.name}: checksum mismatch between {self.scheme} "
+                f"({self.checksum}) and {baseline.scheme} ({baseline.checksum})"
+            )
+        return baseline.cycles / self.cycles
+
+
+def prepare_program(
+    name: str,
+    scheme: str,
+    scale: int | None = None,
+    cost_params: CostParams | None = None,
+    use_profile: bool = True,
+    regalloc: bool = True,
+    balance_limit: float | None = None,
+    interprocedural: bool = False,
+) -> PipelineArtifacts:
+    """Compile (and for non-conventional schemes, partition) a workload.
+
+    Args:
+        name: Workload name from :mod:`repro.workloads`.
+        scheme: ``"conventional"``, ``"basic"`` or ``"advanced"``.
+        scale: Workload scale override.
+        cost_params: Advanced-scheme cost parameters.
+        use_profile: Feed a measured basic-block profile to the advanced
+            scheme (otherwise it falls back to the probabilistic
+            estimate, an ablation of §6.1).
+        regalloc: Run register allocation (paper order: after
+            partitioning).
+    """
+    if scheme not in SCHEMES:
+        raise ReproError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    program = compile_workload(name, scale)
+    artifacts = PipelineArtifacts(program=program, scheme=scheme)
+
+    if scheme != "conventional":
+        profile: ExecutionProfile | None = None
+        if use_profile:
+            profile = run_program(program).profile
+            artifacts.profile = profile
+        result = partition_program(
+            program,
+            scheme,
+            profile=profile,
+            params=cost_params,
+            balance_limit=balance_limit,
+            interprocedural=interprocedural,
+        )
+        summary: dict[str, int] = {}
+        for stats in result.stats.values():
+            for key, value in stats.items():
+                summary[key] = summary.get(key, 0) + value
+        summary["copies_eliminated"] = result.copies_eliminated
+        artifacts.partition_summary = summary
+
+    if regalloc:
+        allocate_program(program)
+        verify_program(program)
+    artifacts.static_instructions = program.instruction_count()
+    return artifacts
+
+
+def run_benchmark(
+    name: str,
+    scheme: str = "advanced",
+    width: int = 4,
+    scale: int | None = None,
+    cost_params: CostParams | None = None,
+    use_profile: bool = True,
+    regalloc: bool = True,
+    config: MachineConfig | None = None,
+    balance_limit: float | None = None,
+    interprocedural: bool = False,
+) -> BenchmarkResult:
+    """Run the full pipeline for one benchmark configuration."""
+    if config is None:
+        if width == 4:
+            config = four_way()
+        elif width == 8:
+            config = eight_way()
+        else:
+            raise ReproError(f"width must be 4 or 8, got {width}")
+    artifacts = prepare_program(
+        name,
+        scheme,
+        scale=scale,
+        cost_params=cost_params,
+        use_profile=use_profile,
+        regalloc=regalloc,
+        balance_limit=balance_limit,
+        interprocedural=interprocedural,
+    )
+    run = run_program(artifacts.program, collect_trace=True)
+    mix = dynamic_mix(run.trace)
+    stats = simulate_trace(run.trace, config)
+    offload = mix["fp_executed"] / mix["total"] if mix["total"] else 0.0
+    return BenchmarkResult(
+        name=name,
+        scheme=scheme,
+        machine=config.name,
+        checksum=run.value,
+        dynamic_instructions=run.instructions,
+        offload_fraction=offload,
+        cycles=stats.cycles,
+        ipc=stats.ipc,
+        stats=stats,
+        partition_summary=dict(artifacts.partition_summary),
+        static_instructions=artifacts.static_instructions,
+        mix=mix,
+    )
+
+
+_CACHE: dict[tuple, BenchmarkResult] = {}
+
+
+def cached_run_benchmark(
+    name: str, scheme: str = "advanced", width: int = 4, scale: int | None = None
+) -> BenchmarkResult:
+    """Memoized :func:`run_benchmark` (default cost params / profile).
+
+    The pipeline is deterministic, so experiments that share a
+    configuration — e.g. Figure 8's offload fractions and Figure 9's
+    cycle counts — reuse one run.
+    """
+    key = (name, scheme, width, scale)
+    result = _CACHE.get(key)
+    if result is None:
+        result = run_benchmark(name, scheme, width=width, scale=scale)
+        _CACHE[key] = result
+    return result
+
+
+def run_pair(
+    name: str,
+    scheme: str = "advanced",
+    width: int = 4,
+    scale: int | None = None,
+    **kwargs,
+) -> tuple[BenchmarkResult, BenchmarkResult, float]:
+    """Run conventional + partitioned configurations; returns
+    ``(baseline, partitioned, speedup)``."""
+    baseline = run_benchmark(name, "conventional", width=width, scale=scale, **kwargs)
+    partitioned = run_benchmark(name, scheme, width=width, scale=scale, **kwargs)
+    return baseline, partitioned, partitioned.speedup_over(baseline)

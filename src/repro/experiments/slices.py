@@ -1,0 +1,104 @@
+"""Dynamic slice characterization (the paper's §4 premise).
+
+Palacharla & Smith's measurement — cited in §4 as the bound on how much
+the compiler could ever offload — is that "the LdSt slices of integer
+programs account for close to 50 % of all dynamic instructions executed".
+This experiment reproduces that characterization on the surrogates: each
+dynamic instruction is attributed to the LdSt slice, the (pure) branch
+and store-value slices, call/return glue, or the remainder.
+
+Attribution is static-node-based and mirrors the partitioning view: a
+static instruction belongs to the LdSt slice if any of its RDG nodes is
+in the union of backward slices of address nodes; remaining instructions
+belong to branch/store-value slices if they reach only those terminals.
+Dynamic fractions weight each static instruction by its execution count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.opcodes import OpKind
+from repro.rdg.build import build_rdg
+from repro.rdg.slices import ldst_slice
+from repro.runtime.interp import run_program
+from repro.workloads import INT_BENCHMARKS, compile_workload
+
+
+@dataclass(frozen=True, slots=True)
+class SliceRow:
+    """Dynamic instruction shares for one benchmark (fractions sum to 1,
+    modulo rounding)."""
+
+    benchmark: str
+    ldst_fraction: float
+    memory_ops_fraction: float  # the loads/stores themselves
+    offloadable_fraction: float  # pure branch/store-value slice work
+    call_glue_fraction: float
+    other_fraction: float
+
+
+def characterize(name: str, scale: int | None = None) -> SliceRow:
+    """Measure the dynamic slice composition of one benchmark."""
+    program = compile_workload(name, scale)
+    result = run_program(program)
+    profile = result.profile
+
+    totals = {"ldst": 0.0, "mem": 0.0, "offloadable": 0.0, "call": 0.0, "other": 0.0}
+    grand = 0.0
+    for func in program.functions.values():
+        rdg = build_rdg(func)
+        in_ldst = ldst_slice(rdg)
+        ldst_uids = {node.uid for node in in_ldst}
+        counts = profile.for_function(func)
+        block_of = func.block_of()
+        for instr in func.instructions():
+            weight = counts.get(block_of[instr.uid], 0.0)
+            if weight <= 0.0:
+                continue
+            grand += weight
+            kind = instr.kind
+            if kind in (OpKind.LOAD, OpKind.STORE):
+                totals["mem"] += weight
+            elif kind in (OpKind.CALL, OpKind.RET, OpKind.PARAM, OpKind.JUMP):
+                totals["call"] += weight
+            elif instr.uid in ldst_uids:
+                totals["ldst"] += weight
+            elif kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV, OpKind.BRANCH,
+                          OpKind.COPY):
+                totals["offloadable"] += weight
+            else:
+                totals["other"] += weight
+
+    if grand <= 0.0:
+        raise ValueError(f"{name}: empty profile")
+    return SliceRow(
+        benchmark=name,
+        ldst_fraction=totals["ldst"] / grand,
+        memory_ops_fraction=totals["mem"] / grand,
+        offloadable_fraction=totals["offloadable"] / grand,
+        call_glue_fraction=totals["call"] / grand,
+        other_fraction=totals["other"] / grand,
+    )
+
+
+def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[SliceRow]:
+    return [characterize(name, scale) for name in benchmarks or INT_BENCHMARKS]
+
+
+def format_table(rows: list[SliceRow]) -> str:
+    lines = [
+        "Slice characterization (dynamic shares; §4's premise: memory",
+        "addressing+access bounds the FPa partition near 50%)",
+        f"{'benchmark':10s} {'addr-slice':>10s} {'mem ops':>8s} "
+        f"{'ldst total':>10s} {'offloadable':>11s} {'call glue':>9s}",
+    ]
+    for row in rows:
+        ldst_total = row.ldst_fraction + row.memory_ops_fraction
+        lines.append(
+            f"{row.benchmark:10s} {100 * row.ldst_fraction:9.1f}% "
+            f"{100 * row.memory_ops_fraction:7.1f}% {100 * ldst_total:9.1f}% "
+            f"{100 * row.offloadable_fraction:10.1f}% "
+            f"{100 * row.call_glue_fraction:8.1f}%"
+        )
+    return "\n".join(lines)

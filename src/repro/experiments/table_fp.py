@@ -1,0 +1,62 @@
+"""§7.5 — applicability to floating-point programs.
+
+The paper applied both schemes to SPEC92/95 FP programs and found
+negligible change for all but one: *ear*, where 18 % of the integer
+(branch and store-value) computation moved to FPa and produced an 18 %
+speedup on the 4-way machine.  This experiment measures the same on the
+FP surrogates: ``ear`` should show a clear gain, ``swim`` roughly none,
+and neither may slow down materially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.workloads import FP_BENCHMARKS
+
+#: Paper §7.5: ear gains ~18 %; everything else is negligible.
+PAPER_EAR_SPEEDUP_PERCENT = 18.0
+
+
+@dataclass(frozen=True, slots=True)
+class FpRow:
+    benchmark: str
+    base_fp_fraction: float  # how busy the FP subsystem already is
+    basic_speedup_percent: float
+    advanced_speedup_percent: float
+    extra_offload_percent: float  # advanced offload beyond the baseline's
+
+
+def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[FpRow]:
+    """Measure both schemes on the floating-point surrogates."""
+    rows = []
+    for name in benchmarks or FP_BENCHMARKS:
+        baseline = run_benchmark(name, "conventional", width=4, scale=scale)
+        basic = run_benchmark(name, "basic", width=4, scale=scale)
+        advanced = run_benchmark(name, "advanced", width=4, scale=scale)
+        rows.append(
+            FpRow(
+                benchmark=name,
+                base_fp_fraction=baseline.offload_fraction,
+                basic_speedup_percent=100.0 * (basic.speedup_over(baseline) - 1.0),
+                advanced_speedup_percent=100.0 * (advanced.speedup_over(baseline) - 1.0),
+                extra_offload_percent=100.0
+                * (advanced.offload_fraction - baseline.offload_fraction),
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[FpRow]) -> str:
+    lines = [
+        "Section 7.5: floating-point programs (4-way machine)",
+        f"{'benchmark':10s} {'fp-busy':>8s} {'+offload':>9s} {'basic':>8s} {'advanced':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:10s} {100 * row.base_fp_fraction:7.1f}% "
+            f"{row.extra_offload_percent:+8.1f}% "
+            f"{row.basic_speedup_percent:+7.1f}% {row.advanced_speedup_percent:+8.1f}%"
+        )
+    return "\n".join(lines)

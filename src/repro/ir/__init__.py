@@ -1,0 +1,71 @@
+"""MIPS-like intermediate representation.
+
+The IR models a load/store RISC machine close to the SimpleScalar/MIPS
+target used by the paper, extended with the 22 *FPa* opcodes that let the
+augmented floating-point subsystem execute simple integer operations, plus
+the two inter-partition copy instructions (``cp_to_comp`` /
+``cp_from_comp``).
+
+Public surface:
+
+* :class:`Reg`, :class:`RegClass` — register model.
+* :class:`Opcode`, :data:`OPCODES`, :class:`OpKind` — opcode metadata,
+  including each integer opcode's FPa twin.
+* :class:`Instruction`, :class:`BasicBlock`, :class:`Function`,
+  :class:`Program` — code containers.
+* :class:`IRBuilder` — convenience construction API.
+* :func:`parse_program`, :func:`print_program` — textual round-trip.
+* :func:`verify_function`, :func:`verify_program` — structural checks.
+"""
+
+from repro.ir.registers import Reg, RegClass, ZERO, int_reg, fp_reg, virtual_reg
+from repro.ir.opcodes import (
+    Opcode,
+    OpKind,
+    OPCODES,
+    OpInfo,
+    fpa_twin,
+    int_twin,
+    FPA_OPCODES,
+)
+from repro.ir.instructions import Instruction
+from repro.ir.function import BasicBlock, Function
+from repro.ir.program import Program, GlobalVar
+from repro.ir.cfg import successors, predecessors, block_order, reverse_postorder
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_instruction, print_function, print_program
+from repro.ir.parser import parse_program, parse_function
+from repro.ir.verify import verify_function, verify_program
+
+__all__ = [
+    "Reg",
+    "RegClass",
+    "ZERO",
+    "int_reg",
+    "fp_reg",
+    "virtual_reg",
+    "Opcode",
+    "OpKind",
+    "OPCODES",
+    "OpInfo",
+    "fpa_twin",
+    "int_twin",
+    "FPA_OPCODES",
+    "Instruction",
+    "BasicBlock",
+    "Function",
+    "Program",
+    "GlobalVar",
+    "successors",
+    "predecessors",
+    "block_order",
+    "reverse_postorder",
+    "IRBuilder",
+    "print_instruction",
+    "print_function",
+    "print_program",
+    "parse_program",
+    "parse_function",
+    "verify_function",
+    "verify_program",
+]

@@ -1,0 +1,150 @@
+"""Basic blocks and functions.
+
+A :class:`Function` is an ordered list of labelled :class:`BasicBlock`\\ s.
+Control falls through from a block to the next one in order unless the
+block ends in an unconditional jump or return; a conditional branch at the
+end of a block has the branch target and the fall-through successor.
+Only the *last* instruction of a block may be a control instruction
+(``call`` is not a control instruction here: it returns inline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import OpKind
+from repro.ir.registers import Reg, RegClass
+
+
+@dataclass(eq=False, slots=True)
+class BasicBlock:
+    """A straight-line sequence of instructions with a unique label."""
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The trailing control instruction, if any."""
+        if self.instructions and self.instructions[-1].is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return self.instructions[:]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instructions)} instrs>"
+
+
+@dataclass(eq=False, slots=True)
+class Function:
+    """A function: ordered basic blocks plus parameter metadata.
+
+    Attributes:
+        name: Function name, unique within a program.
+        n_params: Number of formal parameters; the entry block must begin
+            with exactly this many ``param`` instructions.
+        blocks: Ordered blocks; ``blocks[0]`` is the entry.
+        returns_value: Whether ``ret`` instructions carry a value.
+    """
+
+    name: str
+    n_params: int = 0
+    blocks: list[BasicBlock] = field(default_factory=list)
+    returns_value: bool = False
+    frame_size: int = 0  # bytes of stack frame (spill slots), set by regalloc
+    #: Parameter indices received in FP registers — produced by the
+    #: interprocedural extension (paper §6.6 future work); empty under
+    #: the standard integer calling convention.
+    fp_params: set[int] = field(default_factory=set)
+    _next_uid: int = 0
+    _next_vreg: int = 0
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a block by label; raises KeyError if absent."""
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"no block {label!r} in function {self.name}")
+
+    def block_index(self, label: str) -> int:
+        for i, blk in enumerate(self.blocks):
+            if blk.label == label:
+                return i
+        raise KeyError(f"no block {label!r} in function {self.name}")
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_block(self, label: str) -> BasicBlock:
+        """Append and return a fresh empty block."""
+        if any(b.label == label for b in self.blocks):
+            raise ValueError(f"duplicate block label {label!r} in {self.name}")
+        blk = BasicBlock(label)
+        self.blocks.append(blk)
+        return blk
+
+    def new_vreg(self, rclass: RegClass = RegClass.INT, prefix: str | None = None) -> Reg:
+        """Allocate a fresh virtual register of the given class."""
+        index = self._next_vreg
+        self._next_vreg += 1
+        if prefix is None:
+            prefix = "vf" if rclass is RegClass.FP else "v"
+        return Reg(f"{prefix}{index}", rclass, virtual=True)
+
+    def attach(self, instr: Instruction) -> Instruction:
+        """Assign a uid to ``instr``, registering it with this function."""
+        if instr.uid == -1:
+            instr.uid = self._next_uid
+            self._next_uid += 1
+        return instr
+
+    def renumber(self) -> None:
+        """Re-assign dense uids in layout order (after heavy rewriting)."""
+        self._next_uid = 0
+        for blk in self.blocks:
+            for instr in blk.instructions:
+                instr.uid = self._next_uid
+                self._next_uid += 1
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in layout order."""
+        for blk in self.blocks:
+            yield from blk.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(blk) for blk in self.blocks)
+
+    def params(self) -> list[Instruction]:
+        """The ``param`` pseudo-instructions (entry block, any position),
+        ordered by parameter index."""
+        out = [i for i in self.entry.instructions if i.kind is OpKind.PARAM]
+        out.sort(key=lambda i: i.imm)
+        return out
+
+    def block_of(self) -> dict[int, str]:
+        """Map instruction uid -> containing block label."""
+        mapping: dict[int, str] = {}
+        for blk in self.blocks:
+            for instr in blk.instructions:
+                mapping[instr.uid] = blk.label
+        return mapping
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name}: {len(self.blocks)} blocks, {self.instruction_count()} instrs>"

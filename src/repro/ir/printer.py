@@ -1,0 +1,99 @@
+"""Textual rendering of IR.
+
+The format round-trips through :mod:`repro.ir.parser`::
+
+    func main(0) {
+    entry:
+      v0 = li 5
+      v1 = addiu v0, 1
+      v2 = lw v1, 8
+      sw v2, v1, 4
+      bne v0, v1, entry
+      ret
+    }
+
+Conventions: ``dest = op srcs..., imm`` for value-producing instructions,
+``op srcs..., label`` for branches, ``call callee(args...)`` for calls,
+``sw value, base, offset`` for stores, ``@name`` for global symbols used
+as immediates.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import OpKind
+from repro.ir.program import Program
+
+
+def _imm_str(imm: int | float | str) -> str:
+    if isinstance(imm, str):
+        return f"@{imm}"
+    return repr(imm) if isinstance(imm, float) else str(imm)
+
+
+def print_instruction(instr: Instruction) -> str:
+    """Render one instruction (no indentation, no uid)."""
+    kind = instr.kind
+    if kind is OpKind.CALL:
+        args = ", ".join(str(r) for r in instr.uses)
+        call = f"call {instr.target}({args})"
+        if instr.defs:
+            return f"{instr.defs[0]} = {call}"
+        return call
+    if kind is OpKind.RET:
+        return f"ret {instr.uses[0]}" if instr.uses else "ret"
+    if kind is OpKind.PARAM:
+        return f"{instr.defs[0]} = param {instr.imm}"
+    if kind is OpKind.JUMP:
+        return f"j {instr.target}"
+    if kind is OpKind.BRANCH:
+        srcs = ", ".join(str(r) for r in instr.uses)
+        return f"{instr.op} {srcs}, {instr.target}"
+    if kind is OpKind.STORE:
+        value, base = instr.uses
+        return f"{instr.op} {value}, {base}, {_imm_str(instr.imm or 0)}"
+    if kind is OpKind.LOAD:
+        return f"{instr.defs[0]} = {instr.op} {instr.uses[0]}, {_imm_str(instr.imm or 0)}"
+    if kind is OpKind.NOP:
+        return "nop"
+    # ALU / MUL / DIV / COPY
+    parts = [str(r) for r in instr.uses]
+    if instr.info.has_imm:
+        parts.append(_imm_str(instr.imm if instr.imm is not None else 0))
+    operands = ", ".join(parts)
+    if instr.defs:
+        return f"{instr.defs[0]} = {instr.op} {operands}".rstrip()
+    return f"{instr.op} {operands}".rstrip()
+
+
+def print_function(func: Function) -> str:
+    """Render a whole function."""
+    header = f"func {func.name}({func.n_params})"
+    if func.returns_value:
+        header += " returns"
+    if func.fp_params:
+        header += " fp[" + ",".join(str(i) for i in sorted(func.fp_params)) + "]"
+    lines = [header + " {"]
+    for blk in func.blocks:
+        lines.append(f"{blk.label}:")
+        for instr in blk.instructions:
+            lines.append(f"  {print_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_program(program: Program) -> str:
+    """Render a whole program, globals first."""
+    lines = []
+    for var in program.globals.values():
+        decl = f"global {var.name} {var.size_bytes}"
+        if var.init:
+            decl += " = " + " ".join(str(w) for w in var.init)
+        lines.append(decl)
+    if program.globals:
+        lines.append("")
+    for func in program.functions.values():
+        lines.append(print_function(func))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,178 @@
+"""Structural verification of IR.
+
+The verifier catches the mistakes that are cheap to make while building or
+rewriting IR and expensive to debug downstream: wrong operand counts,
+register-class mismatches against the opcode's subsystem, control
+instructions in the middle of a block, branches to unknown labels, calls
+to unknown functions with the wrong arity, and uses of the hard-wired
+zero register as a destination.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.program import Program
+from repro.ir.registers import RegClass, ZERO
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise IRError(message)
+
+
+def _expected_def_class(instr: Instruction, func: Function) -> RegClass | None:
+    """Register class the destination must have, or None if unconstrained."""
+    op, info = instr.op, instr.info
+    if op is Opcode.CP_TO_COMP:
+        return RegClass.FP
+    if op is Opcode.CP_FROM_COMP:
+        return RegClass.INT
+    if op is Opcode.LS:
+        return RegClass.FP
+    if info.kind is OpKind.LOAD:
+        return RegClass.INT
+    if info.kind is OpKind.PARAM:
+        # standard convention is INT; the interprocedural extension may
+        # receive selected parameters directly in FP registers
+        return RegClass.FP if instr.imm in func.fp_params else RegClass.INT
+    if info.kind is OpKind.CALL:
+        return RegClass.INT  # return values always cross in INT registers
+    if info.kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV):
+        return RegClass.FP if info.fp_subsystem else RegClass.INT
+    return None
+
+
+def verify_instruction(instr: Instruction, func: Function, labels: set[str]) -> None:
+    """Verify one instruction in the context of its function."""
+    info = instr.info
+    where = f"{func.name}: {instr!r}"
+
+    if info.n_uses >= 0:
+        _check(len(instr.uses) == info.n_uses, f"{where}: expected {info.n_uses} uses")
+    if info.n_defs >= 0:
+        _check(len(instr.defs) == info.n_defs, f"{where}: expected {info.n_defs} defs")
+    if info.has_imm:
+        _check(instr.imm is not None, f"{where}: missing immediate")
+    if info.has_target:
+        _check(instr.target is not None, f"{where}: missing target")
+
+    for d in instr.defs:
+        _check(d != ZERO, f"{where}: writes $zero")
+
+    expected = _expected_def_class(instr, func)
+    if expected is not None:
+        for d in instr.defs:
+            _check(d.rclass is expected, f"{where}: def {d} must be {expected.name}-class")
+
+    # use-class constraints
+    if instr.op is Opcode.CP_TO_COMP:
+        _check(instr.uses[0].rclass is RegClass.INT, f"{where}: cp_to_comp reads INT reg")
+    elif instr.op is Opcode.CP_FROM_COMP:
+        _check(instr.uses[0].rclass is RegClass.FP, f"{where}: cp_from_comp reads FP reg")
+    elif info.kind is OpKind.LOAD:
+        _check(instr.uses[0].rclass is RegClass.INT, f"{where}: load base must be INT-class")
+    elif info.kind is OpKind.STORE:
+        _check(instr.uses[1].rclass is RegClass.INT, f"{where}: store base must be INT-class")
+        value_class = RegClass.FP if instr.op is Opcode.SS else RegClass.INT
+        _check(
+            instr.uses[0].rclass is value_class,
+            f"{where}: store value must be {value_class.name}-class",
+        )
+    elif info.kind is OpKind.CALL:
+        pass  # argument classes depend on the callee; checked in verify_function
+    elif info.kind is OpKind.RET:
+        _check(len(instr.uses) <= 1, f"{where}: ret takes at most one value")
+        for use in instr.uses:
+            _check(use.rclass is RegClass.INT, f"{where}: return value must be INT-class")
+    elif info.kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV, OpKind.BRANCH):
+        want = RegClass.FP if info.fp_subsystem else RegClass.INT
+        for use in instr.uses:
+            _check(
+                use.rclass is want,
+                f"{where}: use {use} must be {want.name}-class for {instr.op}",
+            )
+
+    if info.has_target and info.kind in (OpKind.BRANCH, OpKind.JUMP):
+        _check(instr.target in labels, f"{where}: branch to unknown label {instr.target!r}")
+
+
+def verify_function(func: Function, program: Program | None = None) -> None:
+    """Verify block structure and every instruction of ``func``."""
+    _check(bool(func.blocks), f"{func.name}: function has no blocks")
+    labels = {blk.label for blk in func.blocks}
+    _check(len(labels) == len(func.blocks), f"{func.name}: duplicate block labels")
+
+    seen_uids: set[int] = set()
+    for blk in func.blocks:
+        for i, instr in enumerate(blk.instructions):
+            _check(instr.uid >= 0, f"{func.name}: unattached instruction in {blk.label}")
+            _check(instr.uid not in seen_uids, f"{func.name}: duplicate uid {instr.uid}")
+            seen_uids.add(instr.uid)
+            if instr.is_control:
+                _check(
+                    i == len(blk.instructions) - 1,
+                    f"{func.name}: control instruction mid-block in {blk.label}",
+                )
+            verify_instruction(instr, func, labels)
+
+    params = func.params()
+    _check(
+        len(params) == func.n_params,
+        f"{func.name}: expected {func.n_params} param instructions, found {len(params)}",
+    )
+    indices = sorted(p.imm for p in params)
+    _check(
+        indices == list(range(func.n_params)),
+        f"{func.name}: param indices must be 0..{func.n_params - 1}",
+    )
+    for blk in func.blocks[1:]:
+        for instr in blk.instructions:
+            _check(
+                instr.kind is not OpKind.PARAM,
+                f"{func.name}: param instruction outside the entry block",
+            )
+
+    if program is not None:
+        for instr in func.instructions():
+            if instr.kind is OpKind.CALL:
+                _check(
+                    instr.target in program.functions,
+                    f"{func.name}: call to unknown function {instr.target!r}",
+                )
+                callee = program.functions[instr.target]
+                _check(
+                    len(instr.uses) == callee.n_params,
+                    f"{func.name}: call to {instr.target} with {len(instr.uses)} args, "
+                    f"expected {callee.n_params}",
+                )
+                for pos, use in enumerate(instr.uses):
+                    want = (
+                        RegClass.FP if pos in callee.fp_params else RegClass.INT
+                    )
+                    _check(
+                        use.rclass is want,
+                        f"{func.name}: argument {pos} of call to {instr.target} "
+                        f"must be {want.name}-class",
+                    )
+                if instr.defs:
+                    _check(
+                        callee.returns_value,
+                        f"{func.name}: {instr.target} does not return a value",
+                    )
+            if isinstance(instr.imm, str):
+                _check(
+                    instr.imm in program.globals,
+                    f"{func.name}: reference to unknown global {instr.imm!r}",
+                )
+
+
+def verify_program(program: Program) -> None:
+    """Verify every function plus whole-program properties."""
+    _check(program.entry in program.functions, f"entry {program.entry!r} not defined")
+    entry = program.functions[program.entry]
+    _check(entry.n_params == 0, "entry function must take no parameters")
+    for func in program.functions.values():
+        verify_function(func, program)

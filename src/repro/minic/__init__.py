@@ -1,0 +1,35 @@
+"""MiniC: a small C-like language and its compiler to the IR.
+
+The paper's compiler infrastructure was gcc 2.7.1 retargeted to
+SimpleScalar; MiniC plays that role here.  The language is deliberately
+small but expressive enough to write the SPECINT95 surrogate workloads:
+
+* types ``int`` (32-bit, wrapping) and ``float``; ``void`` returns;
+* global scalars and arrays (``int a[100];``), function-local scalars;
+* ``if``/``else``, ``while``, ``for``, ``break``, ``continue``,
+  ``return``;
+* the usual C operators including short-circuit ``&&``/``||``, plus
+  explicit ``(int)``/``(float)`` casts;
+* functions with ``int`` parameters and returns (floats cross function
+  boundaries through globals, matching the integer calling conventions
+  the paper's partitioner must respect).
+
+Pipeline: :mod:`lexer` -> :mod:`parser` (AST in :mod:`astnodes`) ->
+:mod:`sema` (type checking + annotation) -> :mod:`codegen` (IR).
+"""
+
+from repro.minic.lexer import tokenize, Token, TokenKind
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.minic.codegen import generate
+from repro.minic.compile import compile_source
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse",
+    "analyze",
+    "generate",
+    "compile_source",
+]

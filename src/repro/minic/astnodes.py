@@ -1,0 +1,182 @@
+"""MiniC abstract syntax tree.
+
+Nodes are plain dataclasses.  Semantic analysis annotates expression
+nodes in place with a ``type`` attribute (``"int"`` or ``"float"``) that
+code generation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Type = str  # "int" | "float" | "void"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Expr:
+    """Base class; ``type`` is filled in by semantic analysis."""
+
+    line: int = 0
+    type: Type | None = field(default=None, compare=False)
+
+
+@dataclass(eq=False)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(eq=False)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(eq=False)
+class Name(Expr):
+    name: str = ""
+
+
+@dataclass(eq=False)
+class Index(Expr):
+    """Array element ``name[index]`` (arrays are global)."""
+
+    name: str = ""
+    index: Expr | None = None
+
+
+@dataclass(eq=False)
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass(eq=False)
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(eq=False)
+class Cast(Expr):
+    """Explicit ``(int)e`` / ``(float)e``."""
+
+    target: Type = "int"
+    operand: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Stmt:
+    line: int = 0
+
+
+@dataclass(eq=False)
+class VarDecl(Stmt):
+    """Local scalar declaration, optionally initialized."""
+
+    name: str = ""
+    var_type: Type = "int"
+    init: Expr | None = None
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    target: Name | Index | None = None
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    cond: Expr | None = None
+    then_body: "Block | None" = None
+    else_body: "Block | None" = None
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    cond: Expr | None = None
+    body: "Block | None" = None
+
+
+@dataclass(eq=False)
+class For(Stmt):
+    init: Stmt | None = None  # VarDecl or Assign
+    cond: Expr | None = None
+    step: Stmt | None = None  # Assign or ExprStmt
+    body: "Block | None" = None
+
+
+@dataclass(eq=False)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class Break(Stmt):
+    pass
+
+
+@dataclass(eq=False)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(eq=False)
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class GlobalDecl:
+    name: str
+    var_type: Type
+    array_size: int | None = None  # None for scalars
+    init: list[int | float] | None = None
+    line: int = 0
+
+
+@dataclass(eq=False)
+class ParamDecl:
+    name: str
+    var_type: Type
+    line: int = 0
+
+
+@dataclass(eq=False)
+class FuncDecl:
+    name: str
+    ret_type: Type
+    params: list[ParamDecl]
+    body: Block
+    line: int = 0
+
+
+@dataclass(eq=False)
+class TranslationUnit:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,516 @@
+"""MiniC to IR code generation.
+
+Notable lowering choices (they matter for partitionability, §4 of the
+paper — branch slices should be offloadable):
+
+* Conditional control flow is lowered to ``beq``/``bne`` (equality) and
+  ``slt``-family + ``blez`` (orderings) — all of which have FPa twins —
+  never ``bgtz``/``bgez`` or comparisons against ``$zero`` (the FP file
+  has no zero register, so such nodes would be pinned to INT).
+* Shift-by-constant uses the immediate forms (offloadable); ``~`` is
+  ``xor`` with a materialized ``-1`` rather than ``nor`` or ``xori``
+  (neither of which has a twin), and boolean negation is ``sltiu t, 1``.
+* int->float conversion materializes the value in the FP file with
+  ``cp_to_comp`` + ``cvt.s.w``; float->int uses ``cvt.w.s`` +
+  ``cp_from_comp``.  These pre-existing copies are legal partition
+  crossings.
+* Locals are mutable virtual registers (multiple definitions, as in
+  real compiler output before SSA-less register allocation); every
+  local is zero-initialized at declaration when no initializer is
+  given, keeping interpreter semantics defined.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.program import Program
+from repro.ir.registers import Reg, RegClass
+from repro.minic.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    Stmt,
+    TranslationUnit,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.minic.sema import ProgramInfo
+
+_INT_BIN_REG = {
+    "+": Opcode.ADDU,
+    "-": Opcode.SUBU,
+    "*": Opcode.MULT,
+    "/": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SLLV,
+    ">>": Opcode.SRAV,
+}
+# '|' and '^' deliberately use the reg-reg forms even for literal
+# operands: `ori`/`xori` have no FPa twin, while `or`/`xor` (fed by an
+# offloadable `li`) keep the slice partitionable.
+_INT_BIN_IMM = {
+    "+": Opcode.ADDIU,
+    "&": Opcode.ANDI,
+    "<<": Opcode.SLL,
+    ">>": Opcode.SRA,
+}
+_FLOAT_BIN = {
+    "+": Opcode.ADD_S,
+    "-": Opcode.SUB_S,
+    "*": Opcode.MUL_S,
+    "/": Opcode.DIV_S,
+}
+
+
+class _FuncGen:
+    """Generates IR for one function body."""
+
+    def __init__(self, program: Program, info: ProgramInfo, func_decl: FuncDecl):
+        self.program = program
+        self.info = info
+        self.decl = func_decl
+        self.func = Function(
+            func_decl.name,
+            n_params=len(func_decl.params),
+            returns_value=func_decl.ret_type != "void",
+        )
+        self.builder = IRBuilder(self.func)
+        self.locals: dict[str, tuple[Reg, str]] = {}
+        self._label_n = 0
+        self._break_stack: list[str] = []
+        self._continue_stack: list[str] = []
+
+    def new_label(self, hint: str) -> str:
+        self._label_n += 1
+        return f"{hint}{self._label_n}"
+
+    def start_block(self, label: str):
+        return self.builder.set_block(self.builder.new_block(label))
+
+    # -- top level -----------------------------------------------------------
+    def run(self) -> Function:
+        b = self.builder
+        b.set_block(b.new_block("entry"))
+        for i, param in enumerate(self.decl.params):
+            reg = b.param(i)
+            self.locals[param.name] = (reg, param.var_type)
+        self.gen_stmt(self.decl.body)
+        if self.builder.block.terminator is None:
+            if self.func.returns_value:
+                b.ret(b.li(0))  # implicit return 0, C-style main
+            else:
+                b.ret()
+        return self.func
+
+    # -- conversions -----------------------------------------------------------
+    def coerce(self, reg: Reg, from_type: str, to_type: str) -> Reg:
+        """Convert ``reg`` between int and float representations."""
+        if from_type == to_type:
+            return reg
+        b = self.builder
+        if from_type == "int" and to_type == "float":
+            moved = b.new_vreg(RegClass.FP)
+            b.emit(Instruction(Opcode.CP_TO_COMP, defs=[moved], uses=[reg]))
+            return b.emit_alu(Opcode.CVT_S_W, moved)
+        if from_type == "float" and to_type == "int":
+            truncated = b.emit_alu(Opcode.CVT_W_S, reg)
+            out = b.new_vreg(RegClass.INT)
+            b.emit(Instruction(Opcode.CP_FROM_COMP, defs=[out], uses=[truncated]))
+            return out
+        raise SemanticError(f"cannot convert {from_type} to {to_type}")
+
+    # -- expressions -------------------------------------------------------------
+    def gen_expr(self, expr: Expr) -> Reg:
+        method = getattr(self, "_gen_" + type(expr).__name__)
+        return method(expr)
+
+    def _gen_IntLit(self, expr: IntLit) -> Reg:
+        return self.builder.li(expr.value)
+
+    def _gen_FloatLit(self, expr: FloatLit) -> Reg:
+        return self.builder.li_float(expr.value)
+
+    def _gen_Name(self, expr: Name) -> Reg:
+        if expr.name in self.locals:
+            return self.locals[expr.name][0]
+        b = self.builder
+        base = b.la(expr.name)
+        op = Opcode.LS if expr.type == "float" else Opcode.LW
+        return b.load(base, 0, op)
+
+    def _element_address(self, expr: Index) -> Reg:
+        b = self.builder
+        base = b.la(expr.name)
+        index = self.gen_expr(expr.index)
+        offset = b.emit_alu(Opcode.SLL, index, imm=2)
+        return b.emit_alu(Opcode.ADDU, base, offset)
+
+    def _gen_Index(self, expr: Index) -> Reg:
+        addr = self._element_address(expr)
+        op = Opcode.LS if expr.type == "float" else Opcode.LW
+        return self.builder.load(addr, 0, op)
+
+    def _gen_Call(self, expr: Call) -> Reg:
+        args = [self.gen_expr(arg) for arg in expr.args]
+        result = self.builder.call(expr.name, args, returns_value=True)
+        return result
+
+    def _gen_Cast(self, expr: Cast) -> Reg:
+        value = self.gen_expr(expr.operand)
+        return self.coerce(value, expr.operand.type, expr.target)
+
+    def _gen_Unary(self, expr: Unary) -> Reg:
+        b = self.builder
+        if expr.op == "-":
+            operand = self.gen_expr(expr.operand)
+            if expr.type == "float":
+                return b.emit_alu(Opcode.NEG_S, operand)
+            zero = b.li(0)
+            return b.emit_alu(Opcode.SUBU, zero, operand)
+        if expr.op == "~":
+            operand = self.gen_expr(expr.operand)
+            ones = b.li(-1)
+            return b.emit_alu(Opcode.XOR, operand, ones)
+        # '!' — logical negation of an int
+        operand = self.gen_expr(expr.operand)
+        return b.emit_alu(Opcode.SLTIU, operand, imm=1)
+
+    def _gen_Binary(self, expr: Binary) -> Reg:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._materialize_cond(expr)
+        left_t, right_t = expr.left.type, expr.right.type
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if "float" in (left_t, right_t):
+                return self._materialize_cond(expr)
+            return self._int_comparison_value(expr)
+        if expr.type == "float":
+            left = self.coerce(self.gen_expr(expr.left), left_t, "float")
+            right = self.coerce(self.gen_expr(expr.right), right_t, "float")
+            return self.builder.emit_alu(_FLOAT_BIN[op], left, right)
+        return self._int_arith(expr)
+
+    def _int_arith(self, expr: Binary) -> Reg:
+        b = self.builder
+        op = expr.op
+        left = self.gen_expr(expr.left)
+        if (
+            isinstance(expr.right, IntLit)
+            and op in _INT_BIN_IMM
+            and -32768 <= expr.right.value < 32768
+        ):
+            imm = expr.right.value
+            if op == "<<" or op == ">>":
+                imm &= 31
+            return b.emit_alu(_INT_BIN_IMM[op], left, imm=imm)
+        if op == "-" and isinstance(expr.right, IntLit) and -32767 <= expr.right.value <= 32768:
+            return b.emit_alu(Opcode.ADDIU, left, imm=-expr.right.value)
+        right = self.gen_expr(expr.right)
+        return b.emit_alu(_INT_BIN_REG[op], left, right)
+
+    def _int_comparison_value(self, expr: Binary) -> Reg:
+        """Materialize an int comparison as a 0/1 value."""
+        b = self.builder
+        op = expr.op
+        left = self.gen_expr(expr.left)
+        if op == "<" and isinstance(expr.right, IntLit) and -32768 <= expr.right.value < 32768:
+            return b.emit_alu(Opcode.SLTI, left, imm=expr.right.value)
+        if op == ">=" and isinstance(expr.right, IntLit) and -32768 <= expr.right.value < 32768:
+            lt = b.emit_alu(Opcode.SLTI, left, imm=expr.right.value)
+            return b.emit_alu(Opcode.SLTIU, lt, imm=1)
+        right = self.gen_expr(expr.right)
+        if op == "<":
+            return b.emit_alu(Opcode.SLT, left, right)
+        if op == ">":
+            return b.emit_alu(Opcode.SLT, right, left)
+        if op == "<=":
+            gt = b.emit_alu(Opcode.SLT, right, left)
+            return b.emit_alu(Opcode.SLTIU, gt, imm=1)
+        if op == ">=":
+            lt = b.emit_alu(Opcode.SLT, left, right)
+            return b.emit_alu(Opcode.SLTIU, lt, imm=1)
+        diff = b.emit_alu(Opcode.XOR, left, right)
+        equal = b.emit_alu(Opcode.SLTIU, diff, imm=1)
+        if op == "==":
+            return equal
+        return b.emit_alu(Opcode.SLTIU, equal, imm=1)
+
+    def _materialize_cond(self, expr: Expr) -> Reg:
+        """Evaluate a boolean expression into a 0/1 register through
+        control flow (used for ``&&``/``||`` and float comparisons in
+        value contexts)."""
+        b = self.builder
+        result = b.new_vreg(RegClass.INT)
+        true_label = self.new_label("bt")
+        false_label = self.new_label("bf")
+        join_label = self.new_label("bj")
+        self.gen_cond(expr, true_label, false_label)
+        self.start_block(true_label)
+        b.emit(Instruction(Opcode.LI, defs=[result], imm=1))
+        b.jump(join_label)
+        self.start_block(false_label)
+        b.emit(Instruction(Opcode.LI, defs=[result], imm=0))
+        b.jump(join_label)
+        self.start_block(join_label)
+        return result
+
+    # -- conditions -----------------------------------------------------------
+    def gen_cond(self, expr: Expr, true_label: str, false_label: str) -> None:
+        """Emit branching code for a condition; terminates the current
+        block with explicit control flow to both labels."""
+        b = self.builder
+        if isinstance(expr, Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, Binary) and expr.op == "&&":
+            mid = self.new_label("and")
+            self.gen_cond(expr.left, mid, false_label)
+            self.start_block(mid)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, Binary) and expr.op == "||":
+            mid = self.new_label("or")
+            self.gen_cond(expr.left, true_label, mid)
+            self.start_block(mid)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, Binary) and expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            if "float" in (expr.left.type, expr.right.type):
+                self._float_cond(expr, true_label, false_label)
+            else:
+                self._int_cond(expr, true_label, false_label)
+            return
+        # generic truthiness of an int value: t != 0
+        value = self.gen_expr(expr)
+        if expr.type == "float":
+            zero = b.li_float(0.0)
+            b.branch(Opcode.BNE_S, value, zero, target=true_label)
+        else:
+            is_zero = b.emit_alu(Opcode.SLTIU, value, imm=1)
+            b.branch(Opcode.BLEZ, is_zero, target=true_label)
+        self._jump_from_new_block(false_label)
+
+    def _jump_from_new_block(self, label: str) -> None:
+        """After a conditional branch, emit the fall-through jump from a
+        fresh block (a block may hold only one control instruction)."""
+        self.start_block(self.new_label("ft"))
+        self.builder.jump(label)
+
+    def _int_cond(self, expr: Binary, true_label: str, false_label: str) -> None:
+        b = self.builder
+        op = expr.op
+        left = self.gen_expr(expr.left)
+        if op in ("==", "!="):
+            right = self.gen_expr(expr.right)
+            branch = Opcode.BEQ if op == "==" else Opcode.BNE
+            b.branch(branch, left, right, target=true_label)
+            self._jump_from_new_block(false_label)
+            return
+        # orderings via slt + blez (blez t <=> t == 0 for 0/1 t)
+        use_imm = isinstance(expr.right, IntLit) and -32768 <= expr.right.value < 32768
+        if op == "<":
+            if use_imm:
+                flag = b.emit_alu(Opcode.SLTI, left, imm=expr.right.value)
+            else:
+                flag = b.emit_alu(Opcode.SLT, left, self.gen_expr(expr.right))
+            b.branch(Opcode.BLEZ, flag, target=false_label)
+            self._jump_from_new_block(true_label)
+        elif op == ">=":
+            if use_imm:
+                flag = b.emit_alu(Opcode.SLTI, left, imm=expr.right.value)
+            else:
+                flag = b.emit_alu(Opcode.SLT, left, self.gen_expr(expr.right))
+            b.branch(Opcode.BLEZ, flag, target=true_label)
+            self._jump_from_new_block(false_label)
+        elif op == ">":
+            flag = b.emit_alu(Opcode.SLT, self.gen_expr(expr.right), left)
+            b.branch(Opcode.BLEZ, flag, target=false_label)
+            self._jump_from_new_block(true_label)
+        else:  # <=
+            flag = b.emit_alu(Opcode.SLT, self.gen_expr(expr.right), left)
+            b.branch(Opcode.BLEZ, flag, target=true_label)
+            self._jump_from_new_block(false_label)
+
+    def _float_cond(self, expr: Binary, true_label: str, false_label: str) -> None:
+        b = self.builder
+        left = self.coerce(self.gen_expr(expr.left), expr.left.type, "float")
+        right = self.coerce(self.gen_expr(expr.right), expr.right.type, "float")
+        op = expr.op
+        if op == "==":
+            b.branch(Opcode.BEQ_S, left, right, target=true_label)
+        elif op == "!=":
+            b.branch(Opcode.BNE_S, left, right, target=true_label)
+        elif op == "<":
+            b.branch(Opcode.BLT_S, left, right, target=true_label)
+        elif op == "<=":
+            b.branch(Opcode.BLE_S, left, right, target=true_label)
+        elif op == ">":
+            b.branch(Opcode.BLT_S, right, left, target=true_label)
+        else:  # >=
+            b.branch(Opcode.BLE_S, right, left, target=true_label)
+        self._jump_from_new_block(false_label)
+
+    # -- statements ---------------------------------------------------------
+    def gen_stmt(self, stmt: Stmt) -> None:
+        method = getattr(self, "_stmt_" + type(stmt).__name__)
+        method(stmt)
+
+    def _stmt_Block(self, stmt: Block) -> None:
+        for inner in stmt.statements:
+            if self.builder.block.terminator is not None:
+                # dead code after break/continue/return: emit into an
+                # unreachable block to stay structurally valid
+                self.start_block(self.new_label("dead"))
+            self.gen_stmt(inner)
+
+    def _assign_into(self, dest: Reg, value: Reg) -> None:
+        op = Opcode.MOV_S if dest.rclass is RegClass.FP else Opcode.MOVE
+        self.builder.emit(Instruction(op, defs=[dest], uses=[value]))
+
+    def _stmt_VarDecl(self, stmt: VarDecl) -> None:
+        b = self.builder
+        rclass = RegClass.FP if stmt.var_type == "float" else RegClass.INT
+        reg = b.new_vreg(rclass)
+        self.locals[stmt.name] = (reg, stmt.var_type)
+        if stmt.init is not None:
+            value = self.coerce(self.gen_expr(stmt.init), stmt.init.type, stmt.var_type)
+            self._assign_into(reg, value)
+        elif stmt.var_type == "float":
+            b.emit(Instruction(Opcode.LI_S, defs=[reg], imm=0.0))
+        else:
+            b.emit(Instruction(Opcode.LI, defs=[reg], imm=0))
+
+    def _stmt_Assign(self, stmt: Assign) -> None:
+        b = self.builder
+        target = stmt.target
+        if isinstance(target, Name) and target.name in self.locals:
+            reg, var_type = self.locals[target.name]
+            value = self.coerce(self.gen_expr(stmt.value), stmt.value.type, var_type)
+            self._assign_into(reg, value)
+            return
+        value_type = "float" if target.type == "float" else "int"
+        value = self.coerce(self.gen_expr(stmt.value), stmt.value.type, value_type)
+        if isinstance(target, Name):  # global scalar
+            base = b.la(target.name)
+            b.store(value, base, 0, Opcode.SS if value_type == "float" else Opcode.SW)
+        else:  # global array element
+            addr = self._element_address(target)
+            b.store(value, addr, 0, Opcode.SS if value_type == "float" else Opcode.SW)
+
+    def _stmt_ExprStmt(self, stmt: ExprStmt) -> None:
+        expr = stmt.expr
+        if isinstance(expr, Call):
+            args = [self.gen_expr(arg) for arg in expr.args]
+            self.builder.call(expr.name, args, returns_value=False)
+            return
+        self.gen_expr(expr)
+
+    def _stmt_If(self, stmt: If) -> None:
+        then_label = self.new_label("then")
+        end_label = self.new_label("endif")
+        else_label = self.new_label("else") if stmt.else_body else end_label
+        self.gen_cond(stmt.cond, then_label, else_label)
+        self.start_block(then_label)
+        self.gen_stmt(stmt.then_body)
+        if self.builder.block.terminator is None:
+            self.builder.jump(end_label)
+        if stmt.else_body is not None:
+            self.start_block(else_label)
+            self.gen_stmt(stmt.else_body)
+            if self.builder.block.terminator is None:
+                self.builder.jump(end_label)
+        self.start_block(end_label)
+
+    def _stmt_While(self, stmt: While) -> None:
+        cond_label = self.new_label("wcond")
+        body_label = self.new_label("wbody")
+        exit_label = self.new_label("wexit")
+        if self.builder.block.terminator is None:
+            self.builder.jump(cond_label)
+        self.start_block(cond_label)
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self._break_stack.append(exit_label)
+        self._continue_stack.append(cond_label)
+        self.start_block(body_label)
+        self.gen_stmt(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.jump(cond_label)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.start_block(exit_label)
+
+    def _stmt_For(self, stmt: For) -> None:
+        cond_label = self.new_label("fcond")
+        body_label = self.new_label("fbody")
+        step_label = self.new_label("fstep")
+        exit_label = self.new_label("fexit")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        if self.builder.block.terminator is None:
+            self.builder.jump(cond_label)
+        self.start_block(cond_label)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, exit_label)
+        else:
+            self.builder.jump(body_label)
+        self._break_stack.append(exit_label)
+        self._continue_stack.append(step_label)
+        self.start_block(body_label)
+        self.gen_stmt(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.jump(step_label)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.start_block(step_label)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.builder.jump(cond_label)
+        self.start_block(exit_label)
+
+    def _stmt_Return(self, stmt: Return) -> None:
+        if stmt.value is None:
+            self.builder.ret()
+            return
+        value = self.gen_expr(stmt.value)
+        self.builder.ret(value)
+
+    def _stmt_Break(self, stmt: Break) -> None:
+        self.builder.jump(self._break_stack[-1])
+
+    def _stmt_Continue(self, stmt: Continue) -> None:
+        self.builder.jump(self._continue_stack[-1])
+
+
+def generate(unit: TranslationUnit, info: ProgramInfo) -> Program:
+    """Generate an IR :class:`Program` from a type-checked AST."""
+    program = Program(entry="main")
+    for decl in unit.globals:
+        size = (decl.array_size if decl.array_size is not None else 1) * 4
+        init = list(decl.init) if decl.init else None
+        program.add_global(decl.name, size, init)
+    for func_decl in unit.functions:
+        program.add_function(_FuncGen(program, info, func_decl).run())
+    program.layout()
+    return program

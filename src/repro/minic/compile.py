@@ -1,0 +1,34 @@
+"""MiniC compilation driver."""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.ir.verify import verify_program
+from repro.minic.codegen import generate
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+
+
+def compile_source(source: str, optimize: bool = True) -> Program:
+    """Compile MiniC source text to a verified IR program.
+
+    Args:
+        source: MiniC source text.
+        optimize: Run the machine-independent optimization pipeline
+            (constant folding, copy propagation, local CSE, dead-code
+            elimination, jump simplification) — the paper partitions
+            *after* these run.
+
+    Returns:
+        A verified :class:`~repro.ir.program.Program`.
+    """
+    unit = parse(source)
+    info = analyze(unit)
+    program = generate(unit, info)
+    verify_program(program)
+    if optimize:
+        from repro.opt.pipeline import optimize_program
+
+        optimize_program(program)
+        verify_program(program)
+    return program

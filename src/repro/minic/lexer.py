@@ -1,0 +1,112 @@
+"""MiniC lexer.
+
+Produces a flat token list.  ``//`` and ``/* */`` comments are skipped;
+character literals become integer literals; float literals require a
+decimal point or exponent.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "int",
+    "float",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int | float | None
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind.value} {self.text!r} @{self.line}:{self.column}>"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct><<=?|>>=?|<=|>=|==|!=|&&|\|\||[-+*/%<>=!~&|^(){}\[\];,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, '"': 34, "r": 13}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, column)
+        text = match.group(0)
+        kind_name = match.lastgroup
+        column = pos - line_start + 1
+        if kind_name in ("ws", "line_comment", "block_comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rindex("\n") + 1
+        elif kind_name == "float":
+            tokens.append(Token(TokenKind.FLOAT_LIT, text, float(text), line, column))
+        elif kind_name == "hex":
+            tokens.append(Token(TokenKind.INT_LIT, text, int(text, 16), line, column))
+        elif kind_name == "int":
+            tokens.append(Token(TokenKind.INT_LIT, text, int(text), line, column))
+        elif kind_name == "char":
+            body = text[1:-1]
+            if body.startswith("\\"):
+                esc = body[1]
+                if esc not in _ESCAPES:
+                    raise ParseError(f"unknown escape {body!r}", line, column)
+                value = _ESCAPES[esc]
+            else:
+                value = ord(body)
+            tokens.append(Token(TokenKind.INT_LIT, text, value, line, column))
+        elif kind_name == "ident":
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, None, line, column))
+        else:  # punct
+            tokens.append(Token(TokenKind.PUNCT, text, None, line, column))
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", None, line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,350 @@
+"""MiniC recursive-descent parser.
+
+Grammar (EBNF-ish)::
+
+    unit        := (global_decl | func_decl)*
+    global_decl := type IDENT ('[' INT ']')? ('=' init)? ';'
+    init        := literal | '{' literal (',' literal)* '}'
+    func_decl   := (type | 'void') IDENT '(' params? ')' block
+    params      := type IDENT (',' type IDENT)*
+    block       := '{' stmt* '}'
+    stmt        := var_decl | assign ';' | 'if' ... | 'while' ... |
+                   'for' ... | 'return' expr? ';' | 'break' ';' |
+                   'continue' ';' | block | expr ';'
+    expr        := logical_or  (with C precedence below)
+
+Precedence, loosest first: ``||``, ``&&``, ``|``, ``^``, ``&``,
+equality, relational, shifts, additive, multiplicative, unary, postfix.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.minic.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Index,
+    IntLit,
+    Name,
+    ParamDecl,
+    Return,
+    Stmt,
+    TranslationUnit,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+_TYPE_KEYWORDS = ("int", "float")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in (
+            TokenKind.PUNCT,
+            TokenKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            tok = self.current
+            raise ParseError(
+                f"expected {text!r}, found {tok.text or '<eof>'!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {tok.text or '<eof>'!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    # -- declarations ------------------------------------------------------
+    def parse_unit(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self.current.kind is not TokenKind.EOF:
+            tok = self.current
+            if tok.text not in ("int", "float", "void"):
+                raise ParseError(
+                    f"expected declaration, found {tok.text!r}", tok.line, tok.column
+                )
+            decl_type = self.advance().text
+            name = self.expect_ident()
+            if self.check("("):
+                unit.functions.append(self._func_rest(decl_type, name))
+            else:
+                if decl_type == "void":
+                    raise ParseError("void variables are not allowed", name.line)
+                unit.globals.append(self._global_rest(decl_type, name))
+        return unit
+
+    def _global_rest(self, decl_type: str, name: Token) -> GlobalDecl:
+        array_size: int | None = None
+        init: list[int | float] | None = None
+        if self.accept("["):
+            size_tok = self.advance()
+            if size_tok.kind is not TokenKind.INT_LIT:
+                raise ParseError("array size must be an integer literal", size_tok.line)
+            array_size = size_tok.value
+            self.expect("]")
+        if self.accept("="):
+            if self.accept("{"):
+                init = [self._literal_value()]
+                while self.accept(","):
+                    init.append(self._literal_value())
+                self.expect("}")
+            else:
+                init = [self._literal_value()]
+        self.expect(";")
+        return GlobalDecl(name.text, decl_type, array_size, init, line=name.line)
+
+    def _literal_value(self) -> int | float:
+        negative = self.accept("-")
+        tok = self.advance()
+        if tok.kind not in (TokenKind.INT_LIT, TokenKind.FLOAT_LIT):
+            raise ParseError("expected literal initializer", tok.line, tok.column)
+        value = tok.value
+        return -value if negative else value
+
+    def _func_rest(self, ret_type: str, name: Token) -> FuncDecl:
+        self.expect("(")
+        params: list[ParamDecl] = []
+        if not self.check(")"):
+            while True:
+                tok = self.current
+                if tok.text not in _TYPE_KEYWORDS:
+                    raise ParseError(
+                        f"expected parameter type, found {tok.text!r}",
+                        tok.line,
+                        tok.column,
+                    )
+                ptype = self.advance().text
+                pname = self.expect_ident()
+                params.append(ParamDecl(pname.text, ptype, line=pname.line))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return FuncDecl(name.text, ret_type, params, body, line=name.line)
+
+    # -- statements ----------------------------------------------------------
+    def parse_block(self) -> Block:
+        start = self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.check("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise ParseError("unterminated block", start.line)
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return Block(line=start.line, statements=stmts)
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.current
+        if tok.text in _TYPE_KEYWORDS:
+            return self._var_decl()
+        if tok.text == "if":
+            return self._if_stmt()
+        if tok.text == "while":
+            return self._while_stmt()
+        if tok.text == "for":
+            return self._for_stmt()
+        if tok.text == "return":
+            self.advance()
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return Return(line=tok.line, value=value)
+        if tok.text == "break":
+            self.advance()
+            self.expect(";")
+            return Break(line=tok.line)
+        if tok.text == "continue":
+            self.advance()
+            self.expect(";")
+            return Continue(line=tok.line)
+        if tok.text == "{":
+            return self.parse_block()
+        stmt = self._assign_or_expr()
+        self.expect(";")
+        return stmt
+
+    def _var_decl(self) -> VarDecl:
+        var_type = self.advance().text
+        name = self.expect_ident()
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return VarDecl(line=name.line, name=name.text, var_type=var_type, init=init)
+
+    def _if_stmt(self) -> If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self._stmt_as_block()
+        else_body = None
+        if self.accept("else"):
+            else_body = self._stmt_as_block()
+        return If(line=tok.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _while_stmt(self) -> While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return While(line=tok.line, cond=cond, body=self._stmt_as_block())
+
+    def _for_stmt(self) -> For:
+        tok = self.expect("for")
+        self.expect("(")
+        init: Stmt | None = None
+        if not self.check(";"):
+            if self.current.text in _TYPE_KEYWORDS:
+                init = self._var_decl()  # consumes the ';'
+            else:
+                init = self._assign_or_expr()
+                self.expect(";")
+        else:
+            self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self._assign_or_expr()
+        self.expect(")")
+        return For(line=tok.line, init=init, cond=cond, step=step, body=self._stmt_as_block())
+
+    def _stmt_as_block(self) -> Block:
+        stmt = self.parse_stmt()
+        if isinstance(stmt, Block):
+            return stmt
+        return Block(line=stmt.line, statements=[stmt])
+
+    def _assign_or_expr(self) -> Stmt:
+        expr = self.parse_expr()
+        if self.check("="):
+            if not isinstance(expr, (Name, Index)):
+                tok = self.current
+                raise ParseError("assignment target must be a variable or array element",
+                                 tok.line, tok.column)
+            self.advance()
+            value = self.parse_expr()
+            return Assign(line=expr.line, target=expr, value=value)
+        return ExprStmt(line=expr.line, expr=expr)
+
+    # -- expressions (precedence climbing) ---------------------------------
+    _LEVELS: list[list[str]] = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_expr(self) -> Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        ops = self._LEVELS[level]
+        left = self._binary(level + 1)
+        while self.current.kind is TokenKind.PUNCT and self.current.text in ops:
+            op = self.advance().text
+            right = self._binary(level + 1)
+            left = Binary(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _unary(self) -> Expr:
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT and tok.text in ("-", "!", "~"):
+            self.advance()
+            operand = self._unary()
+            return Unary(line=tok.line, op=tok.text, operand=operand)
+        # cast: '(' type ')' unary
+        if tok.text == "(" and self.tokens[self.pos + 1].text in _TYPE_KEYWORDS \
+                and self.tokens[self.pos + 2].text == ")":
+            self.advance()
+            target = self.advance().text
+            self.expect(")")
+            operand = self._unary()
+            return Cast(line=tok.line, target=target, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        tok = self.current
+        if tok.kind is TokenKind.INT_LIT:
+            self.advance()
+            return IntLit(line=tok.line, value=tok.value)
+        if tok.kind is TokenKind.FLOAT_LIT:
+            self.advance()
+            return FloatLit(line=tok.line, value=tok.value)
+        if tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind is TokenKind.IDENT:
+            name = self.advance()
+            if self.accept("("):
+                args: list[Expr] = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return Call(line=name.line, name=name.text, args=args)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return Index(line=name.line, name=name.text, index=index)
+            return Name(line=name.line, name=name.text)
+        raise ParseError(
+            f"expected expression, found {tok.text or '<eof>'!r}", tok.line, tok.column
+        )
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse MiniC source text into an AST."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,297 @@
+"""MiniC semantic analysis.
+
+Two passes: collect global and function signatures (so forward and
+recursive calls work), then type-check every function body, annotating
+each expression node with its ``type``.
+
+Type rules (deliberately stricter than C):
+
+* ``int`` and ``float`` only; mixing promotes ``int`` to ``float`` in
+  arithmetic and comparisons, and assignment of ``int`` into ``float``
+  converts implicitly — but narrowing ``float`` to ``int`` requires an
+  explicit ``(int)`` cast.
+* ``%``, shifts, bitwise and logical operators are ``int``-only.
+* Function parameters and return values must be ``int`` (or ``void``
+  return): the machine's calling convention passes values in integer
+  registers, which is precisely the constraint the paper's partitioner
+  has to work around (§6.4).  Float data crosses functions via globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.minic.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    Stmt,
+    TranslationUnit,
+    Unary,
+    VarDecl,
+    While,
+)
+
+_INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^", "&&", "||"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+_ARITH = {"+", "-", "*", "/"}
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalInfo:
+    name: str
+    type: str
+    is_array: bool
+    size: int  # element count (1 for scalars)
+
+
+@dataclass(frozen=True, slots=True)
+class FuncSig:
+    name: str
+    ret_type: str
+    param_types: tuple[str, ...]
+
+
+@dataclass(eq=False, slots=True)
+class ProgramInfo:
+    """Symbol information produced by :func:`analyze`."""
+
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+    functions: dict[str, FuncSig] = field(default_factory=dict)
+
+
+def _err(message: str, line: int) -> SemanticError:
+    return SemanticError(f"line {line}: {message}")
+
+
+class _Checker:
+    def __init__(self, info: ProgramInfo):
+        self.info = info
+        self.locals: dict[str, str] = {}
+        self.func: FuncDecl | None = None
+        self.loop_depth = 0
+
+    # -- expressions -------------------------------------------------------
+    def check_expr(self, expr: Expr) -> str:
+        method = getattr(self, "_expr_" + type(expr).__name__)
+        expr.type = method(expr)
+        return expr.type
+
+    def _expr_IntLit(self, expr: IntLit) -> str:
+        return "int"
+
+    def _expr_FloatLit(self, expr: FloatLit) -> str:
+        return "float"
+
+    def _expr_Name(self, expr: Name) -> str:
+        if expr.name in self.locals:
+            return self.locals[expr.name]
+        info = self.info.globals.get(expr.name)
+        if info is None:
+            raise _err(f"undeclared variable {expr.name!r}", expr.line)
+        if info.is_array:
+            raise _err(f"array {expr.name!r} used without an index", expr.line)
+        return info.type
+
+    def _expr_Index(self, expr: Index) -> str:
+        info = self.info.globals.get(expr.name)
+        if info is None or not info.is_array:
+            raise _err(f"{expr.name!r} is not a global array", expr.line)
+        if self.check_expr(expr.index) != "int":
+            raise _err("array index must be int", expr.line)
+        return info.type
+
+    def _expr_Call(self, expr: Call) -> str:
+        sig = self.info.functions.get(expr.name)
+        if sig is None:
+            raise _err(f"call to undeclared function {expr.name!r}", expr.line)
+        if len(expr.args) != len(sig.param_types):
+            raise _err(
+                f"{expr.name}() expects {len(sig.param_types)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for arg in expr.args:
+            if self.check_expr(arg) != "int":
+                raise _err("function arguments must be int", arg.line)
+        if sig.ret_type == "void":
+            return "void"
+        return sig.ret_type
+
+    def _expr_Unary(self, expr: Unary) -> str:
+        operand_type = self.check_expr(expr.operand)
+        if operand_type == "void":
+            raise _err("void value in expression", expr.line)
+        if expr.op == "-":
+            return operand_type
+        if operand_type != "int":
+            raise _err(f"operator {expr.op!r} requires int", expr.line)
+        return "int"
+
+    def _expr_Binary(self, expr: Binary) -> str:
+        left = self.check_expr(expr.left)
+        right = self.check_expr(expr.right)
+        if "void" in (left, right):
+            raise _err("void value in expression", expr.line)
+        op = expr.op
+        if op in _INT_ONLY_OPS:
+            if left != "int" or right != "int":
+                raise _err(f"operator {op!r} requires int operands", expr.line)
+            return "int"
+        if op in _COMPARISONS:
+            return "int"
+        if op in _ARITH:
+            return "float" if "float" in (left, right) else "int"
+        raise _err(f"unknown operator {op!r}", expr.line)
+
+    def _expr_Cast(self, expr: Cast) -> str:
+        operand_type = self.check_expr(expr.operand)
+        if operand_type == "void":
+            raise _err("cannot cast void", expr.line)
+        return expr.target
+
+    # -- statements ----------------------------------------------------------
+    def check_stmt(self, stmt: Stmt) -> None:
+        method = getattr(self, "_stmt_" + type(stmt).__name__)
+        method(stmt)
+
+    def _stmt_Block(self, stmt: Block) -> None:
+        for inner in stmt.statements:
+            self.check_stmt(inner)
+
+    def _stmt_VarDecl(self, stmt: VarDecl) -> None:
+        if stmt.name in self.locals:
+            raise _err(f"redeclaration of {stmt.name!r}", stmt.line)
+        if stmt.name in self.info.globals:
+            raise _err(f"{stmt.name!r} shadows a global", stmt.line)
+        if stmt.init is not None:
+            init_type = self.check_expr(stmt.init)
+            self._check_assignable(stmt.var_type, init_type, stmt.line)
+        self.locals[stmt.name] = stmt.var_type
+
+    def _check_assignable(self, target: str, value: str, line: int) -> None:
+        if value == "void":
+            raise _err("cannot assign a void value", line)
+        if target == value:
+            return
+        if target == "float" and value == "int":
+            return  # implicit widening
+        raise _err(
+            f"cannot assign {value} to {target} (use an explicit cast)", line
+        )
+
+    def _stmt_Assign(self, stmt: Assign) -> None:
+        target_type = self.check_expr(stmt.target)
+        value_type = self.check_expr(stmt.value)
+        self._check_assignable(target_type, value_type, stmt.line)
+
+    def _stmt_ExprStmt(self, stmt: ExprStmt) -> None:
+        self.check_expr(stmt.expr)
+
+    def _stmt_If(self, stmt: If) -> None:
+        self.check_expr(stmt.cond)
+        self.check_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            self.check_stmt(stmt.else_body)
+
+    def _stmt_While(self, stmt: While) -> None:
+        self.check_expr(stmt.cond)
+        self.loop_depth += 1
+        self.check_stmt(stmt.body)
+        self.loop_depth -= 1
+
+    def _stmt_For(self, stmt: For) -> None:
+        if stmt.init is not None:
+            self.check_stmt(stmt.init)
+        if stmt.cond is not None:
+            self.check_expr(stmt.cond)
+        if stmt.step is not None:
+            self.check_stmt(stmt.step)
+        self.loop_depth += 1
+        self.check_stmt(stmt.body)
+        self.loop_depth -= 1
+
+    def _stmt_Return(self, stmt: Return) -> None:
+        ret = self.func.ret_type
+        if stmt.value is None:
+            if ret != "void":
+                raise _err(f"{self.func.name} must return a value", stmt.line)
+            return
+        if ret == "void":
+            raise _err(f"{self.func.name} returns void", stmt.line)
+        value_type = self.check_expr(stmt.value)
+        if value_type != ret:
+            raise _err(f"return type mismatch: {value_type} vs {ret}", stmt.line)
+
+    def _stmt_Break(self, stmt: Break) -> None:
+        if not self.loop_depth:
+            raise _err("break outside a loop", stmt.line)
+
+    def _stmt_Continue(self, stmt: Continue) -> None:
+        if not self.loop_depth:
+            raise _err("continue outside a loop", stmt.line)
+
+    # -- functions -----------------------------------------------------------
+    def check_function(self, func: FuncDecl) -> None:
+        self.func = func
+        self.locals = {}
+        self.loop_depth = 0
+        for param in func.params:
+            if param.var_type != "int":
+                raise _err("parameters must be int (floats cross functions "
+                           "via globals)", param.line)
+            if param.name in self.locals:
+                raise _err(f"duplicate parameter {param.name!r}", param.line)
+            self.locals[param.name] = param.var_type
+        self.check_stmt(func.body)
+
+
+def analyze(unit: TranslationUnit) -> ProgramInfo:
+    """Type-check ``unit`` in place; returns symbol information."""
+    info = ProgramInfo()
+    for decl in unit.globals:
+        if decl.name in info.globals:
+            raise _err(f"duplicate global {decl.name!r}", decl.line)
+        size = decl.array_size if decl.array_size is not None else 1
+        if size <= 0:
+            raise _err(f"array {decl.name!r} must have positive size", decl.line)
+        if decl.init and len(decl.init) > size:
+            raise _err(f"too many initializers for {decl.name!r}", decl.line)
+        info.globals[decl.name] = GlobalInfo(
+            decl.name, decl.var_type, decl.array_size is not None, size
+        )
+    for func in unit.functions:
+        if func.name in info.functions or func.name in info.globals:
+            raise _err(f"duplicate definition of {func.name!r}", func.line)
+        if func.ret_type == "float":
+            raise _err("functions must return int or void (floats cross "
+                       "functions via globals)", func.line)
+        info.functions[func.name] = FuncSig(
+            func.name,
+            func.ret_type,
+            tuple(p.var_type for p in func.params),
+        )
+    if "main" not in info.functions:
+        raise SemanticError("program has no main() function")
+    if info.functions["main"].param_types:
+        raise SemanticError("main() must take no parameters")
+
+    checker = _Checker(info)
+    for func in unit.functions:
+        checker.check_function(func)
+    return info

@@ -1,0 +1,36 @@
+"""Machine-independent optimizations.
+
+The paper performs code partitioning on the intermediate representation
+"after all the initial machine-independent optimizations are complete"
+(§7.1, gcc at ``-O3``: CSE, loop-invariant removal, jump optimizations).
+This package supplies the equivalent standard passes for MiniC output:
+
+* :mod:`constfold` — constant folding, including branch folding;
+* :mod:`copyprop` — local copy propagation;
+* :mod:`cse` — local common-subexpression elimination (value numbering);
+* :mod:`dce` — global liveness-based dead-code elimination;
+* :mod:`jumpopt` — jump threading, block merging, unreachable-code
+  removal;
+* :mod:`pipeline` — the fixed-point driver.
+"""
+
+from repro.opt.coalesce import coalesce_moves
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import local_cse
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.jumpopt import simplify_jumps
+from repro.opt.remat import rematerialize_constants
+from repro.opt.pipeline import optimize_function, optimize_program
+
+__all__ = [
+    "coalesce_moves",
+    "fold_constants",
+    "propagate_copies",
+    "local_cse",
+    "eliminate_dead_code",
+    "simplify_jumps",
+    "rematerialize_constants",
+    "optimize_function",
+    "optimize_program",
+]

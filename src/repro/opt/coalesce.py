@@ -1,0 +1,65 @@
+"""Move coalescing.
+
+Code generation for ``x = x + 1`` produces ``t = addiu x, 1; x = move t``.
+When ``t`` is defined exactly once and consumed only by that adjacent
+move, the pair collapses to ``x = addiu x, 1``.  Besides shrinking code,
+this matters to partitioning: the collapsed form is a *self*-dependence,
+which the advanced scheme's duplication heuristic prices correctly
+(paper Figure 6 duplicates exactly such a loop increment), whereas the
+two-instruction cycle ``t -> move -> t`` would make duplication look
+unprofitable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import Reg
+
+_MOVES = (Opcode.MOVE, Opcode.MOV_S)
+
+
+def coalesce_moves(func: Function) -> int:
+    """Coalesce single-use temporaries into following moves; returns the
+    number of moves eliminated."""
+    def_count: Counter[Reg] = Counter()
+    use_count: Counter[Reg] = Counter()
+    for instr in func.instructions():
+        for d in instr.defs:
+            def_count[d] += 1
+        for u in instr.uses:
+            use_count[u] += 1
+
+    removed = 0
+    for blk in func.blocks:
+        kept = []
+        previous = None
+        for instr in blk.instructions:
+            is_coalescable = (
+                previous is not None
+                and instr.op in _MOVES
+                and instr.uses
+                and previous.defs
+                and instr.uses[0] == previous.defs[0]
+                and def_count[previous.defs[0]] == 1
+                and use_count[previous.defs[0]] == 1
+                and instr.defs[0].rclass is previous.defs[0].rclass
+            )
+            if is_coalescable:
+                # fold the move's destination into the producer
+                temp = previous.defs[0]
+                previous.defs[0] = instr.defs[0]
+                def_count[temp] -= 1
+                def_count[instr.defs[0]] += 1
+                use_count[temp] -= 1
+                removed += 1
+                previous = None  # the producer is already emitted
+                continue
+            kept.append(instr)
+            previous = instr
+        blk.instructions = kept
+    if removed:
+        func.renumber()
+    return removed

@@ -1,0 +1,88 @@
+"""Local constant folding and branch folding.
+
+Tracks integer constants per basic block.  ALU instructions whose inputs
+are all known constants are replaced with ``li``; conditional branches
+with constant operands become unconditional jumps (taken) or ``nop``
+(not taken), exposing unreachable code to :mod:`repro.opt.jumpopt`.
+
+Global symbols materialized by ``li @name`` are *not* treated as foldable
+constants for arithmetic (their numeric value is a layout artifact), but
+folding across ``move`` chains of them is handled by copy propagation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.registers import Reg
+
+
+def _fold_alu(op: Opcode, a: int | None, b: int | None) -> int | None:
+    from repro.runtime.interp import _ALU  # semantics shared with the interpreter
+
+    fn = _ALU.get(op)
+    if fn is None:
+        return None
+    try:
+        result = fn(a, b)
+    except Exception:
+        return None  # e.g. division by zero: leave for runtime
+    return result if isinstance(result, int) else None
+
+
+def _fold_branch(op: Opcode, a: int, b: int) -> bool | None:
+    from repro.runtime.interp import _BRANCH
+
+    fn = _BRANCH.get(op)
+    if fn is None:
+        return None
+    return bool(fn(a, b))
+
+
+def fold_constants(func: Function) -> int:
+    """Fold constants in ``func``; returns the number of changes."""
+    changed = 0
+    for blk in func.blocks:
+        consts: dict[Reg, int] = {}
+        for instr in blk.instructions:
+            kind = instr.kind
+            if kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV) and not instr.info.fp_subsystem:
+                values: list[int | None] = [consts.get(r) for r in instr.uses]
+                imm = instr.imm if instr.info.has_imm else None
+                foldable = all(v is not None for v in values) and not isinstance(imm, str)
+                if instr.op is Opcode.LI:
+                    foldable = False  # already a constant
+                if foldable:
+                    a = values[0] if values else 0
+                    b = values[1] if len(values) > 1 else imm
+                    result = _fold_alu(instr.op, a, b)
+                    if result is not None:
+                        instr.op = Opcode.LI
+                        instr.uses = []
+                        instr.imm = result
+                        changed += 1
+            elif kind is OpKind.BRANCH and not instr.info.fp_subsystem:
+                values = [consts.get(r) for r in instr.uses]
+                if values and all(v is not None for v in values):
+                    a = values[0]
+                    b = values[1] if len(values) > 1 else 0
+                    outcome = _fold_branch(instr.op, a, b)
+                    if outcome is True:
+                        instr.op = Opcode.J
+                        instr.uses = []
+                        changed += 1
+                    elif outcome is False:
+                        instr.op = Opcode.NOP
+                        instr.uses = []
+                        instr.target = None
+                        changed += 1
+
+            # update the constant environment
+            for reg in instr.defs:
+                if instr.op is Opcode.LI and isinstance(instr.imm, int):
+                    consts[reg] = instr.imm
+                elif instr.op is Opcode.MOVE and instr.uses and instr.uses[0] in consts:
+                    consts[reg] = consts[instr.uses[0]]
+                else:
+                    consts.pop(reg, None)
+    return changed

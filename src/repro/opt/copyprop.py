@@ -1,0 +1,46 @@
+"""Local copy propagation.
+
+Within each basic block, uses of a register defined by ``move``/``mov.s``
+are rewritten to the move's source, as long as neither side has been
+redefined in between.  The moves themselves become dead and are removed
+by DCE.  Inter-register-file copies (``cp_to_comp``/``cp_from_comp``)
+are *not* propagated: their source and destination live in different
+register files.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import Reg
+
+_COPY_OPS = (Opcode.MOVE, Opcode.MOV_S, Opcode.MOVE_A)
+
+
+def propagate_copies(func: Function) -> int:
+    """Propagate copies in ``func``; returns the number of rewritten
+    uses."""
+    changed = 0
+    for blk in func.blocks:
+        copy_of: dict[Reg, Reg] = {}
+        for instr in blk.instructions:
+            # rewrite uses through the current copy map (chase chains)
+            for i, use in enumerate(instr.uses):
+                root = use
+                while root in copy_of:
+                    root = copy_of[root]
+                if root != use:
+                    instr.uses[i] = root
+                    changed += 1
+            # kill mappings invalidated by this instruction's defs
+            for d in instr.defs:
+                copy_of.pop(d, None)
+                stale = [k for k, v in copy_of.items() if v == d]
+                for k in stale:
+                    del copy_of[k]
+            # record new copies
+            if instr.op in _COPY_OPS and instr.defs and instr.uses:
+                src = instr.uses[0]
+                if src != instr.defs[0]:
+                    copy_of[instr.defs[0]] = src
+    return changed

@@ -1,0 +1,60 @@
+"""Global dead-code elimination.
+
+Uses liveness: an instruction whose only effect is defining registers
+that are dead after it is removed.  Instructions with side effects
+(memory writes, calls, control flow, parameter bindings) always stay.
+Iterates to a fixed point since removing one instruction can kill the
+operands of another.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import Function
+from repro.ir.opcodes import OpKind
+
+_SIDE_EFFECT_KINDS = {
+    OpKind.STORE,
+    OpKind.CALL,
+    OpKind.RET,
+    OpKind.BRANCH,
+    OpKind.JUMP,
+    OpKind.PARAM,  # the parameter contract with callers must hold
+    OpKind.NOP,  # removed by jump simplification, not DCE
+}
+
+
+def _one_pass(func: Function) -> int:
+    liveness = compute_liveness(func)
+    removed = 0
+    for blk in func.blocks:
+        live = set(liveness.live_out[blk.label])
+        kept = []
+        for instr in reversed(blk.instructions):
+            if instr.kind in _SIDE_EFFECT_KINDS or not instr.defs:
+                keep = True
+            else:
+                keep = any(d in live for d in instr.defs)
+            if keep:
+                kept.append(instr)
+                for d in instr.defs:
+                    live.discard(d)
+                live.update(instr.uses)
+            else:
+                removed += 1
+        kept.reverse()
+        blk.instructions = kept
+    return removed
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove dead instructions from ``func``; returns how many."""
+    total = 0
+    while True:
+        removed = _one_pass(func)
+        total += removed
+        if not removed:
+            break
+    if total:
+        func.renumber()
+    return total

@@ -1,0 +1,139 @@
+"""Control-flow simplification.
+
+Four interacting cleanups, iterated to a fixed point:
+
+* **nop removal** — drops ``nop`` instructions (e.g. folded branches);
+* **jump threading** — a branch or jump targeting an empty block that
+  just jumps elsewhere is retargeted;
+* **fallthrough jumps** — a ``j`` to the lexically next block is
+  deleted;
+* **unreachable-block removal** and **block merging** — a block with a
+  single predecessor that reaches it by fallthrough or jump is absorbed
+  into that predecessor.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessors, reachable_blocks
+from repro.ir.function import Function
+from repro.ir.opcodes import OpKind
+
+
+def _remove_nops(func: Function) -> int:
+    removed = 0
+    for blk in func.blocks:
+        before = len(blk.instructions)
+        blk.instructions = [i for i in blk.instructions if i.kind is not OpKind.NOP]
+        removed += before - len(blk.instructions)
+    return removed
+
+
+def _thread_jumps(func: Function) -> int:
+    # final target of a trivial block: empty except for a single jump
+    trivial: dict[str, str] = {}
+    for blk in func.blocks:
+        if len(blk.instructions) == 1 and blk.instructions[0].kind is OpKind.JUMP:
+            trivial[blk.label] = blk.instructions[0].target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    changed = 0
+    for blk in func.blocks:
+        term = blk.terminator
+        if term is not None and term.kind in (OpKind.JUMP, OpKind.BRANCH):
+            final = resolve(term.target)
+            if final != term.target:
+                term.target = final
+                changed += 1
+    return changed
+
+
+def _drop_fallthrough_jumps(func: Function) -> int:
+    changed = 0
+    for i, blk in enumerate(func.blocks[:-1]):
+        term = blk.terminator
+        if (
+            term is not None
+            and term.kind is OpKind.JUMP
+            and term.target == func.blocks[i + 1].label
+        ):
+            blk.instructions.pop()
+            changed += 1
+    return changed
+
+
+def _remove_unreachable(func: Function) -> int:
+    reachable = reachable_blocks(func)
+    before = len(func.blocks)
+    func.blocks = [b for b in func.blocks if b.label in reachable or b is func.entry]
+    return before - len(func.blocks)
+
+
+def _merge_one_block(func: Function) -> bool:
+    """Absorb one single-predecessor block into that predecessor.
+
+    Safe only when the absorbed block's own fall-through semantics are
+    preserved: either it is the predecessor's lexically next block
+    (positions stay adjacent after the merge), or it ends in control
+    flow that does not fall through (``j``/``ret``) — otherwise moving
+    it would silently retarget its fall-through edge.
+    """
+    preds = predecessors(func)
+    for i, blk in enumerate(func.blocks):
+        term = blk.terminator
+        if term is not None and term.kind is not OpKind.JUMP:
+            continue
+        if term is not None:
+            succ_label = term.target
+        elif i + 1 < len(func.blocks):
+            succ_label = func.blocks[i + 1].label
+        else:
+            continue
+        if succ_label == blk.label or succ_label == func.entry.label:
+            continue
+        if preds[succ_label] != [blk.label]:
+            continue
+        succ = func.block(succ_label)
+        is_next = i + 1 < len(func.blocks) and func.blocks[i + 1] is succ
+        succ_term = succ.terminator
+        falls_through = succ_term is None or succ_term.kind is OpKind.BRANCH
+        if falls_through and not is_next:
+            continue  # would change succ's fall-through successor
+        if term is not None:
+            blk.instructions.pop()
+        blk.instructions.extend(succ.instructions)
+        func.blocks.remove(succ)
+        return True
+    return False
+
+
+def _merge_blocks(func: Function) -> int:
+    changed = 0
+    while _merge_one_block(func):
+        changed += 1
+    return changed
+
+
+def simplify_jumps(func: Function) -> int:
+    """Run all control-flow cleanups to a fixed point; returns the total
+    number of changes."""
+    total = 0
+    while True:
+        changed = (
+            _remove_nops(func)
+            + _thread_jumps(func)
+            + _drop_fallthrough_jumps(func)
+            + _remove_unreachable(func)
+            + _merge_blocks(func)
+        )
+        total += changed
+        if not changed:
+            break
+    if total:
+        func.renumber()
+    return total

@@ -1,0 +1,45 @@
+"""Optimization pipeline driver.
+
+Runs the standard pass sequence to a fixed point (bounded):
+constant folding -> copy propagation -> local CSE -> copy propagation ->
+DCE -> jump simplification.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.program import Program
+from repro.opt.coalesce import coalesce_moves
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import local_cse
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.jumpopt import simplify_jumps
+from repro.opt.remat import rematerialize_constants
+
+_MAX_ROUNDS = 8
+
+
+def optimize_function(func: Function) -> int:
+    """Optimize one function; returns the total number of changes."""
+    total = 0
+    for _ in range(_MAX_ROUNDS):
+        changed = fold_constants(func)
+        changed += propagate_copies(func)
+        changed += local_cse(func)
+        changed += propagate_copies(func)
+        changed += coalesce_moves(func)
+        changed += eliminate_dead_code(func)
+        changed += simplify_jumps(func)
+        total += changed
+        if not changed:
+            break
+    # Run once at the end: CSE inside the loop would re-merge the clones.
+    total += rematerialize_constants(func)
+    func.renumber()
+    return total
+
+
+def optimize_program(program: Program) -> int:
+    """Optimize every function of ``program``."""
+    return sum(optimize_function(f) for f in program.functions.values())

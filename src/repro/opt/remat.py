@@ -1,0 +1,62 @@
+"""Constant rematerialization.
+
+CSE and codegen share constants: a single ``li 0`` may feed loop
+counters, flag initializers *and* address arithmetic.  In the RDG that
+shared definition becomes an undirected bridge gluing otherwise
+independent slices into one connected component — and one address node
+in the component forces the whole thing into the INT partition under the
+basic scheme (§5.2).
+
+Production compilers rematerialize cheap constants instead of keeping
+them live in registers; this pass does the same statically: a register
+whose sole definition is a constant ``li``/``li.s`` and which is used by
+several instructions gets one private clone of the ``li`` per consumer,
+inserted right after the original.  It runs once, *after* the main
+optimization fixed point (CSE would just merge the clones again).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import Reg
+
+_CONST_OPS = (Opcode.LI, Opcode.LI_S)
+
+
+def rematerialize_constants(func: Function) -> int:
+    """Split multi-consumer constant definitions; returns clones made."""
+    defs_of: dict[Reg, list[Instruction]] = {}
+    users_of: dict[Reg, list[Instruction]] = {}
+    for instr in func.instructions():
+        for d in instr.defs:
+            defs_of.setdefault(d, []).append(instr)
+        for u in set(instr.uses):
+            users_of.setdefault(u, []).append(instr)
+
+    cloned = 0
+    for blk in func.blocks:
+        new_instrs: list[Instruction] = []
+        for instr in blk.instructions:
+            new_instrs.append(instr)
+            if instr.op not in _CONST_OPS or not instr.defs:
+                continue
+            reg = instr.defs[0]
+            if len(defs_of.get(reg, [])) != 1:
+                continue
+            users = users_of.get(reg, [])
+            if len(users) < 2:
+                continue
+            # keep the original for the first user; clone for the rest
+            for user in users[1:]:
+                clone_reg = func.new_vreg(reg.rclass)
+                clone = Instruction(instr.op, defs=[clone_reg], imm=instr.imm)
+                func.attach(clone)
+                new_instrs.append(clone)
+                user.replace_use(reg, clone_reg)
+                cloned += 1
+        blk.instructions = new_instrs
+    if cloned:
+        func.renumber()
+    return cloned

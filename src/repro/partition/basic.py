@@ -1,0 +1,88 @@
+"""The basic partitioning scheme (paper §5).
+
+No extra instructions are allowed, so all inter-partition communication
+must flow through existing program loads and stores.  The partitioning
+conditions (§5.1) then say a node and everything connected to it in the
+*undirected* RDG must live in the same partition; the algorithm (§5.2)
+is therefore a connected-components pass:
+
+* components containing a load/store address node, a call-argument or
+  return-value node, or any other INT-pinned node go to INT;
+* every other component — which by construction computes only branch
+  outcomes and store values — goes to FPa.
+
+Components are computed ignoring the out-edges of pre-existing copy
+instructions (``cp_to_comp``/``cp_from_comp`` emitted by the frontend
+for int/float conversions): those edges already cross the register
+files, so they do not constrain the assignment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+from repro.ir.function import Function
+from repro.ir.opcodes import OpKind
+from repro.rdg.build import build_rdg
+from repro.rdg.graph import RDG, Node, Pin
+from repro.partition.partition import Partition, check_partition
+
+
+def _components_ignoring_copies(rdg: RDG) -> list[set[Node]]:
+    """Undirected components, with copy out-edges treated as absent."""
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+
+    def neighbours(node: Node):
+        is_copy = rdg.instruction(node).kind is OpKind.COPY
+        for succ in rdg.succs[node]:
+            if not is_copy:
+                yield succ
+        for pred in rdg.preds[node]:
+            if rdg.instruction(pred).kind is not OpKind.COPY:
+                yield pred
+
+    for start in rdg.nodes:
+        if start in seen:
+            continue
+        comp: set[Node] = set()
+        work = [start]
+        seen.add(start)
+        while work:
+            node = work.pop()
+            comp.add(node)
+            for other in neighbours(node):
+                if other not in seen:
+                    seen.add(other)
+                    work.append(other)
+        components.append(comp)
+    return components
+
+
+def basic_partition(func: Function, rdg: RDG | None = None) -> Partition:
+    """Partition ``func`` with the basic scheme.
+
+    Args:
+        func: Function to partition (virtual-register IR).
+        rdg: Pre-built RDG, rebuilt if None.
+
+    Returns:
+        A legal :class:`Partition` with empty copy/duplicate sets.
+    """
+    if rdg is None:
+        rdg = build_rdg(func)
+
+    fp: set[Node] = set()
+    for comp in _components_ignoring_copies(rdg):
+        pins = {rdg.pin.get(node) for node in comp}
+        pins.discard(None)
+        if Pin.INT in pins and Pin.FP in pins:
+            raise PartitionError(
+                f"{func.name}: component mixes INT- and FP-pinned nodes: "
+                f"{sorted(comp, key=lambda n: (n.uid, n.part.value))!r}"
+            )
+        if Pin.INT not in pins:
+            fp.update(comp)
+
+    partition = Partition(rdg=rdg, fp=fp, scheme="basic")
+    check_partition(partition)
+    return partition

@@ -1,0 +1,95 @@
+"""Copy-versus-duplicate decision heuristic (paper §6.2).
+
+When an INT node's value is needed in FPa the compiler can either insert
+a ``cp_to_comp`` (communication) or re-execute the node in FPa with its
+``.a`` twin (duplication).  Duplicating ``v`` forces each of its parents
+to be available in FPa too — copied or duplicated in turn — so the cost
+of duplication fans out along the backward slice.  The paper prices
+this with an iterative fixed point:
+
+* ``copying_cost(v) = o_copy * n_{B(v)}``
+* ``dupl_cost(v) = o_dupl * n_{B(v)}
+                 + sum_{u in parents(v)} min(copying_cost(u), dupl_cost(u))``
+
+with ``dupl_cost`` initialized to infinity.  ``v`` is duplicated iff
+``dupl_cost(v) < copying_cost(v)``.  Nodes with no ``.a`` twin — loads,
+call results, formal parameters, multiply/divide — are never duplicable
+and always fall back to a copy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import OpKind, fpa_twin
+from repro.partition.cost import CostParams
+from repro.rdg.graph import RDG, Node, Part
+
+
+def is_duplicable(instr: Instruction, node: Node) -> bool:
+    """True if the node can be re-executed in FPa with an ``.a`` twin.
+
+    Only pure whole-instruction computations qualify: duplicating a load
+    would add a memory access (changing program behaviour under the
+    machine model where FPa cannot address memory), and ``param``/
+    ``call`` values exist only in the INT file by convention.
+    """
+    if node.part is not Part.WHOLE:
+        return False
+    if instr.kind not in (OpKind.ALU,):
+        return False
+    return fpa_twin(instr.op) is not None
+
+
+class CopyDupDecider:
+    """Precomputed copy/duplicate decisions for every node of an RDG.
+
+    Args:
+        rdg: The function's RDG.
+        n_b: Per-block execution counts (``block label -> n_B``).
+        params: Cost-model weights.
+    """
+
+    def __init__(self, rdg: RDG, n_b: dict[str, float], params: CostParams):
+        self.rdg = rdg
+        self.params = params
+        self._count = {node: n_b.get(rdg.block(node), 0.0) for node in rdg.nodes}
+        self.copying_cost: dict[Node, float] = {
+            node: params.o_copy * self._count[node] for node in rdg.nodes
+        }
+        self.dupl_cost: dict[Node, float] = {node: math.inf for node in rdg.nodes}
+        self._solve()
+
+    def _solve(self) -> None:
+        """Iterate the dupl-cost equation to its (monotone) fixed point."""
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rdg.nodes:
+                if not is_duplicable(self.rdg.instruction(node), node):
+                    continue
+                total = self.params.o_dupl * self._count[node]
+                for parent in self.rdg.preds[node]:
+                    if parent == node:
+                        # Loop-carried self-dependence (e.g. i = i + 1):
+                        # the duplicate's own FPa twin supplies the value,
+                        # so the self-edge costs nothing.
+                        continue
+                    total += min(self.copying_cost[parent], self.dupl_cost[parent])
+                if total < self.dupl_cost[node] - 1e-12:
+                    self.dupl_cost[node] = total
+                    changed = True
+
+    def node_count(self, node: Node) -> float:
+        """``n_{B(node)}`` — dynamic execution count of the node."""
+        return self._count[node]
+
+    def should_duplicate(self, node: Node) -> bool:
+        """The §6.2 decision: duplicate iff strictly cheaper than copying."""
+        return self.dupl_cost[node] < self.copying_cost[node]
+
+    def comm_cost(self, node: Node) -> float:
+        """Cost of making ``node``'s value available in FPa by the cheaper
+        of the two mechanisms."""
+        return min(self.copying_cost[node], self.dupl_cost[node])

@@ -1,0 +1,119 @@
+"""Cost model of the advanced partitioning scheme (paper §6.1).
+
+The profitability of offloading depends on dynamic execution counts:
+
+* ``Benefit  = sum_{v in S_c} n_{B(v)}`` — dynamic instructions gained
+  by FPa,
+* ``Overhead = o_copy * sum_{v in S_copy} n_{B(v)}
+             + o_dupl * sum_{v in S_dupl} n_{B(v)}``,
+* ``Profit   = Benefit - Overhead``.
+
+``n_B`` comes from a basic-block execution profile when one is
+available.  For unprofiled functions the paper's probabilistic estimate
+is used: ``n_B = p_B * 5^{d_B}`` with branch directions assumed equally
+likely and ``d_B`` the loop nesting depth.
+
+The paper determined ``o_copy`` in [3, 6] and ``o_dupl`` in [1.5, 3]
+empirically; the defaults here sit at the low end of those ranges, which
+our sweep (``benchmarks/test_ablation_cost_params.py``) also finds best —
+it is what makes duplicating a loop counter to offload a two-instruction
+termination slice profitable, as in the paper's Figure 6.
+``o_dupl < o_copy`` is required (§6.2): otherwise nothing would ever be
+duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.loops import loop_nesting_depth
+from repro.errors import PartitionError
+from repro.ir.cfg import predecessors, reverse_postorder, successor_map
+from repro.ir.function import Function
+
+
+@dataclass(frozen=True, slots=True)
+class CostParams:
+    """Tunable overhead weights of the cost model.
+
+    Attributes:
+        o_copy: Overhead charged per dynamic copy instruction.
+        o_dupl: Overhead charged per dynamic duplicated instruction.
+    """
+
+    o_copy: float = 3.0
+    o_dupl: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.o_dupl < self.o_copy:
+            raise PartitionError(
+                f"o_dupl ({self.o_dupl}) must be < o_copy ({self.o_copy}); "
+                "otherwise no node is ever duplicated (§6.2)"
+            )
+
+
+@dataclass(eq=False, slots=True)
+class ExecutionProfile:
+    """Basic-block execution counts, possibly spanning many functions.
+
+    Attributes:
+        counts: ``(function name, block label) -> execution count``.
+    """
+
+    counts: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def record(self, func_name: str, block_label: str, count: float = 1.0) -> None:
+        key = (func_name, block_label)
+        self.counts[key] = self.counts.get(key, 0.0) + count
+
+    def covers(self, func_name: str) -> bool:
+        """True if any block of ``func_name`` was executed."""
+        return any(name == func_name for name, _ in self.counts)
+
+    def block_count(self, func_name: str, block_label: str) -> float:
+        return self.counts.get((func_name, block_label), 0.0)
+
+    def for_function(self, func: Function) -> dict[str, float]:
+        """Block label -> count for one function (0 for unexecuted)."""
+        return {
+            blk.label: self.block_count(func.name, blk.label) for blk in func.blocks
+        }
+
+
+def estimate_profile(func: Function) -> dict[str, float]:
+    """The paper's probabilistic estimate for unprofiled functions:
+    ``n_B = p_B * 5^{d_B}``.
+
+    ``p_B`` is propagated through the acyclic condensation of the CFG
+    (back edges ignored) assuming both directions of every branch are
+    equally likely; the entry has probability 1.
+    """
+    depth = loop_nesting_depth(func)
+    rpo = reverse_postorder(func)
+    position = {label: i for i, label in enumerate(rpo)}
+    succ = successor_map(func)
+    preds = predecessors(func)
+
+    prob: dict[str, float] = {label: 0.0 for label in rpo}
+    if func.blocks:
+        prob[func.entry.label] = 1.0
+    for label in rpo:
+        incoming = 0.0
+        for p in preds[label]:
+            if position.get(p, 1 << 30) < position[label]:  # forward edge only
+                fanout = max(1, len(succ[p]))
+                incoming += prob[p] / fanout
+        if label != func.entry.label:
+            prob[label] = incoming
+
+    return {label: prob[label] * (5.0 ** depth[label]) for label in rpo}
+
+
+def block_counts(
+    func: Function, profile: ExecutionProfile | None
+) -> dict[str, float]:
+    """Per-block ``n_B`` for ``func``: measured when the profile covers
+    the function, the probabilistic estimate otherwise (§6.1)."""
+    if profile is not None and profile.covers(func.name):
+        return profile.for_function(func)
+    return estimate_profile(func)

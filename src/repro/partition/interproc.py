@@ -1,0 +1,193 @@
+"""Interprocedural argument passing in FP registers (§6.6 future work).
+
+The published schemes respect integer calling conventions strictly:
+every actual argument computed in FPa needs a ``cp_from_comp`` at the
+call site, and every formal parameter used in FPa needs a ``cp_to_comp``
+in the callee.  The paper closes §6.6 with: "By performing
+interprocedural analysis, it might be possible to reduce some of the
+copy overheads across calls by passing integer arguments in
+floating-point registers."
+
+This module implements exactly that, conservatively.  Parameter ``i`` of
+function ``g`` is passed in an FP register iff
+
+1. *the callee wants it there*: ``g``'s formal-parameter node is a copy
+   site whose register consumers all live in FPa (so the standard scheme
+   would insert a ``cp_to_comp`` anyway and nothing in INT reads it), and
+2. *every caller can supply it there*: at every call site of ``g``, all
+   reaching definitions of the argument register are FPa nodes that
+   write an FP register after rewriting (not inter-file copies).
+
+When both hold, the callee's ``param`` is retargeted to the FP file (no
+``cp_to_comp``), call sites pass the producer's FP register directly,
+and producers whose *only* INT consumers were such call positions drop
+their ``cp_from_comp`` — two dynamic copies saved per call.
+
+Return values are deliberately left in integer registers (the paper only
+suggests arguments; extending to returns would be symmetric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir.opcodes import OpKind
+from repro.ir.program import Program
+from repro.partition.partition import Partition
+from repro.rdg.graph import Node, Part
+
+
+@dataclass(eq=False, slots=True)
+class FpArgDecisions:
+    """Outcome of the interprocedural analysis.
+
+    Attributes:
+        fp_params: function name -> parameter indices passed in FP regs.
+        fp_call_args: function name -> {call uid -> argument positions
+            that must be rewritten to FP registers in that caller}.
+        dropped_back_copies: function name -> FPa producer nodes whose
+            ``cp_from_comp`` becomes unnecessary.
+        dropped_param_copies: function name -> formal-parameter nodes
+            whose ``cp_to_comp`` becomes unnecessary.
+    """
+
+    fp_params: dict[str, set[int]] = field(default_factory=dict)
+    fp_call_args: dict[str, dict[int, set[int]]] = field(default_factory=dict)
+    dropped_back_copies: dict[str, set[Node]] = field(default_factory=dict)
+    dropped_param_copies: dict[str, set[Node]] = field(default_factory=dict)
+
+    def copies_eliminated(self) -> int:
+        """Static count of copy instructions the extension avoids."""
+        return sum(len(v) for v in self.dropped_back_copies.values()) + sum(
+            len(v) for v in self.dropped_param_copies.values()
+        )
+
+
+def _callee_wants_fp(partition: Partition, func) -> set[int]:
+    """Parameter indices whose values are consumed only in FPa."""
+    rdg = partition.rdg
+    wanted: set[int] = set()
+    for param in func.params():
+        node = Node(param.uid, Part.WHOLE)
+        if node not in partition.copies:
+            continue  # no FPa consumer, or it is duplicated (params can't be)
+        children = rdg.succs[node]
+        if children and all(child in partition.fp for child in children):
+            wanted.add(param.imm)
+    return wanted
+
+
+def _producers_of_argument(rdg, reaching, call_instr, position):
+    """RDG nodes defining argument ``position`` of ``call_instr``."""
+    producers = []
+    for site in reaching.reaching_defs_of_use(call_instr, position):
+        instr = rdg.instr_of[site.uid]
+        part = Part.VALUE if instr.is_memory else Part.WHOLE
+        producers.append((Node(site.uid, part), instr))
+    return producers
+
+
+def decide_fp_arguments(
+    program: Program, partitions: dict[str, Partition]
+) -> FpArgDecisions:
+    """Run the interprocedural analysis over already-partitioned
+    functions.  Partitions are not modified; the decisions feed
+    :func:`repro.partition.rewrite.apply_partition`."""
+    decisions = FpArgDecisions()
+    reaching_cache = {
+        name: ReachingDefinitions(program.functions[name]) for name in partitions
+    }
+
+    # candidate (callee, index) pairs, then veto per call site
+    candidates: dict[str, set[int]] = {}
+    for name, partition in partitions.items():
+        func = program.functions[name]
+        if name == program.entry:
+            wanted = set()  # the entry takes no parameters anyway
+        else:
+            wanted = _callee_wants_fp(partition, func)
+        if wanted:
+            candidates[name] = wanted
+
+    # collect all call sites per callee
+    call_sites: dict[str, list[tuple[str, object]]] = {name: [] for name in candidates}
+    for caller_name, partition in partitions.items():
+        for instr in program.functions[caller_name].instructions():
+            if instr.kind is OpKind.CALL and instr.target in call_sites:
+                call_sites[instr.target].append((caller_name, instr))
+
+    for callee_name, wanted in candidates.items():
+        sites = call_sites[callee_name]
+        if not sites:
+            continue  # never called: leave convention unchanged
+        for index in sorted(wanted):
+            supported = True
+            for caller_name, call_instr in sites:
+                rdg = partitions[caller_name].rdg
+                producers = _producers_of_argument(
+                    rdg, reaching_cache[caller_name], call_instr, index
+                )
+                if not producers:
+                    supported = False
+                    break
+                for node, instr in producers:
+                    in_fpa = node in partitions[caller_name].fp
+                    if not in_fpa or instr.kind is OpKind.COPY:
+                        supported = False
+                        break
+                if not supported:
+                    break
+            if not supported:
+                continue
+            # commit the decision
+            decisions.fp_params.setdefault(callee_name, set()).add(index)
+            param_node = next(
+                Node(p.uid, Part.WHOLE)
+                for p in program.functions[callee_name].params()
+                if p.imm == index
+            )
+            decisions.dropped_param_copies.setdefault(callee_name, set()).add(
+                param_node
+            )
+            for caller_name, call_instr in sites:
+                decisions.fp_call_args.setdefault(caller_name, {}).setdefault(
+                    call_instr.uid, set()
+                ).add(index)
+
+    # producers whose cp_from_comp becomes unnecessary: every convention
+    # edge they have targets an fp-arg position they now feed directly
+    for caller_name, partition in partitions.items():
+        per_call = decisions.fp_call_args.get(caller_name, {})
+        if not per_call:
+            continue
+        rdg = partition.rdg
+        reaching = reaching_cache[caller_name]
+        dropped: set[Node] = set()
+        for producer in partition.back_copies:
+            needed = False
+            for (src, dst) in rdg.convention_edges:
+                if src != producer:
+                    continue
+                consumer = rdg.instr_of[dst.uid]
+                if consumer.kind is not OpKind.CALL:
+                    needed = True  # feeds a return value: copy still needed
+                    break
+                fp_positions = per_call.get(consumer.uid, set())
+                feeding_positions = {
+                    pos
+                    for pos in range(len(consumer.uses))
+                    if any(
+                        site.uid == producer.uid
+                        for site in reaching.reaching_defs_of_use(consumer, pos)
+                    )
+                }
+                if not feeding_positions <= fp_positions:
+                    needed = True
+                    break
+            if not needed:
+                dropped.add(producer)
+        if dropped:
+            decisions.dropped_back_copies[caller_name] = dropped
+
+    return decisions

@@ -1,0 +1,109 @@
+"""Whole-program partitioning orchestration.
+
+Per-function partitioning plus, optionally, the interprocedural
+FP-argument extension (§6.6 future work).  The published pipeline is::
+
+    result = partition_program(program, scheme="advanced", profile=profile)
+
+and with the extension::
+
+    result = partition_program(program, scheme="advanced",
+                               profile=profile, interprocedural=True)
+
+Decisions must be made while every function's RDG is still valid, so all
+partitions are computed first, then the interprocedural analysis runs,
+then every function is rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ir.program import Program
+from repro.ir.verify import verify_program
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.partition.cost import CostParams, ExecutionProfile
+from repro.partition.interproc import FpArgDecisions, decide_fp_arguments
+from repro.partition.partition import Partition, partition_stats
+from repro.partition.rewrite import RewriteStats, apply_partition
+
+
+@dataclass(eq=False, slots=True)
+class ProgramPartitionResult:
+    """Everything produced by :func:`partition_program`."""
+
+    partitions: dict[str, Partition] = field(default_factory=dict)
+    rewrites: dict[str, RewriteStats] = field(default_factory=dict)
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    decisions: FpArgDecisions | None = None
+
+    def total(self, key: str) -> int:
+        """Sum a :func:`partition_stats` field over all functions
+        (snapshotted before rewriting, which mutates the instructions
+        the partitions reference)."""
+        return sum(stats[key] for stats in self.stats.values())
+
+    @property
+    def copies_eliminated(self) -> int:
+        return self.decisions.copies_eliminated() if self.decisions else 0
+
+
+def partition_program(
+    program: Program,
+    scheme: str = "advanced",
+    profile: ExecutionProfile | None = None,
+    params: CostParams | None = None,
+    balance_limit: float | None = None,
+    interprocedural: bool = False,
+) -> ProgramPartitionResult:
+    """Partition and rewrite every function of ``program`` in place.
+
+    Args:
+        program: Program to transform (virtual-register IR).
+        scheme: ``"basic"`` or ``"advanced"``.
+        profile: Basic-block profile for the advanced cost model.
+        params: Cost parameters for the advanced scheme.
+        balance_limit: Optional FPa load cap (§6.6 extension).
+        interprocedural: Enable FP-argument passing (§6.6 extension;
+            advanced scheme only — the basic scheme may not add copies,
+            so it cannot exploit relaxed conventions).
+
+    Returns:
+        A :class:`ProgramPartitionResult`; the program is verified after
+        rewriting.
+    """
+    if scheme not in ("basic", "advanced"):
+        raise ReproError(f"unknown scheme {scheme!r}")
+    if interprocedural and scheme != "advanced":
+        raise ReproError("the interprocedural extension requires the advanced scheme")
+
+    result = ProgramPartitionResult()
+    for name, func in program.functions.items():
+        if scheme == "basic":
+            result.partitions[name] = basic_partition(func)
+        else:
+            result.partitions[name] = advanced_partition(
+                func, profile=profile, params=params, balance_limit=balance_limit
+            )
+        result.stats[name] = partition_stats(result.partitions[name])
+
+    if interprocedural:
+        result.decisions = decide_fp_arguments(program, result.partitions)
+
+    decisions = result.decisions
+    for name, func in program.functions.items():
+        kwargs = {}
+        if decisions is not None:
+            kwargs = dict(
+                fp_params=decisions.fp_params.get(name),
+                fp_call_args=decisions.fp_call_args.get(name),
+                skip_back_copies=decisions.dropped_back_copies.get(name),
+                skip_param_copies=decisions.dropped_param_copies.get(name),
+            )
+        result.rewrites[name] = apply_partition(
+            func, result.partitions[name], **kwargs
+        )
+    verify_program(program)
+    return result

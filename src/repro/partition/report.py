@@ -1,0 +1,92 @@
+"""Human-readable partition listings.
+
+The paper presents its partitions as annotated assembly: offloaded
+instructions carry a ``p`` suffix and converted memory operations are
+italicized (Figures 4–6).  :func:`annotate_partition` produces the
+textual equivalent *before* rewriting — each instruction is tagged with
+its assignment — and :func:`partition_summary_table` aggregates per-slice
+statistics, which is how the paper's Figure 8 bars decompose.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.printer import print_instruction
+from repro.partition.partition import Partition
+from repro.rdg.classify import TerminalKind, terminal_kind
+from repro.rdg.graph import Node, Part
+
+
+def _tag(partition: Partition, instr) -> str:
+    """Assignment tag for one instruction: INT, FPa, or split marks."""
+    rdg = partition.rdg
+    if instr.is_memory:
+        value = Node(instr.uid, Part.VALUE) in partition.fp
+        return "INT/fpa-data" if value else "INT"
+    node = Node(instr.uid, Part.WHOLE)
+    marks = []
+    if node in partition.fp:
+        marks.append("FPa")
+    else:
+        marks.append("INT")
+        if node in partition.copies:
+            marks.append("+copy")
+        if node in partition.dups:
+            marks.append("+dup")
+    if node in partition.back_copies:
+        marks.append("+backcopy")
+    return "".join(marks)
+
+
+def annotate_partition(func: Function, partition: Partition) -> str:
+    """Render ``func`` with per-instruction partition assignments.
+
+    Must be called *before* :func:`~repro.partition.rewrite.apply_partition`
+    (the rewrite invalidates the partition's node identities).
+    """
+    if partition.rdg.func is not func:
+        raise ValueError("partition belongs to a different function")
+    lines = [f"func {func.name}  [{partition.scheme} scheme]"]
+    for blk in func.blocks:
+        lines.append(f"{blk.label}:")
+        for instr in blk.instructions:
+            tag = _tag(partition, instr)
+            lines.append(f"  {print_instruction(instr):42s} ; {tag}")
+    return "\n".join(lines)
+
+
+def partition_summary_table(partition: Partition) -> dict[str, dict[str, int]]:
+    """Decompose the partition by slice-terminal kind.
+
+    Returns ``{terminal kind: {"int": n, "fpa": n}}`` counting, for each
+    branch/store-value/... terminal, where it was assigned — the
+    per-kind breakdown behind the paper's §4 discussion (branch and
+    store-value slices are the FPa candidates; addresses, calls and
+    returns are INT by construction).
+    """
+    rdg = partition.rdg
+    table: dict[str, dict[str, int]] = {
+        kind.value: {"int": 0, "fpa": 0} for kind in TerminalKind
+    }
+    table["interior"] = {"int": 0, "fpa": 0}
+    for node in rdg.nodes:
+        kind = terminal_kind(rdg, node)
+        key = kind.value if kind is not None else "interior"
+        side = "fpa" if node in partition.fp else "int"
+        table[key][side] += 1
+    return table
+
+
+def offload_by_opcode(partition: Partition) -> dict[str, int]:
+    """Static count of offloaded instructions per mnemonic (which
+    opcodes of the 22-op extension actually get used)."""
+    rdg = partition.rdg
+    out: dict[str, int] = {}
+    for node in partition.fp:
+        if node.part is not Part.WHOLE:
+            continue
+        instr = rdg.instruction(node)
+        if instr.info.fp_subsystem:
+            continue  # already-FP code, not offloaded integer work
+        out[instr.op.value] = out.get(instr.op.value, 0) + 1
+    return out

@@ -1,0 +1,212 @@
+"""Code rewriting: materialize a partition into executable IR.
+
+Given a legal :class:`~repro.partition.partition.Partition`, the rewriter
+mutates the function so that:
+
+* every offloaded instruction (WHOLE node in FPa) is replaced by its
+  ``.a`` twin, with destination and sources renamed into the FP file;
+* loads whose value node is in FPa become ``l.s`` (the paper's converted
+  floating-point loads) and stores whose value node is in FPa become
+  ``s.s``;
+* each copy site gets a ``cp_to_comp`` immediately after the defining
+  instruction, writing the value's FP *shadow register*;
+* each duplication site gets its ``.a`` twin immediately after the
+  original, writing the shadow register and reading the shadow registers
+  of its operands (which the demand closure guarantees exist);
+* each back-copy site (FPa producer of a call argument or return value,
+  §6.4) gets a ``cp_from_comp`` restoring the INT-file register the call
+  or return reads.
+
+Shadow naming is deterministic — ``v7`` shadows to ``vf7`` — so multiple
+definitions of the same virtual register (loop-carried variables) all
+write the same FP-file name and merges remain consistent.
+
+The function's RDG and the partition itself are *invalidated* by the
+rewrite (instruction objects are mutated and new ones inserted); rebuild
+them if needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpKind, fpa_twin
+from repro.ir.registers import Reg, RegClass, ZERO
+from repro.partition.partition import Partition
+from repro.rdg.graph import Node, Part
+
+
+@dataclass(slots=True)
+class RewriteStats:
+    """Static counts of what the rewrite changed."""
+
+    offloaded: int = 0
+    converted_loads: int = 0
+    converted_stores: int = 0
+    copies_inserted: int = 0
+    dups_inserted: int = 0
+    back_copies_inserted: int = 0
+
+    @property
+    def total_inserted(self) -> int:
+        return self.copies_inserted + self.dups_inserted + self.back_copies_inserted
+
+
+def _shadow(reg: Reg) -> Reg:
+    """FP-file shadow register of an INT-file virtual register."""
+    if reg == ZERO:
+        raise PartitionError("cannot shadow $zero into the FP file")
+    return reg.with_class(RegClass.FP)
+
+
+def apply_partition(
+    func: Function,
+    partition: Partition,
+    fp_params: set[int] | None = None,
+    fp_call_args: dict[int, set[int]] | None = None,
+    skip_back_copies: set | None = None,
+    skip_param_copies: set | None = None,
+) -> RewriteStats:
+    """Rewrite ``func`` in place according to ``partition``.
+
+    The four optional arguments carry the interprocedural extension's
+    decisions (:mod:`repro.partition.interproc`): parameter indices this
+    function receives in FP registers, call positions whose arguments
+    are passed in FP registers, and the copy sites those decisions make
+    unnecessary.
+
+    Returns static rewrite statistics.  Raises
+    :class:`~repro.errors.PartitionError` on internally inconsistent
+    partitions (which :func:`check_partition` should have caught).
+    """
+    rdg = partition.rdg
+    if rdg.func is not func:
+        raise PartitionError("partition was computed for a different function")
+    stats = RewriteStats()
+
+    fp = partition.fp
+    in_copies = {node.uid for node in partition.copies}
+    in_dups = {node.uid for node in partition.dups}
+    in_back = {node.uid for node in partition.back_copies}
+    fp_params = fp_params or set()
+    fp_call_args = fp_call_args or {}
+    if skip_back_copies:
+        in_back -= {node.uid for node in skip_back_copies}
+    if skip_param_copies:
+        in_copies -= {node.uid for node in skip_param_copies}
+
+    def value_node(instr: Instruction) -> Node:
+        if instr.is_memory:
+            return Node(instr.uid, Part.VALUE)
+        return Node(instr.uid, Part.WHOLE)
+
+    for blk in func.blocks:
+        new_instrs: list[Instruction] = []
+        # Communication for formal parameters is deferred past the param
+        # prefix so `param` instructions stay contiguous at function entry.
+        pending_after_params: list[Instruction] = []
+        in_param_prefix = blk is func.entry
+        for instr in blk.instructions:
+            kind = instr.kind
+            uid = instr.uid
+            if in_param_prefix and kind is not OpKind.PARAM:
+                in_param_prefix = False
+                new_instrs.extend(pending_after_params)
+                pending_after_params = []
+            emit_after = pending_after_params if in_param_prefix else new_instrs
+
+            if kind is OpKind.LOAD:
+                vnode = Node(uid, Part.VALUE)
+                if vnode in fp and instr.op is not Opcode.LS:
+                    if instr.op is not Opcode.LW:
+                        raise PartitionError(f"cannot convert {instr.op} to l.s")
+                    instr.op = Opcode.LS
+                    instr.defs[0] = _shadow(instr.defs[0])
+                    stats.converted_loads += 1
+                new_instrs.append(instr)
+            elif kind is OpKind.STORE:
+                vnode = Node(uid, Part.VALUE)
+                if vnode in fp and instr.op is not Opcode.SS:
+                    if instr.op is not Opcode.SW:
+                        raise PartitionError(f"cannot convert {instr.op} to s.s")
+                    instr.op = Opcode.SS
+                    instr.uses[0] = _shadow(instr.uses[0])
+                    stats.converted_stores += 1
+                new_instrs.append(instr)
+            elif kind is OpKind.PARAM and instr.imm in fp_params:
+                # interprocedural extension: received directly in the FP
+                # file — the value arrives in an FP register, no copy
+                instr.defs[0] = _shadow(instr.defs[0])
+                func.fp_params.add(instr.imm)
+                new_instrs.append(instr)
+            elif kind is OpKind.CALL and uid in fp_call_args:
+                for pos in fp_call_args[uid]:
+                    instr.uses[pos] = _shadow(instr.uses[pos])
+                new_instrs.append(instr)
+            else:
+                wnode = Node(uid, Part.WHOLE)
+                if wnode in fp and not instr.info.fp_subsystem:
+                    twin = fpa_twin(instr.op)
+                    if twin is None:
+                        raise PartitionError(
+                            f"{instr!r} assigned to FPa but has no .a twin"
+                        )
+                    instr.op = twin
+                    instr.defs[:] = [_shadow(d) for d in instr.defs]
+                    instr.uses[:] = [
+                        _shadow(u) if u.rclass is RegClass.INT else u
+                        for u in instr.uses
+                    ]
+                    stats.offloaded += 1
+                new_instrs.append(instr)
+
+            # communication, placed immediately after the producing instr
+            if uid in in_dups:
+                original = instr
+                twin = fpa_twin(original.op)
+                if twin is None:
+                    raise PartitionError(f"cannot duplicate {original!r}")
+                dup = Instruction(
+                    op=twin,
+                    defs=[_shadow(d) for d in original.defs],
+                    uses=[
+                        _shadow(u) if u.rclass is RegClass.INT else u
+                        for u in original.uses
+                    ],
+                    imm=original.imm,
+                    target=original.target,
+                )
+                func.attach(dup)
+                emit_after.append(dup)
+                stats.dups_inserted += 1
+            elif uid in in_copies:
+                src = instr.defs[0] if instr.defs else None
+                if src is None:
+                    raise PartitionError(f"copy site {instr!r} defines nothing")
+                copy = Instruction(
+                    op=Opcode.CP_TO_COMP, defs=[_shadow(src)], uses=[src]
+                )
+                func.attach(copy)
+                emit_after.append(copy)
+                stats.copies_inserted += 1
+            if uid in in_back and value_node(instr) in fp:
+                # the def was renamed into the FP file above; restore the
+                # INT-file name the call/ret reads.
+                fp_def = instr.defs[0]
+                back = Instruction(
+                    op=Opcode.CP_FROM_COMP,
+                    defs=[fp_def.with_class(RegClass.INT)],
+                    uses=[fp_def],
+                )
+                func.attach(back)
+                emit_after.append(back)
+                stats.back_copies_inserted += 1
+
+        new_instrs.extend(pending_after_params)
+        blk.instructions = new_instrs
+
+    func.renumber()
+    return stats

@@ -1,0 +1,41 @@
+"""Register dependence graph (RDG) and computational slices.
+
+The RDG is the paper's primary data structure (§3): a directed graph with
+one node per static instruction, except that loads and stores are each
+**split** into an address node and a value node.  Edges are register
+def-use dependences from reaching definitions.  Because the two halves of
+a split memory instruction share no register edge, backward slices never
+cross a load's value into its address computation, and forward slices
+terminate at address nodes — exactly the paper's modified slice
+definitions.
+"""
+
+from repro.rdg.graph import RDG, Node, Part, Pin
+from repro.rdg.build import build_rdg
+from repro.rdg.slices import (
+    backward_slice,
+    forward_slice,
+    ldst_slice,
+    branch_slice,
+    store_value_slice,
+    call_argument_slice,
+    return_value_slice,
+)
+from repro.rdg.classify import terminal_kind, TerminalKind
+
+__all__ = [
+    "RDG",
+    "Node",
+    "Part",
+    "Pin",
+    "build_rdg",
+    "backward_slice",
+    "forward_slice",
+    "ldst_slice",
+    "branch_slice",
+    "store_value_slice",
+    "call_argument_slice",
+    "return_value_slice",
+    "terminal_kind",
+    "TerminalKind",
+]

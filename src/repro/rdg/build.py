@@ -1,0 +1,125 @@
+"""RDG construction from a function.
+
+Edges come from reaching definitions.  Operand-to-node ownership follows
+the paper's split-node convention:
+
+* A load's destination belongs to its VALUE node; its base-address use
+  belongs to its ADDR node.
+* A store's value use (position 0) belongs to its VALUE node; its base
+  use (position 1) belongs to its ADDR node.
+* Every other operand belongs to the instruction's WHOLE node.
+
+There is **no** edge between the two halves of a split memory
+instruction: their coupling is through memory, which the RDG does not
+model.  This is what makes backward slices stop at load values and
+forward slices stop at address nodes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpKind, fpa_twin
+from repro.ir.registers import ZERO
+from repro.rdg.graph import RDG, Node, Part, Pin
+
+#: Integer opcodes whose *value* half cannot live in an FP register
+#: because the ISA has no FP byte transfers.
+_BYTE_MEMORY = {Opcode.LB, Opcode.LBU, Opcode.SB}
+
+
+def _def_node(instr: Instruction) -> Node:
+    """The node that owns ``instr``'s register definition."""
+    if instr.kind is OpKind.LOAD:
+        return Node(instr.uid, Part.VALUE)
+    return Node(instr.uid, Part.WHOLE)
+
+
+def _use_node(instr: Instruction, pos: int) -> Node:
+    """The node that owns use operand ``pos`` of ``instr``."""
+    if instr.kind is OpKind.LOAD:
+        return Node(instr.uid, Part.ADDR)
+    if instr.kind is OpKind.STORE:
+        return Node(instr.uid, Part.VALUE if pos == 0 else Part.ADDR)
+    return Node(instr.uid, Part.WHOLE)
+
+
+def _pin_of(instr: Instruction, part: Part) -> Pin | None:
+    """Mandatory placement for the node ``(instr, part)``, or None."""
+    op = instr.op
+    kind = instr.kind
+    if kind in (OpKind.LOAD, OpKind.STORE):
+        if part is Part.ADDR:
+            return Pin.INT  # address generation is INT-only in this machine
+        # value half
+        if op in (Opcode.LS, Opcode.SS):
+            return Pin.FP
+        if op in _BYTE_MEMORY:
+            return Pin.INT
+        return None  # lw/sw word values are free
+    if op is Opcode.CP_TO_COMP:
+        return Pin.INT
+    if op is Opcode.CP_FROM_COMP:
+        return Pin.FP
+    if kind in (OpKind.CALL, OpKind.RET, OpKind.PARAM, OpKind.JUMP):
+        return Pin.INT  # calling conventions / fetch-unit control
+    if instr.info.fp_subsystem:
+        return Pin.FP
+    if kind in (OpKind.MUL, OpKind.DIV):
+        return Pin.INT  # no integer multiply/divide in FPa (paper §1, §7.1)
+    if kind in (OpKind.ALU, OpKind.BRANCH):
+        return None if fpa_twin(op) is not None else Pin.INT
+    if kind is OpKind.NOP:
+        return Pin.INT
+    raise AssertionError(f"unhandled opcode {op} in pin classification")
+
+
+def build_rdg(func: Function, reaching: ReachingDefinitions | None = None) -> RDG:
+    """Build the register dependence graph of ``func``.
+
+    Args:
+        func: Function to analyze.
+        reaching: Pre-computed reaching definitions (recomputed if None).
+    """
+    if reaching is None:
+        reaching = ReachingDefinitions(func)
+
+    rdg = RDG(func=func, block_of=func.block_of())
+
+    for blk in func.blocks:
+        for instr in blk.instructions:
+            rdg.instr_of[instr.uid] = instr
+            if instr.is_memory:
+                rdg.add_node(Node(instr.uid, Part.ADDR))
+                rdg.add_node(Node(instr.uid, Part.VALUE))
+                rdg.pin[Node(instr.uid, Part.ADDR)] = Pin.INT
+                value_pin = _pin_of(instr, Part.VALUE)
+                if value_pin is None and instr.kind is OpKind.STORE and instr.uses[0] == ZERO:
+                    value_pin = Pin.INT  # the FP file has no zero register
+                if value_pin is not None:
+                    rdg.pin[Node(instr.uid, Part.VALUE)] = value_pin
+            else:
+                node = rdg.add_node(Node(instr.uid, Part.WHOLE))
+                pin = _pin_of(instr, Part.WHOLE)
+                if pin is None and ZERO in instr.uses:
+                    pin = Pin.INT  # the FP file has no zero register
+                if pin is not None:
+                    rdg.pin[node] = pin
+
+    for def_uid, use_uid, use_pos, _reg in reaching.du_edges():
+        src = _def_node(rdg.instr_of[def_uid])
+        use_instr = rdg.instr_of[use_uid]
+        dst = _use_node(use_instr, use_pos)
+        rdg.add_edge(src, dst)
+        if use_instr.kind in (OpKind.CALL, OpKind.RET):
+            # Calling-convention edge: the producer may stay in FPa at the
+            # price of a cp_from_comp (§6.4).
+            rdg.convention_edges.add((src, dst))
+        if rdg.instr_of[def_uid].op is Opcode.CP_FROM_COMP and rdg.pin.get(dst) is None:
+            # A value just copied out of the FP file is consumed in the
+            # INT file; offloading its consumer would need the value back
+            # in FP registers.  Pin the consumer to INT.
+            rdg.pin[dst] = Pin.INT
+
+    return rdg

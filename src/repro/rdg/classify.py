@@ -1,0 +1,56 @@
+"""Terminal-node classification.
+
+Every forward slice in an RDG terminates at one of five terminal kinds
+(paper §3): memory addresses, call arguments, return values, branch
+outcomes, or store values.  The partitioning goals (§4) are phrased in
+terms of these kinds: LdSt slices and call/return slices seed the INT
+partition; branch and store-value slices are the candidates for FPa.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ir.opcodes import OpKind
+from repro.rdg.graph import RDG, Node, Part
+
+
+class TerminalKind(enum.Enum):
+    """The kind of terminal a node is, if any."""
+
+    ADDRESS = "address"
+    BRANCH = "branch"
+    STORE_VALUE = "store_value"
+    CALL = "call"
+    RETURN = "return"
+
+
+def terminal_kind(rdg: RDG, node: Node) -> TerminalKind | None:
+    """Classify ``node`` as a slice terminal, or None for interior nodes.
+
+    Note that load *value* nodes are sources (they begin slices), not
+    terminals, and interior ALU nodes are neither.
+    """
+    instr = rdg.instruction(node)
+    kind = instr.kind
+    if node.part is Part.ADDR:
+        return TerminalKind.ADDRESS
+    if kind is OpKind.STORE and node.part is Part.VALUE:
+        return TerminalKind.STORE_VALUE
+    if kind is OpKind.BRANCH:
+        return TerminalKind.BRANCH
+    if kind is OpKind.CALL:
+        return TerminalKind.CALL
+    if kind is OpKind.RET:
+        return TerminalKind.RETURN
+    return None
+
+
+def terminals(rdg: RDG) -> dict[TerminalKind, list[Node]]:
+    """All terminal nodes grouped by kind."""
+    out: dict[TerminalKind, list[Node]] = {kind: [] for kind in TerminalKind}
+    for node in rdg.nodes:
+        kind = terminal_kind(rdg, node)
+        if kind is not None:
+            out[kind].append(node)
+    return out

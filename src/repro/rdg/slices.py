@@ -1,0 +1,111 @@
+"""Computational slices over the RDG (paper §3).
+
+All slices are reachability computations over the register edges of the
+RDG.  Because split memory nodes have no intra-instruction edge, the
+paper's modified slice semantics fall out automatically:
+
+* backward slices do not go past load-value nodes, and
+* forward slices do not go past address nodes.
+
+Forward slices therefore terminate at memory addresses, call arguments,
+return values, branch outcomes, or store values — the *terminal* nodes of
+:mod:`repro.rdg.classify`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.opcodes import OpKind
+from repro.rdg.graph import RDG, Node, Part
+
+
+def backward_slice(rdg: RDG, node: Node, include_self: bool = True) -> set[Node]:
+    """All nodes from which ``node`` is reachable (paper's
+    ``Backward-Slice(G, v)``, reflexive by default)."""
+    out: set[Node] = set()
+    work = list(rdg.preds[node])
+    while work:
+        current = work.pop()
+        if current in out:
+            continue
+        out.add(current)
+        work.extend(rdg.preds[current])
+    if include_self:
+        out.add(node)
+    return out
+
+
+def forward_slice(rdg: RDG, node: Node, include_self: bool = True) -> set[Node]:
+    """All nodes reachable from ``node`` (``Forward-Slice(G, v)``)."""
+    out: set[Node] = set()
+    work = list(rdg.succs[node])
+    while work:
+        current = work.pop()
+        if current in out:
+            continue
+        out.add(current)
+        work.extend(rdg.succs[current])
+    if include_self:
+        out.add(node)
+    return out
+
+
+def backward_slice_of_set(rdg: RDG, seeds: Iterable[Node]) -> set[Node]:
+    """Union of backward slices of ``seeds`` (single traversal)."""
+    out: set[Node] = set()
+    work = list(seeds)
+    while work:
+        current = work.pop()
+        if current in out:
+            continue
+        out.add(current)
+        work.extend(rdg.preds[current])
+    return out
+
+
+def address_nodes(rdg: RDG) -> list[Node]:
+    """The load/store address nodes of the graph (``LS(G)`` in §3)."""
+    return [
+        node
+        for node in rdg.nodes
+        if node.part is Part.ADDR and rdg.instruction(node).is_memory
+    ]
+
+
+def ldst_slice(rdg: RDG) -> set[Node]:
+    """The LdSt slice: every node contributing to a load/store address.
+
+    ``LdSt slice = U_{v in LS(G)} Backward-Slice(G, v)`` (§3).
+    """
+    return backward_slice_of_set(rdg, address_nodes(rdg))
+
+
+def branch_slice(rdg: RDG, branch: Node) -> set[Node]:
+    """The slice computing one branch's outcome."""
+    if rdg.instruction(branch).kind is not OpKind.BRANCH:
+        raise ValueError(f"{branch!r} is not a branch node")
+    return backward_slice(rdg, branch)
+
+
+def store_value_slice(rdg: RDG, store_value: Node) -> set[Node]:
+    """The slice computing one store's value operand."""
+    instr = rdg.instruction(store_value)
+    if instr.kind is not OpKind.STORE or store_value.part is not Part.VALUE:
+        raise ValueError(f"{store_value!r} is not a store-value node")
+    return backward_slice(rdg, store_value)
+
+
+def call_argument_slice(rdg: RDG, call: Node) -> set[Node]:
+    """The slice computing a call's actual arguments (excludes the call
+    node itself)."""
+    if rdg.instruction(call).kind is not OpKind.CALL:
+        raise ValueError(f"{call!r} is not a call node")
+    return backward_slice(rdg, call, include_self=False)
+
+
+def return_value_slice(rdg: RDG, ret: Node) -> set[Node]:
+    """The slice computing a function's return value (excludes ``ret``)."""
+    if rdg.instruction(ret).kind is not OpKind.RET:
+        raise ValueError(f"{ret!r} is not a return node")
+    return backward_slice(rdg, ret, include_self=False)

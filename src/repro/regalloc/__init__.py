@@ -1,0 +1,27 @@
+"""Register allocation.
+
+The paper performs register allocation *after* code partitioning:
+"Operands of instructions assigned to the FPa partition are allocated
+floating-point registers" (§7.1).  This package implements a per-class
+linear-scan allocator: INT-class virtual registers get architectural
+integer registers, FP-class virtual registers get architectural FP
+registers, and intervals that do not fit are spilled to stack slots
+addressed off ``$sp`` (reload/store code is inserted with reserved
+scratch registers).
+
+Register saves/restores across calls are not modelled — the machine's
+call semantics preserve per-activation register state — so allocation
+affects timing only through spill memory traffic, the first-order effect
+the paper discusses in §6.6.
+"""
+
+from repro.regalloc.intervals import LiveInterval, compute_intervals
+from repro.regalloc.linear_scan import allocate_function, allocate_program, AllocationResult
+
+__all__ = [
+    "LiveInterval",
+    "compute_intervals",
+    "allocate_function",
+    "allocate_program",
+    "AllocationResult",
+]

@@ -1,0 +1,76 @@
+"""Live-interval construction for linear scan.
+
+Instructions are numbered in layout order.  A virtual register's
+interval spans from its first definition/use to its last, *extended* to
+cover whole blocks where liveness says the value is live-in or live-out
+— the standard conservative fix that makes plain linear scan safe in the
+presence of loops (a value live around a back edge stays allocated for
+the entire loop body).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import Function
+from repro.ir.registers import Reg, RegClass, ZERO
+
+
+@dataclass(slots=True)
+class LiveInterval:
+    """Half-open live range ``[start, end]`` over instruction numbers."""
+
+    reg: Reg
+    start: int
+    end: int
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+def compute_intervals(func: Function) -> dict[RegClass, list[LiveInterval]]:
+    """Live intervals for every *virtual* register, split by class,
+    sorted by start position."""
+    liveness = compute_liveness(func)
+    position: dict[int, int] = {}
+    block_span: dict[str, tuple[int, int]] = {}
+    counter = 0
+    for blk in func.blocks:
+        start = counter
+        for instr in blk.instructions:
+            position[instr.uid] = counter
+            counter += 1
+        block_span[blk.label] = (start, max(start, counter - 1))
+
+    intervals: dict[Reg, LiveInterval] = {}
+
+    def touch(reg: Reg, where: int) -> None:
+        if reg == ZERO or not reg.virtual:
+            return
+        interval = intervals.get(reg)
+        if interval is None:
+            intervals[reg] = LiveInterval(reg, where, where)
+        else:
+            interval.start = min(interval.start, where)
+            interval.end = max(interval.end, where)
+
+    for blk in func.blocks:
+        for instr in blk.instructions:
+            where = position[instr.uid]
+            for reg in instr.uses:
+                touch(reg, where)
+            for reg in instr.defs:
+                touch(reg, where)
+        first, last = block_span[blk.label]
+        for reg in liveness.live_in[blk.label]:
+            touch(reg, first)
+        for reg in liveness.live_out[blk.label]:
+            touch(reg, last)
+
+    out: dict[RegClass, list[LiveInterval]] = {RegClass.INT: [], RegClass.FP: []}
+    for interval in intervals.values():
+        out[interval.reg.rclass].append(interval)
+    for bucket in out.values():
+        bucket.sort(key=lambda iv: (iv.start, iv.end))
+    return out

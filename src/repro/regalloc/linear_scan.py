@@ -1,0 +1,174 @@
+"""Linear-scan register allocation with spilling.
+
+Each register class is allocated independently against its own pool
+(24 allocatable architectural registers per file, two reserved as spill
+scratch).  Intervals that do not fit spill to stack slots addressed off
+``$sp``; every use gets a reload into a scratch register immediately
+before the instruction and every definition a store immediately after.
+
+The allocator runs on partitioned or unpartitioned code alike; because
+it runs after partitioning (as in the paper), FPa-resident values end up
+in ``$f``-registers automatically via their register class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegAllocError
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.program import Program
+from repro.ir.registers import Reg, RegClass, fp_reg, int_reg
+from repro.regalloc.intervals import LiveInterval, compute_intervals
+
+#: Allocatable architectural registers per class ($zero, $sp and the
+#: scratch registers stay out of the pools).
+INT_POOL = [int_reg(i) for i in range(2, 26)]
+FP_POOL = [fp_reg(i) for i in range(2, 26)]
+INT_SCRATCH = [int_reg(26), int_reg(27)]
+FP_SCRATCH = [fp_reg(26), fp_reg(27)]
+
+_SP = Reg("$sp", RegClass.INT, virtual=False)
+
+
+@dataclass(eq=False, slots=True)
+class AllocationResult:
+    """Summary of one function's allocation."""
+
+    assigned: dict[Reg, Reg] = field(default_factory=dict)
+    spilled: dict[Reg, int] = field(default_factory=dict)  # vreg -> slot offset
+    frame_size: int = 0
+    reloads_inserted: int = 0
+    stores_inserted: int = 0
+
+
+def _linear_scan(
+    intervals: list[LiveInterval], pool: list[Reg]
+) -> tuple[dict[Reg, Reg], list[Reg]]:
+    """Classic Poletto–Sarkar linear scan.
+
+    Returns (assignment, spilled vregs).  On pressure, the active
+    interval with the furthest end point is spilled.
+    """
+    assigned: dict[Reg, Reg] = {}
+    spilled: list[Reg] = []
+    free = list(reversed(pool))
+    active: list[LiveInterval] = []  # sorted by end
+
+    for interval in intervals:
+        # expire old intervals
+        still_active = []
+        for old in active:
+            if old.end < interval.start:
+                free.append(assigned[old.reg])
+            else:
+                still_active.append(old)
+        active = still_active
+        if free:
+            assigned[interval.reg] = free.pop()
+            active.append(interval)
+            active.sort(key=lambda iv: iv.end)
+        else:
+            # spill the interval that ends furthest away
+            victim = active[-1]
+            if victim.end > interval.end:
+                assigned[interval.reg] = assigned.pop(victim.reg)
+                spilled.append(victim.reg)
+                active[-1] = interval
+                active.sort(key=lambda iv: iv.end)
+            else:
+                spilled.append(interval.reg)
+    return assigned, spilled
+
+
+def allocate_function(func: Function) -> AllocationResult:
+    """Allocate architectural registers for ``func`` in place."""
+    intervals = compute_intervals(func)
+    result = AllocationResult()
+
+    assignment: dict[Reg, Reg] = {}
+    spill_slot: dict[Reg, int] = {}
+    next_slot = 0
+    for rclass, pool in ((RegClass.INT, INT_POOL), (RegClass.FP, FP_POOL)):
+        assigned, spilled = _linear_scan(intervals[rclass], pool)
+        assignment.update(assigned)
+        for vreg in spilled:
+            spill_slot[vreg] = next_slot
+            next_slot += 4
+
+    result.assigned = dict(assignment)
+    result.spilled = dict(spill_slot)
+    result.frame_size = (next_slot + 15) & ~15
+
+    for blk in func.blocks:
+        new_instrs: list[Instruction] = []
+        for instr in blk.instructions:
+            scratch_by_class = {RegClass.INT: list(INT_SCRATCH), RegClass.FP: list(FP_SCRATCH)}
+            reload_map: dict[Reg, Reg] = {}
+            # reloads for spilled uses
+            for i, use in enumerate(instr.uses):
+                if use in spill_slot:
+                    scratch = reload_map.get(use)
+                    if scratch is None:
+                        bucket = scratch_by_class[use.rclass]
+                        if not bucket:
+                            raise RegAllocError(
+                                f"{func.name}: more spilled {use.rclass.value} operands "
+                                f"than scratch registers in {instr!r}"
+                            )
+                        scratch = bucket.pop(0)
+                        reload_map[use] = scratch
+                        load_op = Opcode.LS if use.rclass is RegClass.FP else Opcode.LW
+                        reload = Instruction(
+                            load_op, defs=[scratch], uses=[_SP], imm=spill_slot[use]
+                        )
+                        func.attach(reload)
+                        new_instrs.append(reload)
+                        result.reloads_inserted += 1
+                    instr.uses[i] = scratch
+                elif use.virtual:
+                    instr.uses[i] = assignment[use]
+            new_instrs.append(instr)
+            # stores for spilled defs; a def may reuse a use's scratch
+            # (the instruction reads its sources before writing)
+            for i, d in enumerate(instr.defs):
+                if d in spill_slot:
+                    reusable = [
+                        s for s in reload_map.values() if s.rclass is d.rclass
+                    ]
+                    bucket = scratch_by_class[d.rclass]
+                    if reusable:
+                        scratch = reusable[0]
+                    elif bucket:
+                        scratch = bucket.pop(0)
+                    else:
+                        raise RegAllocError(
+                            f"{func.name}: no scratch register left for spilled "
+                            f"definition in {instr!r}"
+                        )
+                    store_op = Opcode.SS if d.rclass is RegClass.FP else Opcode.SW
+                    store = Instruction(
+                        store_op, uses=[scratch, _SP], imm=spill_slot[d]
+                    )
+                    func.attach(store)
+                    instr.defs[i] = scratch
+                    if instr.is_control:
+                        raise RegAllocError(
+                            f"{func.name}: control instruction with spilled def"
+                        )
+                    new_instrs.append(store)
+                    result.stores_inserted += 1
+                elif d.virtual:
+                    instr.defs[i] = assignment[d]
+        blk.instructions = new_instrs
+
+    func.frame_size = result.frame_size
+    func.renumber()
+    return result
+
+
+def allocate_program(program: Program) -> dict[str, AllocationResult]:
+    """Allocate every function; returns per-function results."""
+    return {name: allocate_function(func) for name, func in program.functions.items()}

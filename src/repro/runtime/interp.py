@@ -1,0 +1,424 @@
+"""The functional interpreter.
+
+Executes an IR :class:`~repro.ir.program.Program` to completion with
+MIPS-like semantics: 32-bit wrapping integer arithmetic, truncating
+division, sparse byte/word memory, and the explicit-operand call model
+(``call``/``param``/``ret``).
+
+A run can simultaneously collect a basic-block execution profile (the
+cost model's input) and a dynamic trace (the timing simulator's input).
+Per-function code is precompiled into flat instruction arrays with
+resolved jump targets and global addresses, keeping the dispatch loop
+tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError, FuelExhausted
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.program import Program
+from repro.partition.cost import ExecutionProfile
+from repro.runtime.state import MachineState, s32
+from repro.runtime.trace import ProgramLayout, Subsystem, TraceEntry
+
+# ---------------------------------------------------------------------------
+# opcode semantics
+# ---------------------------------------------------------------------------
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    q = abs(a) // abs(b)
+    return s32(-q if (a < 0) != (b < 0) else q)
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer remainder by zero")
+    return s32(a - _div(a, b) * b)
+
+
+def _u32(a: int) -> int:
+    return a & 0xFFFFFFFF
+
+
+_ALU = {
+    Opcode.ADDU: lambda a, b: s32(a + b),
+    Opcode.SUBU: lambda a, b: s32(a - b),
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: s32(a ^ b),
+    Opcode.NOR: lambda a, b: s32(~(a | b)),
+    Opcode.SLT: lambda a, b: int(a < b),
+    Opcode.SLTU: lambda a, b: int(_u32(a) < _u32(b)),
+    Opcode.SLLV: lambda a, b: s32(a << (b & 31)),
+    Opcode.SRLV: lambda a, b: s32(_u32(a) >> (b & 31)),
+    Opcode.SRAV: lambda a, b: s32(a >> (b & 31)),
+    Opcode.ADDIU: lambda a, b: s32(a + b),
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XORI: lambda a, b: s32(a ^ b),
+    Opcode.SLTI: lambda a, b: int(a < b),
+    Opcode.SLTIU: lambda a, b: int(_u32(a) < _u32(b)),
+    Opcode.SLL: lambda a, b: s32(a << (b & 31)),
+    Opcode.SRL: lambda a, b: s32(_u32(a) >> (b & 31)),
+    Opcode.SRA: lambda a, b: s32(a >> (b & 31)),
+    Opcode.LUI: lambda a, b: s32(b << 16),
+    Opcode.LI: lambda a, b: b,
+    Opcode.MOVE: lambda a, b: a,
+    Opcode.MULT: lambda a, b: s32(a * b),
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    # floating point
+    Opcode.ADD_S: lambda a, b: a + b,
+    Opcode.SUB_S: lambda a, b: a - b,
+    Opcode.MUL_S: lambda a, b: a * b,
+    Opcode.DIV_S: lambda a, b: a / b if b != 0.0 else float("inf") if a > 0 else float("-inf") if a < 0 else float("nan"),
+    Opcode.NEG_S: lambda a, b: -a,
+    Opcode.MOV_S: lambda a, b: a,
+    Opcode.LI_S: lambda a, b: float(b),
+    Opcode.CVT_S_W: lambda a, b: float(a),
+    Opcode.CVT_W_S: lambda a, b: s32(int(a)),
+    # copies
+    Opcode.CP_TO_COMP: lambda a, b: a,
+    Opcode.CP_FROM_COMP: lambda a, b: a,
+}
+# FPa twins share the integer semantics
+_ALU.update(
+    {
+        Opcode.ADDU_A: _ALU[Opcode.ADDU],
+        Opcode.SUBU_A: _ALU[Opcode.SUBU],
+        Opcode.AND_A: _ALU[Opcode.AND],
+        Opcode.OR_A: _ALU[Opcode.OR],
+        Opcode.XOR_A: _ALU[Opcode.XOR],
+        Opcode.SLT_A: _ALU[Opcode.SLT],
+        Opcode.SLTU_A: _ALU[Opcode.SLTU],
+        Opcode.SLLV_A: _ALU[Opcode.SLLV],
+        Opcode.SRAV_A: _ALU[Opcode.SRAV],
+        Opcode.ADDIU_A: _ALU[Opcode.ADDIU],
+        Opcode.ANDI_A: _ALU[Opcode.ANDI],
+        Opcode.SLTI_A: _ALU[Opcode.SLTI],
+        Opcode.SLTIU_A: _ALU[Opcode.SLTIU],
+        Opcode.SLL_A: _ALU[Opcode.SLL],
+        Opcode.SRL_A: _ALU[Opcode.SRL],
+        Opcode.SRA_A: _ALU[Opcode.SRA],
+        Opcode.LI_A: _ALU[Opcode.LI],
+        Opcode.MOVE_A: _ALU[Opcode.MOVE],
+    }
+)
+
+_BRANCH = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLEZ: lambda a, b: a <= 0,
+    Opcode.BGTZ: lambda a, b: a > 0,
+    Opcode.BLTZ: lambda a, b: a < 0,
+    Opcode.BGEZ: lambda a, b: a >= 0,
+    Opcode.BEQ_S: lambda a, b: a == b,
+    Opcode.BNE_S: lambda a, b: a != b,
+    Opcode.BLT_S: lambda a, b: a < b,
+    Opcode.BLE_S: lambda a, b: a <= b,
+}
+_BRANCH.update(
+    {
+        Opcode.BEQ_A: _BRANCH[Opcode.BEQ],
+        Opcode.BNE_A: _BRANCH[Opcode.BNE],
+        Opcode.BLEZ_A: _BRANCH[Opcode.BLEZ],
+        Opcode.BLTZ_A: _BRANCH[Opcode.BLTZ],
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# precompiled function code
+# ---------------------------------------------------------------------------
+
+
+class _Code:
+    """Flattened, target-resolved form of one function."""
+
+    __slots__ = ("func", "instrs", "start_of", "block_start_label", "resolved_imm")
+
+    def __init__(self, func: Function, program: Program):
+        self.func = func
+        self.instrs: list[Instruction] = []
+        self.start_of: dict[str, int] = {}
+        self.block_start_label: list[str | None] = []
+        self.resolved_imm: list[int | float | None] = []
+        for blk in func.blocks:
+            self.start_of[blk.label] = len(self.instrs)
+            first = True
+            for instr in blk.instructions:
+                self.instrs.append(instr)
+                self.block_start_label.append(blk.label if first else None)
+                first = False
+                imm = instr.imm
+                if isinstance(imm, str):
+                    imm = program.global_address(imm)
+                self.resolved_imm.append(imm)
+            if first:  # empty block still needs a profile point
+                self.instrs.append(Instruction(Opcode.NOP, uid=-2))
+                self.block_start_label.append(blk.label)
+                self.resolved_imm.append(None)
+
+
+class _Activation:
+    """One function activation: registers plus a return point."""
+
+    __slots__ = ("code", "regs", "args", "frame_id", "index", "call_instr", "sp_restore")
+
+    def __init__(self, code: _Code, args: list, frame_id: int):
+        self.code = code
+        self.regs: dict[str, int | float] = {}
+        self.args = args
+        self.frame_id = frame_id
+        self.index = 0
+        self.call_instr: Instruction | None = None
+        self.sp_restore = 0
+
+
+@dataclass(eq=False, slots=True)
+class RunResult:
+    """Outcome of one program run."""
+
+    value: int | None
+    instructions: int
+    profile: ExecutionProfile
+    trace: list[TraceEntry] | None
+    state: MachineState
+
+
+class Interpreter:
+    """Executes a program; see :func:`run_program` for the usual entry."""
+
+    def __init__(self, program: Program):
+        program.layout()
+        self.program = program
+        self.layout = ProgramLayout(program)
+        self._code: dict[str, _Code] = {}
+
+    def code_of(self, name: str) -> _Code:
+        code = self._code.get(name)
+        if code is None:
+            code = _Code(self.program.function(name), self.program)
+            self._code[name] = code
+        return code
+
+    def run(
+        self,
+        entry: str | None = None,
+        fuel: int = 50_000_000,
+        collect_trace: bool = False,
+        profile: ExecutionProfile | None = None,
+    ) -> RunResult:
+        """Run to completion (the entry function's ``ret``).
+
+        Args:
+            entry: Function to start in (defaults to the program entry).
+            fuel: Dynamic-instruction budget; exceeded -> FuelExhausted.
+            collect_trace: Whether to record a full dynamic trace.
+            profile: Profile to accumulate into (fresh one if None).
+
+        Returns:
+            A :class:`RunResult`.
+        """
+        program = self.program
+        state = MachineState(program)
+        if profile is None:
+            profile = ExecutionProfile()
+        trace: list[TraceEntry] | None = [] if collect_trace else None
+        layout_pc = self.layout.pc_of
+
+        entry_name = entry or program.entry
+        next_frame = 0
+        act = _Activation(self.code_of(entry_name), [], next_frame)
+        next_frame += 1
+        stack = [act]
+        profile.record(entry_name, act.code.func.entry.label)
+
+        executed = 0
+        memory = state.memory
+        result_value: int | None = None
+
+        while True:
+            code = act.code
+            instrs = code.instrs
+            index = act.index
+            if index >= len(instrs):
+                raise ExecutionError(
+                    f"fell off the end of function {code.func.name}"
+                )
+            instr = instrs[index]
+            op = instr.op
+            kind = instr.kind
+
+            if instr.uid == -2:  # synthetic NOP for an empty block
+                act.index += 1
+                nxt = act.index
+                if nxt < len(instrs) and code.block_start_label[nxt]:
+                    profile.record(code.func.name, code.block_start_label[nxt])
+                continue
+
+            executed += 1
+            if executed > fuel:
+                raise FuelExhausted(
+                    f"exceeded fuel of {fuel} dynamic instructions"
+                )
+
+            regs = act.regs
+            entry_trace: TraceEntry | None = None
+            if trace is not None:
+                reads = tuple(
+                    (act.frame_id, r.name)
+                    for r in instr.uses
+                    if r.name != "$zero" and r.name != "$sp"
+                )
+                writes = tuple((act.frame_id, r.name) for r in instr.defs)
+                entry_trace = TraceEntry(
+                    instr=instr,
+                    pc=layout_pc[(code.func.name, instr.uid)],
+                    subsystem=Subsystem.FP if instr.info.fp_subsystem else Subsystem.INT,
+                    reads=reads,
+                    writes=writes,
+                )
+                trace.append(entry_trace)
+
+            def read(reg):
+                name = reg.name
+                if name == "$zero":
+                    return 0
+                if name == "$sp":
+                    return state.sp
+                try:
+                    return regs[name]
+                except KeyError:
+                    raise ExecutionError(
+                        f"{code.func.name}: read of undefined register {name}"
+                    ) from None
+
+            next_index = index + 1
+
+            if kind is OpKind.ALU or kind is OpKind.MUL or kind is OpKind.DIV or kind is OpKind.COPY:
+                uses = instr.uses
+                n = len(uses)
+                if n == 2:
+                    a, b = read(uses[0]), read(uses[1])
+                elif n == 1:
+                    a, b = read(uses[0]), code.resolved_imm[index]
+                else:
+                    a, b = 0, code.resolved_imm[index]
+                regs[instr.defs[0].name] = _ALU[op](a, b)
+            elif kind is OpKind.LOAD:
+                addr = read(instr.uses[0]) + (code.resolved_imm[index] or 0)
+                if op is Opcode.LW or op is Opcode.LS:
+                    value = memory.load_word(addr)
+                elif op is Opcode.LB:
+                    value = memory.load_byte(addr, signed=True)
+                else:  # LBU
+                    value = memory.load_byte(addr, signed=False)
+                regs[instr.defs[0].name] = value
+                if entry_trace is not None:
+                    entry_trace.mem_addr = addr
+            elif kind is OpKind.STORE:
+                value = read(instr.uses[0])
+                addr = read(instr.uses[1]) + (code.resolved_imm[index] or 0)
+                if op is Opcode.SB:
+                    memory.store_byte(addr, value)
+                else:
+                    memory.store_word(addr, value)
+                if entry_trace is not None:
+                    entry_trace.mem_addr = addr
+            elif kind is OpKind.BRANCH:
+                uses = instr.uses
+                a = read(uses[0])
+                b = read(uses[1]) if len(uses) == 2 else 0
+                taken = _BRANCH[op](a, b)
+                if entry_trace is not None:
+                    entry_trace.taken = taken
+                if taken:
+                    next_index = code.start_of[instr.target]
+                    profile.record(code.func.name, instr.target)
+                    act.index = next_index
+                    continue
+            elif kind is OpKind.JUMP:
+                next_index = code.start_of[instr.target]
+                profile.record(code.func.name, instr.target)
+                act.index = next_index
+                continue
+            elif kind is OpKind.PARAM:
+                regs[instr.defs[0].name] = act.args[instr.imm]
+                if entry_trace is not None:
+                    entry_trace.reads = ((act.frame_id, "@args"),)
+            elif kind is OpKind.CALL:
+                args = [read(r) for r in instr.uses]
+                callee = self.code_of(instr.target)
+                act.index = index  # resume here; RET advances past it
+                new_act = _Activation(callee, args, next_frame)
+                next_frame += 1
+                new_act.call_instr = instr
+                new_act.sp_restore = state.sp
+                state.sp -= callee.func.frame_size
+                stack.append(new_act)
+                if entry_trace is not None:
+                    entry_trace.writes = ((new_act.frame_id, "@args"),)
+                profile.record(instr.target, callee.func.entry.label)
+                act = new_act
+                continue
+            elif kind is OpKind.RET:
+                value = read(instr.uses[0]) if instr.uses else None
+                state.sp = act.sp_restore
+                finished = stack.pop()
+                if not stack:
+                    result_value = value
+                    break
+                caller = stack[-1]
+                call_instr = finished.call_instr
+                if call_instr is not None and call_instr.defs:
+                    caller.regs[call_instr.defs[0].name] = value
+                    if entry_trace is not None:
+                        entry_trace.writes = (
+                            (caller.frame_id, call_instr.defs[0].name),
+                        )
+                elif entry_trace is not None:
+                    entry_trace.writes = ()
+                act = caller
+                act.index += 1
+                nxt = act.index
+                code = act.code
+                if nxt < len(code.instrs) and code.block_start_label[nxt]:
+                    profile.record(code.func.name, code.block_start_label[nxt])
+                continue
+            elif kind is OpKind.NOP:
+                pass
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unhandled opcode {op}")
+
+            act.index = next_index
+            if next_index < len(instrs) and code.block_start_label[next_index]:
+                profile.record(code.func.name, code.block_start_label[next_index])
+
+        return RunResult(
+            value=result_value,
+            instructions=executed,
+            profile=profile,
+            trace=trace,
+            state=state,
+        )
+
+
+def run_program(
+    program: Program,
+    entry: str | None = None,
+    fuel: int = 50_000_000,
+    collect_trace: bool = False,
+    profile: ExecutionProfile | None = None,
+) -> RunResult:
+    """Convenience wrapper: build an :class:`Interpreter` and run."""
+    return Interpreter(program).run(
+        entry=entry, fuel=fuel, collect_trace=collect_trace, profile=profile
+    )

@@ -1,0 +1,94 @@
+"""Machine state for the functional interpreter.
+
+Memory is a single sparse word-addressed store.  A word slot holds either
+a 32-bit signed integer or a Python float: integer data written by
+``sw``/``s.s``-of-offloaded-values stays an int, float data written by
+``s.s`` of true float values stays a float.  This keeps the basic
+scheme's inter-partition communication through memory exact — a value
+stored from one register file and loaded into the other reads back
+bit-identically — without modelling IEEE-754 encodings.
+
+Register state lives in per-activation frames managed by the interpreter
+(virtual registers are function-local names); the stack pointer is
+machine-global so spill slots allocated by the register allocator behave
+correctly under recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.ir.program import Program
+
+#: Initial stack pointer (stack grows down from here).
+STACK_BASE = 0x7FFFF000
+
+Word = int | float
+
+
+def s32(value: int) -> int:
+    """Wrap to signed 32-bit two's complement."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+class Memory:
+    """Sparse byte-addressable memory with word-granularity storage.
+
+    Unaligned word access and byte access to float-holding words raise
+    :class:`ExecutionError`.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: dict[int, Word] = {}
+
+    def load_word(self, addr: int) -> Word:
+        if addr & 3:
+            raise ExecutionError(f"unaligned word load at {addr:#x}")
+        return self._words.get(addr >> 2, 0)
+
+    def store_word(self, addr: int, value: Word) -> None:
+        if addr & 3:
+            raise ExecutionError(f"unaligned word store at {addr:#x}")
+        self._words[addr >> 2] = s32(value) if isinstance(value, int) else value
+
+    def load_byte(self, addr: int, signed: bool = True) -> int:
+        word = self._words.get(addr >> 2, 0)
+        if isinstance(word, float):
+            raise ExecutionError(f"byte load from float data at {addr:#x}")
+        word &= 0xFFFFFFFF
+        byte = (word >> ((addr & 3) * 8)) & 0xFF
+        if signed and byte >= 0x80:
+            byte -= 0x100
+        return byte
+
+    def store_byte(self, addr: int, value: int) -> None:
+        shift = (addr & 3) * 8
+        word = self._words.get(addr >> 2, 0)
+        if isinstance(word, float):
+            raise ExecutionError(f"byte store into float data at {addr:#x}")
+        word &= 0xFFFFFFFF
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._words[addr >> 2] = s32(word)
+
+    def words_used(self) -> int:
+        return len(self._words)
+
+
+@dataclass(eq=False, slots=True)
+class MachineState:
+    """Global (cross-activation) machine state."""
+
+    program: Program
+    memory: Memory = field(default_factory=Memory)
+    sp: int = STACK_BASE
+
+    def __post_init__(self) -> None:
+        self.program.layout()
+        for var in self.program.globals.values():
+            if var.init:
+                for i, word in enumerate(var.init):
+                    self.memory.store_word(var.address + 4 * i, word)

@@ -1,0 +1,373 @@
+"""Trace-driven out-of-order pipeline model.
+
+The model replays a dynamic trace through a superscalar pipeline with the
+stage structure of Figure 1: shared fetch/decode, then partitioned INT
+and FP(a) subsystems, each with its own issue window and functional
+units.  All memory instructions flow through the INT subsystem's
+load/store port(s) regardless of which register file their data targets
+(``l.s``/``s.s`` included), matching the paper's machine.
+
+Per simulated cycle, in reverse pipeline order:
+
+1. **Retire** — in order from the ROB head, up to the retire width;
+   frees rename registers.
+2. **Issue** — oldest-first out of each subsystem's window: an entry
+   issues when its producers have completed, a functional unit of its
+   class is free, and (loads/stores) a load/store port is free.  Loads
+   additionally wait until every older in-flight store has computed its
+   address, and until any older store to the same word has completed
+   (store-to-load data dependence).
+3. **Dispatch** — from the fetch buffer into the windows, up to the
+   decode width, blocked by window space, the in-flight cap, and free
+   rename registers of the destination's register class.
+4. **Fetch** — up to the fetch width from the trace, stopping at taken
+   control flow; I-cache misses stall fetch; conditional branches are
+   predicted with gshare and a misprediction stalls fetch until the
+   branch resolves (wrong-path work is not simulated, its cost is the
+   fetch bubble — the standard trace-driven approximation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.ir.opcodes import OpKind
+from repro.runtime.trace import Subsystem, TraceEntry
+from repro.sim.branch_pred import GSharePredictor, PerfectPredictor
+from repro.sim.cache import Cache
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimStats
+
+
+class _Dyn:
+    """Pipeline bookkeeping for one dynamic instruction."""
+
+    __slots__ = (
+        "entry",
+        "seq",
+        "producers",
+        "complete",
+        "issued",
+        "latency_class",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "fp_side",
+        "int_defs",
+        "fp_defs",
+        "fetched_at",
+        "dispatched_at",
+        "issued_at",
+        "retired_at",
+    )
+
+    def __init__(self, entry: TraceEntry, seq: int):
+        self.entry = entry
+        self.seq = seq
+        self.producers: list[_Dyn] = []
+        self.complete: int | None = None
+        self.issued = False
+        self.fetched_at = -1
+        self.dispatched_at = -1
+        self.issued_at = -1
+        self.retired_at = -1
+        kind = entry.instr.kind
+        self.is_load = kind is OpKind.LOAD
+        self.is_store = kind is OpKind.STORE
+        self.is_mem = self.is_load or self.is_store
+        self.fp_side = entry.subsystem is Subsystem.FP
+        self.latency_class = kind
+        self.int_defs = 0
+        self.fp_defs = 0
+        for reg in entry.instr.defs:
+            if reg.rclass.value == "fp":
+                self.fp_defs += 1
+            else:
+                self.int_defs += 1
+
+
+class TimingSimulator:
+    """Simulates one trace on one machine configuration."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        perfect_branches: bool = False,
+        record_timeline: bool = False,
+    ):
+        self.config = config
+        self.icache = Cache(config.icache)
+        self.dcache = Cache(config.dcache)
+        if perfect_branches:
+            self.predictor = PerfectPredictor(config.predictor)
+        else:
+            self.predictor = GSharePredictor(config.predictor)
+        self.stats = SimStats()
+        self.record_timeline = record_timeline
+        #: per-instruction stage timestamps, populated when
+        #: ``record_timeline`` is set; see :mod:`repro.sim.timeline`
+        self.timeline: list[_Dyn] = []
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[TraceEntry], max_cycles: int | None = None) -> SimStats:
+        """Replay ``trace``; returns the populated :class:`SimStats`."""
+        config = self.config
+        stats = self.stats
+        n = len(trace)
+        if n == 0:
+            return stats
+
+        fetch_index = 0
+        fetch_buffer: deque[_Dyn] = deque()
+        fetch_buffer_cap = 2 * config.fetch_width
+        fetch_stall_until = 0
+        blocking_branch: _Dyn | None = None
+
+        int_window: list[_Dyn] = []
+        fp_window: list[_Dyn] = []
+        rob: deque[_Dyn] = deque()
+        last_writer: dict[tuple[int, str], _Dyn] = {}
+        inflight_stores: list[_Dyn] = []
+
+        free_int = config.rename_int
+        free_fp = config.rename_fp
+        retired = 0
+        seq = 0
+        now = 0
+        hit_cycles = config.icache.hit_cycles
+        limit = max_cycles if max_cycles is not None else 200 * n + 10_000
+
+        while retired < n:
+            now += 1
+            if now > limit:
+                raise SimulationError(
+                    f"simulation exceeded {limit} cycles with "
+                    f"{retired}/{n} instructions retired"
+                )
+
+            # ---- retire ------------------------------------------------
+            width = config.retire_width
+            while rob and width:
+                head = rob[0]
+                if head.complete is None or head.complete > now:
+                    break
+                rob.popleft()
+                head.retired_at = now
+                free_int += head.int_defs
+                free_fp += head.fp_defs
+                if head.is_store:
+                    inflight_stores.remove(head)
+                retired += 1
+                width -= 1
+
+            # ---- issue ---------------------------------------------------
+            int_issued_now = self._issue_int(int_window, inflight_stores, now)
+            fp_issued_now = self._issue_fp(fp_window, now)
+            if int_issued_now:
+                stats.int_busy_cycles += 1
+            if fp_issued_now:
+                stats.fp_busy_cycles += 1
+                if not int_issued_now:
+                    stats.int_idle_fp_busy_cycles += 1
+            if blocking_branch is not None and blocking_branch.complete is not None:
+                fetch_stall_until = max(
+                    fetch_stall_until,
+                    blocking_branch.complete + config.mispredict_redirect,
+                )
+                blocking_branch = None
+
+            # ---- dispatch ------------------------------------------------
+            width = config.decode_width
+            dispatched_any = False
+            while fetch_buffer and width:
+                dyn = fetch_buffer[0]
+                window = fp_window if dyn.fp_side else int_window
+                window_cap = config.fp_window if dyn.fp_side else config.int_window
+                if len(window) >= window_cap:
+                    break
+                if len(rob) >= config.max_inflight:
+                    break
+                if dyn.int_defs > free_int or dyn.fp_defs > free_fp:
+                    break
+                fetch_buffer.popleft()
+                dyn.dispatched_at = now
+                free_int -= dyn.int_defs
+                free_fp -= dyn.fp_defs
+                for token in dyn.entry.reads:
+                    producer = last_writer.get(token)
+                    if producer is not None and producer.complete is None:
+                        dyn.producers.append(producer)
+                    elif producer is not None and producer.complete > now:
+                        dyn.producers.append(producer)
+                for token in dyn.entry.writes:
+                    last_writer[token] = dyn
+                window.append(dyn)
+                rob.append(dyn)
+                if dyn.is_store:
+                    inflight_stores.append(dyn)
+                width -= 1
+                dispatched_any = True
+            if fetch_buffer and not dispatched_any:
+                stats.dispatch_stall_cycles += 1
+
+            # ---- fetch ---------------------------------------------------
+            if now < fetch_stall_until or blocking_branch is not None:
+                if fetch_index < n:
+                    stats.fetch_stall_cycles += 1
+                continue
+            width = config.fetch_width
+            while width and fetch_index < n and len(fetch_buffer) < fetch_buffer_cap:
+                entry = trace[fetch_index]
+                latency = self.icache.access(entry.pc)
+                if latency > hit_cycles:
+                    fetch_stall_until = now + (latency - hit_cycles)
+                    break
+                dyn = _Dyn(entry, seq)
+                dyn.fetched_at = now
+                if self.record_timeline:
+                    self.timeline.append(dyn)
+                seq += 1
+                fetch_index += 1
+                fetch_buffer.append(dyn)
+                width -= 1
+                kind = entry.instr.kind
+                if kind is OpKind.BRANCH:
+                    correct = self.predictor.update(entry.pc, entry.taken)
+                    stats.branches += 1
+                    if not correct:
+                        stats.branch_mispredicts += 1
+                        blocking_branch = dyn
+                        break
+                    if entry.taken:
+                        break  # cannot fetch past a taken branch this cycle
+                elif kind in (OpKind.JUMP, OpKind.CALL, OpKind.RET):
+                    break  # taken control flow, perfectly predicted
+
+        stats.cycles = now
+        stats.retired = retired
+        stats.icache_hits = self.icache.hits
+        stats.icache_misses = self.icache.misses
+        stats.dcache_hits = self.dcache.hits
+        stats.dcache_misses = self.dcache.misses
+        return stats
+
+    # ------------------------------------------------------------------
+    def _latency(self, dyn: _Dyn) -> int:
+        kind = dyn.latency_class
+        if dyn.is_load:
+            return self.dcache.access(dyn.entry.mem_addr)
+        if dyn.is_store:
+            self.dcache.access(dyn.entry.mem_addr)
+            return 1
+        if kind is OpKind.MUL:
+            return self.config.mul_latency
+        if kind is OpKind.DIV:
+            return self.config.div_latency
+        return 1
+
+    @staticmethod
+    def _ready(dyn: _Dyn, now: int) -> bool:
+        for producer in dyn.producers:
+            if producer.complete is None or producer.complete > now:
+                return False
+        return True
+
+    def _issue_int(
+        self, window: list[_Dyn], inflight_stores: list[_Dyn], now: int
+    ) -> int:
+        """Issue from the INT window; returns number issued."""
+        budget = self.config.int_units
+        ls_budget = self.config.ls_ports
+        issued = 0
+        stats = self.stats
+        if not window:
+            return 0
+        oldest_unissued_store = None
+        for store in inflight_stores:
+            if not store.issued:
+                oldest_unissued_store = store.seq
+                break
+        remaining: list[_Dyn] = []
+        for dyn in window:
+            if budget == 0:
+                remaining.append(dyn)
+                continue
+            if dyn.is_mem and ls_budget == 0:
+                remaining.append(dyn)
+                continue
+            if not self._ready(dyn, now):
+                remaining.append(dyn)
+                continue
+            if dyn.is_load:
+                if (
+                    oldest_unissued_store is not None
+                    and oldest_unissued_store < dyn.seq
+                ):
+                    remaining.append(dyn)
+                    continue
+                conflict = False
+                word = dyn.entry.mem_addr >> 2
+                for store in inflight_stores:
+                    if store.seq > dyn.seq:
+                        break
+                    if (
+                        store.entry.mem_addr >> 2 == word
+                        and (store.complete is None or store.complete > now)
+                    ):
+                        conflict = True
+                        break
+                if conflict:
+                    remaining.append(dyn)
+                    continue
+            dyn.issued = True
+            dyn.issued_at = now
+            dyn.complete = now + self._latency(dyn)
+            if dyn.is_store and oldest_unissued_store == dyn.seq:
+                oldest_unissued_store = None
+                for store in inflight_stores:
+                    if not store.issued:
+                        oldest_unissued_store = store.seq
+                        break
+            budget -= 1
+            if dyn.is_mem:
+                ls_budget -= 1
+                if dyn.is_load:
+                    stats.loads += 1
+                else:
+                    stats.stores += 1
+            issued += 1
+            stats.int_issued += 1
+        window[:] = remaining
+        return issued
+
+    def _issue_fp(self, window: list[_Dyn], now: int) -> int:
+        """Issue from the FP window; returns number issued."""
+        budget = self.config.fp_units
+        issued = 0
+        if not window:
+            return 0
+        remaining: list[_Dyn] = []
+        for dyn in window:
+            if budget == 0 or not self._ready(dyn, now):
+                remaining.append(dyn)
+                continue
+            dyn.issued = True
+            dyn.issued_at = now
+            dyn.complete = now + self._latency(dyn)
+            budget -= 1
+            issued += 1
+            self.stats.fp_issued += 1
+        window[:] = remaining
+        return issued
+
+    # ------------------------------------------------------------------
+
+
+def simulate_trace(
+    trace: list[TraceEntry],
+    config: MachineConfig,
+    perfect_branches: bool = False,
+) -> SimStats:
+    """Convenience wrapper: run ``trace`` on a fresh simulator."""
+    return TimingSimulator(config, perfect_branches=perfect_branches).run(trace)

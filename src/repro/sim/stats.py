@@ -1,0 +1,87 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(eq=False, slots=True)
+class SimStats:
+    """Counters produced by one timing-simulation run.
+
+    The derived properties (IPC, offload fraction, subsystem utilization)
+    are what the experiment harness reports.
+    """
+
+    cycles: int = 0
+    retired: int = 0
+    int_issued: int = 0
+    fp_issued: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    icache_hits: int = 0
+    icache_misses: int = 0
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    int_busy_cycles: int = 0
+    fp_busy_cycles: int = 0
+    int_idle_fp_busy_cycles: int = 0
+    fetch_stall_cycles: int = 0
+    dispatch_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of retired instructions that executed in the FP/FPa
+        subsystem — the paper's offload metric."""
+        return self.fp_issued / self.retired if self.retired else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.branch_mispredicts / self.branches
+
+    @property
+    def icache_miss_rate(self) -> float:
+        total = self.icache_hits + self.icache_misses
+        return self.icache_misses / total if total else 0.0
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        total = self.dcache_hits + self.dcache_misses
+        return self.dcache_misses / total if total else 0.0
+
+    @property
+    def int_idle_while_fp_busy_fraction(self) -> float:
+        """Of the cycles where FPa executed something, the fraction where
+        the INT subsystem sat idle (the paper's load-imbalance metric,
+        §7.3)."""
+        if not self.fp_busy_cycles:
+            return 0.0
+        return self.int_idle_fp_busy_cycles / self.fp_busy_cycles
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary (counters + derived) for reports."""
+        return {
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "ipc": self.ipc,
+            "fp_fraction": self.fp_fraction,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "branch_accuracy": self.branch_accuracy,
+            "icache_miss_rate": self.icache_miss_rate,
+            "dcache_miss_rate": self.dcache_miss_rate,
+            "int_busy_cycles": self.int_busy_cycles,
+            "fp_busy_cycles": self.fp_busy_cycles,
+            "int_idle_while_fp_busy": self.int_idle_while_fp_busy_fraction,
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "dispatch_stall_cycles": self.dispatch_stall_cycles,
+        }

@@ -1,0 +1,83 @@
+"""Pipeline timeline rendering.
+
+With ``TimingSimulator(config, record_timeline=True)`` the simulator
+records fetch/dispatch/issue/complete/retire cycles per instruction;
+:func:`render_timeline` draws the classic pipeline diagram::
+
+    cycle          1234567890
+    addu  v1,...   FDIC.R
+    lw    v2,...   FDI..CR
+    bne   ...      F.DIC..R
+
+Letters: F fetched, D dispatched, I issued, C completed, R retired;
+dots are in-flight wait cycles.  Intended for small traces — examples,
+debugging, teaching — not for benchmark-sized runs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.printer import print_instruction
+from repro.runtime.trace import TraceEntry
+from repro.sim.config import MachineConfig
+from repro.sim.pipeline import TimingSimulator
+from repro.sim.stats import SimStats
+
+
+def simulate_with_timeline(
+    trace: list[TraceEntry],
+    config: MachineConfig,
+    perfect_branches: bool = False,
+) -> tuple[SimStats, list]:
+    """Run a trace recording per-instruction stage timestamps.
+
+    Returns ``(stats, timeline)`` where each timeline element has
+    ``fetched_at``, ``dispatched_at``, ``issued_at``, ``complete`` and
+    ``retired_at`` cycle numbers plus the originating ``entry``.
+    """
+    simulator = TimingSimulator(
+        config, perfect_branches=perfect_branches, record_timeline=True
+    )
+    stats = simulator.run(trace)
+    return stats, simulator.timeline
+
+
+def render_timeline(timeline: list, max_instructions: int = 40, width: int = 64) -> str:
+    """Render recorded stage timestamps as a text pipeline diagram."""
+    if not timeline:
+        return "(empty timeline)"
+    shown = timeline[:max_instructions]
+    first = min(dyn.fetched_at for dyn in shown if dyn.fetched_at >= 0)
+    last = max(dyn.retired_at for dyn in shown if dyn.retired_at >= 0)
+    span = min(last - first + 1, width)
+
+    label_width = 28
+    header = " " * label_width + "".join(
+        str((first + i) % 10) for i in range(span)
+    )
+    lines = [f"{'cycle %d..%d' % (first, first + span - 1):{label_width}s}", header]
+
+    for dyn in shown:
+        text = print_instruction(dyn.entry.instr)
+        if len(text) > label_width - 2:
+            text = text[: label_width - 3] + "…"
+        row = [" "] * span
+
+        def mark(cycle: int, letter: str) -> None:
+            index = cycle - first
+            if 0 <= index < span:
+                row[index] = letter
+
+        start = dyn.fetched_at
+        end = dyn.retired_at if dyn.retired_at >= 0 else first + span - 1
+        for cycle in range(max(start, first), min(end, first + span - 1) + 1):
+            row[cycle - first] = "."
+        mark(dyn.fetched_at, "F")
+        mark(dyn.dispatched_at, "D")
+        mark(dyn.issued_at, "I")
+        if dyn.complete is not None:
+            mark(dyn.complete, "C")
+        mark(dyn.retired_at, "R")
+        lines.append(f"{text:{label_width}s}{''.join(row)}")
+    if len(timeline) > max_instructions:
+        lines.append(f"... ({len(timeline) - max_instructions} more instructions)")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Tests for dominators, natural loops, and nesting depth."""
+
+import pytest
+
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import find_loops, loop_nesting_depth
+from repro.errors import AnalysisError
+from repro.ir.parser import parse_function
+
+NESTED = """
+func f(0) {
+entry:
+  v0 = li 0
+outer:
+  v1 = li 0
+inner:
+  v1 = addiu v1, 1
+  v2 = slti v1, 10
+  v3 = li 0
+  bne v2, v3, inner
+after_inner:
+  v0 = addiu v0, 1
+  v4 = slti v0, 10
+  v5 = li 0
+  bne v4, v5, outer
+exit:
+  ret
+}
+"""
+
+
+@pytest.fixture
+def nested():
+    return parse_function(NESTED)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, nested):
+        dom = compute_dominators(nested)
+        for label in ("outer", "inner", "after_inner", "exit"):
+            assert dom.dominates("entry", label)
+
+    def test_loop_header_dominates_body(self, nested):
+        dom = compute_dominators(nested)
+        assert dom.dominates("outer", "inner")
+        assert not dom.dominates("inner", "outer")
+
+    def test_reflexive(self, nested):
+        dom = compute_dominators(nested)
+        assert dom.dominates("inner", "inner")
+
+    def test_idom_chain(self, nested):
+        dom = compute_dominators(nested)
+        assert dom.dominators_of("inner") == ["inner", "outer", "entry"]
+
+    def test_diamond_join_dominated_by_fork_only(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, left
+right:
+  j join
+left:
+  v1 = li 0
+join:
+  ret v0
+}
+"""
+        )
+        dom = compute_dominators(func)
+        assert dom.idom["join"] == "entry"
+
+    def test_unreachable_block_raises(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  ret
+island:
+  ret
+}
+"""
+        )
+        dom = compute_dominators(func)
+        with pytest.raises(AnalysisError):
+            dom.dominates("entry", "island")
+
+
+class TestLoops:
+    def test_two_nested_loops_found(self, nested):
+        loops = find_loops(nested)
+        headers = {loop.header for loop in loops}
+        assert headers == {"outer", "inner"}
+
+    def test_inner_loop_body(self, nested):
+        loops = {loop.header: loop for loop in find_loops(nested)}
+        assert loops["inner"].body == {"inner"}
+        assert "inner" in loops["outer"].body
+        assert "after_inner" in loops["outer"].body
+
+    def test_nesting_depth(self, nested):
+        depth = loop_nesting_depth(nested)
+        assert depth["entry"] == 0
+        assert depth["outer"] == 1
+        assert depth["inner"] == 2
+        assert depth["after_inner"] == 1
+        assert depth["exit"] == 0
+
+    def test_figure3_single_loop(self, figure3):
+        depth = loop_nesting_depth(figure3)
+        assert depth["loop"] == 1
+        assert depth["body"] == 1
+        assert depth["skip"] == 1
+        assert depth["entry"] == 0
+
+    def test_no_loops_in_straightline(self, straightline):
+        assert find_loops(straightline) == []

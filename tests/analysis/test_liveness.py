@@ -1,0 +1,79 @@
+"""Tests for liveness analysis."""
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.parser import parse_function
+from repro.ir.registers import parse_reg
+
+
+class TestLiveness:
+    def test_loop_carried_register_live_through(self, figure3):
+        liveness = compute_liveness(figure3)
+        v0 = parse_reg("v0")
+        assert v0 in liveness.live_in["loop"]
+        assert v0 in liveness.live_out["skip"]
+        assert v0 in liveness.live_through("loop")
+
+    def test_dead_after_last_use(self, figure3):
+        liveness = compute_liveness(figure3)
+        v4 = parse_reg("v4")  # loaded value: used in loop/body only
+        assert v4 not in liveness.live_in["loop"]
+        assert v4 not in liveness.live_out["skip"]
+
+    def test_nothing_live_at_exit(self, figure3):
+        liveness = compute_liveness(figure3)
+        assert liveness.live_out["exit"] == set()
+
+    def test_straightline_chain(self, straightline):
+        liveness = compute_liveness(straightline)
+        assert liveness.live_in["entry"] == set()
+        assert liveness.live_out["entry"] == set()
+
+    def test_branch_operand_live_into_block(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  j test
+test:
+  blez v0, out
+mid:
+  j test
+out:
+  ret v0
+}
+"""
+        )
+        liveness = compute_liveness(func)
+        v0 = parse_reg("v0")
+        assert v0 in liveness.live_in["test"]
+        assert v0 in liveness.live_in["out"]
+        assert v0 in liveness.live_out["mid"]
+
+    def test_zero_never_live(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = addu $zero, $zero
+  ret
+}
+"""
+        )
+        liveness = compute_liveness(func)
+        zero = parse_reg("$zero")
+        assert zero not in liveness.live_in["entry"]
+
+    def test_defined_before_use_not_upward_exposed(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  v1 = addiu v0, 1
+  ret v1
+}
+"""
+        )
+        liveness = compute_liveness(func)
+        assert liveness.live_in["entry"] == set()

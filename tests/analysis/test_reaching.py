@@ -1,0 +1,106 @@
+"""Tests for reaching definitions."""
+
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir.parser import parse_function
+
+
+def _uses_of(func, mnemonic):
+    for instr in func.instructions():
+        if instr.op.value == mnemonic:
+            return instr
+    raise AssertionError(f"no {mnemonic} in function")
+
+
+class TestStraightLine:
+    def test_single_def_reaches_use(self, straightline):
+        reaching = ReachingDefinitions(straightline)
+        addu = _uses_of(straightline, "addu")
+        defs0 = reaching.reaching_defs_of_use(addu, 0)
+        assert len(defs0) == 1
+        assert defs0[0].reg.name == "v0"
+
+    def test_du_edges_complete(self, straightline):
+        reaching = ReachingDefinitions(straightline)
+        edges = list(reaching.du_edges())
+        # v0->addu, v1->addu, v2->sll, v3->ret
+        assert len(edges) == 4
+
+    def test_redefinition_kills(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  v0 = li 2
+  v1 = move v0
+  ret v1
+}
+"""
+        )
+        reaching = ReachingDefinitions(func)
+        move = _uses_of(func, "move")
+        defs = reaching.reaching_defs_of_use(move, 0)
+        assert len(defs) == 1
+        assert defs[0].uid == list(func.instructions())[1].uid
+
+
+class TestLoops:
+    def test_loop_variable_has_two_reaching_defs(self, figure3):
+        reaching = ReachingDefinitions(figure3)
+        sll = _uses_of(figure3, "sll")
+        defs = reaching.reaching_defs_of_use(sll, 0)
+        # v0 defined by entry `li 0` and by `addiu v0, 1` in skip
+        assert len(defs) == 2
+        assert {d.block for d in defs} == {"entry", "skip"}
+
+    def test_defs_of_reg(self, figure3):
+        reaching = ReachingDefinitions(figure3)
+        from repro.ir.registers import parse_reg
+
+        defs = reaching.defs_of_reg(parse_reg("v0"))
+        assert len(defs) == 2
+
+    def test_reaching_in_loop_header(self, figure3):
+        reaching = ReachingDefinitions(figure3)
+        regs = {site.reg.name for site in reaching.reaching_in("loop")}
+        assert "v0" in regs
+
+    def test_zero_register_has_no_defs(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = addu $zero, $zero
+  ret
+}
+"""
+        )
+        reaching = ReachingDefinitions(func)
+        instr = next(iter(func.instructions()))
+        assert reaching.reaching_defs_of_use(instr, 0) == []
+        assert reaching.reaching_defs_of_use(instr, 1) == []
+
+
+class TestBranchingPaths:
+    def test_both_arms_reach_join(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, other
+one:
+  v1 = li 1
+  j join
+other:
+  v1 = li 2
+join:
+  v2 = move v1
+  ret v2
+}
+"""
+        )
+        reaching = ReachingDefinitions(func)
+        move = _uses_of(func, "move")
+        defs = reaching.reaching_defs_of_use(move, 0)
+        assert {d.block for d in defs} == {"one", "other"}

@@ -1,0 +1,121 @@
+"""Shared fixtures.
+
+Workload-based fixtures use reduced scales so the suite stays fast; the
+benchmark harness (``benchmarks/``) runs the full default scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.parser import parse_function, parse_program
+from repro.minic.compile import compile_source
+
+#: The paper's Figure 3 fragment (invalidate_for_call loop), hand-lowered
+#: the way our MiniC compiler would.  Used by the RDG/slice/partition
+#: tests that mirror the paper's worked example.
+FIGURE3_IR = """
+func invalidate(0) {
+entry:
+  v0 = li 0
+loop:
+  v1 = li @reg_tick
+  v2 = sll v0, 2
+  v3 = addu v1, v2
+  v4 = lw v3, 0
+  bltz v4, skip
+body:
+  v6 = addiu v4, 1
+  sw v6, v3, 0
+skip:
+  v0 = addiu v0, 1
+  v7 = slti v0, 66
+  v8 = li 0
+  bne v7, v8, loop
+exit:
+  ret
+}
+"""
+
+STRAIGHTLINE_IR = """
+func f(0) returns {
+entry:
+  v0 = li 5
+  v1 = li 7
+  v2 = addu v0, v1
+  v3 = sll v2, 1
+  ret v3
+}
+"""
+
+
+@pytest.fixture
+def figure3():
+    """Fresh Figure-3-style function (callers may mutate it)."""
+    return parse_function(FIGURE3_IR)
+
+
+@pytest.fixture
+def straightline():
+    return parse_function(STRAIGHTLINE_IR)
+
+
+@pytest.fixture
+def vector_sum_program():
+    """The paper's Figure 2 example as a full program."""
+    return parse_program(
+        """
+global a 64
+global b 64
+global c 64
+
+func main(0) {
+entry:
+  v0 = li 0
+  v1 = li @a
+  v2 = li @b
+  v3 = li @c
+loop:
+  v4 = sll v0, 2
+  v5 = addu v1, v4
+  v6 = lw v5, 0
+  v7 = addu v2, v4
+  v8 = lw v7, 0
+  v9 = addu v6, v8
+  v10 = addu v3, v4
+  sw v9, v10, 0
+  v0 = addiu v0, 1
+  v11 = slti v0, 16
+  v12 = li 0
+  bne v11, v12, loop
+exit:
+  ret v0
+}
+"""
+    )
+
+
+MINIC_SMOKE = """
+int table[32];
+
+int twice(int x) {
+    return x * 2;
+}
+
+int main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        table[i] = twice(i) + 1;
+    }
+    for (i = 0; i < 32; i = i + 1) {
+        total = total + table[i];
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture
+def minic_smoke_program():
+    return compile_source(MINIC_SMOKE)

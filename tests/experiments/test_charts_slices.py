@@ -1,0 +1,78 @@
+"""Tests for ASCII charts and the slice-characterization experiment."""
+
+import pytest
+
+from repro.experiments import charts, figure8, slices
+
+
+class TestBars:
+    def test_bar_scaling(self):
+        assert charts.bar(10, 10, width=20) == "#" * 20
+        assert charts.bar(5, 10, width=20) == "#" * 10
+        assert charts.bar(0, 10) == ""
+
+    def test_half_units(self):
+        assert charts.bar(5.25, 10, width=20).endswith("+")
+
+    def test_negative_clamped(self):
+        assert charts.bar(-3, 10) == ""
+
+    def test_zero_scale(self):
+        assert charts.bar(5, 0) == ""
+
+    def test_grouped_bars_layout(self):
+        text = charts.grouped_bars(
+            "demo",
+            [("alpha", {"basic": 10.0, "advanced": 20.0}),
+             ("beta", {"basic": 5.0, "advanced": 40.0})],
+        )
+        assert "demo" in text
+        assert text.count("|") == 4
+        # the largest value owns the full axis
+        longest = max(line.split("|")[1] for line in text.splitlines() if "|" in line)
+        assert len(longest) == 40
+
+    def test_figure_chart_uses_row_attrs(self):
+        rows = [figure8.Figure8Row("compress", 12.0, 27.6, 14.0, 27.0)]
+        text = charts.figure_chart(
+            rows,
+            {"basic": "basic_percent", "advanced": "advanced_percent"},
+            "t",
+        )
+        assert "compress" in text and "27.6" in text
+
+    def test_empty_rows(self):
+        assert charts.grouped_bars("t", []) == "t"
+
+
+class TestSliceCharacterization:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return slices.characterize("m88ksim", scale=1)
+
+    def test_fractions_partition_the_stream(self, row):
+        total = (
+            row.ldst_fraction
+            + row.memory_ops_fraction
+            + row.offloadable_fraction
+            + row.call_glue_fraction
+            + row.other_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_fractions_nonnegative(self, row):
+        for value in (
+            row.ldst_fraction,
+            row.memory_ops_fraction,
+            row.offloadable_fraction,
+            row.call_glue_fraction,
+            row.other_fraction,
+        ):
+            assert value >= 0.0
+
+    def test_memory_bound_band(self, row):
+        assert 0.3 < row.ldst_fraction + row.memory_ops_fraction < 0.7
+
+    def test_format_table(self, row):
+        text = slices.format_table([row])
+        assert "m88ksim" in text and "%" in text

@@ -1,0 +1,75 @@
+"""Tests for experiment formatting and the report CLI."""
+
+import pytest
+
+from repro.experiments import figure8, figure9, figure10, table_fp, table_overhead
+from repro.experiments.report import format_table1, format_table2, main
+
+
+class TestStaticTables:
+    def test_table1_mentions_both_machines(self):
+        text = format_table1()
+        assert "4-way" in text and "8-way" in text
+        assert "2 Int + 2 Fp" in text and "4 Int + 4 Fp" in text
+        assert "gshare" in text
+
+    def test_table2_lists_all_benchmarks(self):
+        text = format_table2()
+        for name in ("compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "ear", "swim"):
+            assert name in text
+
+
+class TestRowFormatting:
+    def test_figure8_format(self):
+        rows = [
+            figure8.Figure8Row("compress", 12.0, 27.6, 14.0, 27.0),
+        ]
+        text = figure8.format_table(rows)
+        assert "compress" in text
+        assert "27.6%" in text and "27.0%" in text
+
+    def test_figure9_format(self):
+        rows = [
+            figure9.SpeedupRow("m88ksim", 29.9, 34.2, 10.0, 23.0, 1000, 745),
+        ]
+        text = figure9.format_table(rows)
+        assert "+34.2%" in text
+
+    def test_figure10_uses_8way_title(self):
+        rows = [
+            figure9.SpeedupRow("li", 0.9, 0.7, 1.0, 1.0, 100, 99),
+        ]
+        assert "8-way" in figure10.format_table(rows)
+
+    def test_overhead_format(self):
+        rows = [
+            table_overhead.OverheadRow(
+                "compress", 4.91, 1.71, 3.20, 8.97, 0.00005, 0.00005, 10, 20
+            )
+        ]
+        text = table_overhead.format_table(rows)
+        assert "4.91%" in text
+
+    def test_fp_format(self):
+        rows = [table_fp.FpRow("ear", 0.238, 1.0, 15.9, 44.9)]
+        text = table_fp.format_table(rows)
+        assert "ear" in text and "+15.9%" in text
+
+
+class TestReportCli:
+    def test_static_experiments_run(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["figNaN"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_paper_reference_values_cover_all_int_benchmarks(self):
+        from repro.workloads import INT_BENCHMARKS
+
+        for name in INT_BENCHMARKS:
+            assert name in figure8.PAPER_FIGURE8
+            assert name in figure9.PAPER_FIGURE9
+            assert name in figure10.PAPER_FIGURE10

@@ -1,0 +1,64 @@
+"""Qualitative shape checks of the paper's headline results, at reduced
+scales so they stay test-suite-fast.  The full-scale numbers live in the
+benchmark harness and EXPERIMENTS.md."""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark, run_pair
+
+#: reduced scales for shape tests
+FAST = {"compress": 300, "m88ksim": 4, "li": 6, "go": 2, "swim": 2, "ear": 1}
+
+
+class TestHeadlineShapes:
+    def test_advanced_offloads_more_than_basic(self):
+        basic = run_benchmark("compress", "basic", scale=FAST["compress"])
+        advanced = run_benchmark("compress", "advanced", scale=FAST["compress"])
+        assert advanced.offload_fraction >= basic.offload_fraction
+
+    def test_offload_fraction_in_paper_band(self):
+        """Figure 8 band: the advanced scheme offloads 9-41% (we accept
+        a slightly wider band at reduced scales)."""
+        result = run_benchmark("m88ksim", "advanced", scale=FAST["m88ksim"])
+        assert 0.05 <= result.offload_fraction <= 0.55
+
+    def test_partitioning_speeds_up_m88ksim(self):
+        _, _, speedup = run_pair("m88ksim", "advanced", width=4, scale=FAST["m88ksim"])
+        assert speedup > 1.05  # the paper's 23% best case
+
+    def test_li_gains_little(self):
+        """§7.2/Figure 9: call-intensive li barely benefits."""
+        _, li_result, li_speedup = run_pair("li", "advanced", width=4, scale=FAST["li"])
+        _, _, m88k_speedup = run_pair("m88ksim", "advanced", width=4, scale=FAST["m88ksim"])
+        assert li_speedup < m88k_speedup
+
+    def test_eight_way_gains_smaller_than_four_way(self):
+        """Figure 10: with 4 INT units the extra FPa bandwidth matters
+        much less."""
+        _, _, four = run_pair("m88ksim", "advanced", width=4, scale=FAST["m88ksim"])
+        _, _, eight = run_pair("m88ksim", "advanced", width=8, scale=FAST["m88ksim"])
+        assert eight < four
+
+    def test_overhead_small(self):
+        """§7.2: the advanced scheme adds only a few percent dynamic
+        instructions."""
+        baseline = run_benchmark("compress", "conventional", scale=FAST["compress"])
+        advanced = run_benchmark("compress", "advanced", scale=FAST["compress"])
+        increase = (
+            advanced.dynamic_instructions - baseline.dynamic_instructions
+        ) / baseline.dynamic_instructions
+        assert 0.0 <= increase < 0.10
+
+    def test_fp_program_not_hurt(self):
+        """§7.5: partitioning must not slow down FP programs materially."""
+        _, _, speedup = run_pair("swim", "advanced", width=4, scale=FAST["swim"])
+        assert speedup > 0.97
+
+    def test_conventional_equals_basic_when_nothing_offloaded(self):
+        """swim's basic partition finds nothing new (all FP work is
+        already in FP); cycle counts must match exactly."""
+        baseline = run_benchmark("swim", "conventional", scale=FAST["swim"])
+        basic = run_benchmark("swim", "basic", scale=FAST["swim"])
+        assert basic.offload_fraction == pytest.approx(
+            baseline.offload_fraction, abs=0.02
+        )

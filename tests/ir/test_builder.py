@@ -1,0 +1,105 @@
+"""Tests for IRBuilder."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import RegClass
+from repro.ir.verify import verify_function
+
+
+def _builder(n_params=0, returns=False):
+    func = Function("f", n_params=n_params, returns_value=returns)
+    b = IRBuilder(func)
+    b.set_block(b.new_block("entry"))
+    return func, b
+
+
+class TestBuilder:
+    def test_minimal_function_verifies(self):
+        func, b = _builder(returns=True)
+        b.ret(b.li(42))
+        verify_function(func)
+
+    def test_params(self):
+        func, b = _builder(n_params=2)
+        b.param(0)
+        b.param(1)
+        b.ret()
+        verify_function(func)
+
+    def test_alu_dest_class_follows_opcode(self):
+        _, b = _builder()
+        x = b.li(1)
+        y = b.emit_alu(Opcode.ADDIU, x, imm=1)
+        assert y.rclass is RegClass.INT
+        f = b.li_float(1.0)
+        g = b.emit_alu(Opcode.ADD_S, f, f)
+        assert g.rclass is RegClass.FP
+
+    def test_emit_alu_rejects_wrong_arity(self):
+        _, b = _builder()
+        x = b.li(1)
+        with pytest.raises(ValueError):
+            b.emit_alu(Opcode.ADDU, x)  # needs two sources
+
+    def test_emit_alu_requires_immediate(self):
+        _, b = _builder()
+        x = b.li(1)
+        with pytest.raises(ValueError):
+            b.emit_alu(Opcode.ADDIU, x)
+
+    def test_emit_alu_rejects_non_alu(self):
+        _, b = _builder()
+        with pytest.raises(ValueError):
+            b.emit_alu(Opcode.LW, b.li(0))
+
+    def test_load_store(self):
+        func, b = _builder()
+        base = b.la("g")
+        value = b.load(base, 4)
+        b.store(value, base, 8)
+        b.ret()
+        ops = [i.op for i in func.instructions()]
+        assert Opcode.LW in ops and Opcode.SW in ops
+
+    def test_fp_load_gets_fp_dest(self):
+        _, b = _builder()
+        base = b.la("g")
+        value = b.load(base, 0, Opcode.LS)
+        assert value.rclass is RegClass.FP
+
+    def test_cannot_append_after_terminator(self):
+        _, b = _builder()
+        b.ret()
+        with pytest.raises(ValueError):
+            b.li(1)
+
+    def test_branch_arity_checked(self):
+        _, b = _builder()
+        x = b.li(0)
+        with pytest.raises(ValueError):
+            b.branch(Opcode.BEQ, x, target="entry")  # beq needs 2
+
+    def test_call_returns_value_register(self):
+        func, b = _builder()
+        result = b.call("callee", [b.li(1)], returns_value=True)
+        assert result is not None
+        b.ret()
+
+    def test_call_void(self):
+        _, b = _builder()
+        assert b.call("callee", [], returns_value=False) is None
+
+    def test_move_preserves_class(self):
+        _, b = _builder()
+        f = b.li_float(2.0)
+        moved = b.move(f)
+        assert moved.rclass is RegClass.FP
+
+    def test_no_block_set(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        with pytest.raises(ValueError):
+            b.li(1)

@@ -1,0 +1,105 @@
+"""Tests for CFG utilities."""
+
+import pytest
+
+from repro.ir.cfg import (
+    block_order,
+    predecessors,
+    reachable_blocks,
+    reverse_postorder,
+    successor_map,
+    successors,
+)
+from repro.ir.parser import parse_function
+
+DIAMOND = """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, left
+right:
+  v1 = li 1
+  j join
+left:
+  v1 = li 2
+join:
+  ret v1
+}
+"""
+
+
+@pytest.fixture
+def diamond():
+    return parse_function(DIAMOND)
+
+
+class TestSuccessors:
+    def test_conditional_branch_has_two_successors(self, diamond):
+        succ = successors(diamond, diamond.block("entry"))
+        assert set(succ) == {"left", "right"}
+
+    def test_jump_has_one_successor(self, diamond):
+        assert successors(diamond, diamond.block("right")) == ["join"]
+
+    def test_ret_has_none(self, diamond):
+        assert successors(diamond, diamond.block("join")) == []
+
+    def test_fallthrough(self, diamond):
+        assert successors(diamond, diamond.block("left")) == ["join"]
+
+    def test_branch_to_unknown_label_raises_in_predecessors(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  j nowhere
+}
+"""
+        )
+        with pytest.raises(KeyError):
+            predecessors(func)
+
+
+class TestPredecessors:
+    def test_join_has_both(self, diamond):
+        preds = predecessors(diamond)
+        assert set(preds["join"]) == {"left", "right"}
+        assert preds["entry"] == []
+
+
+class TestOrders:
+    def test_rpo_starts_at_entry(self, diamond):
+        rpo = reverse_postorder(diamond)
+        assert rpo[0] == "entry"
+        assert set(rpo) == {"entry", "left", "right", "join"}
+        # join must come after both of its predecessors
+        assert rpo.index("join") > rpo.index("left")
+        assert rpo.index("join") > rpo.index("right")
+
+    def test_unreachable_blocks_appended(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  ret
+island:
+  ret
+}
+"""
+        )
+        rpo = reverse_postorder(func)
+        assert rpo == ["entry", "island"]
+        assert reachable_blocks(func) == {"entry"}
+
+    def test_block_order(self, diamond):
+        order = block_order(diamond)
+        assert order["entry"] == 0
+        assert order["join"] == 3
+
+    def test_successor_map_covers_all_blocks(self, diamond):
+        assert set(successor_map(diamond)) == {"entry", "left", "right", "join"}
+
+    def test_loop_rpo(self, figure3):
+        rpo = reverse_postorder(figure3)
+        assert rpo[0] == "entry"
+        assert rpo.index("loop") < rpo.index("skip")

@@ -1,0 +1,95 @@
+"""Tests for BasicBlock / Function containers."""
+
+import pytest
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import RegClass, virtual_reg
+
+
+def _mk_func():
+    func = Function("f")
+    entry = func.new_block("entry")
+    loop = func.new_block("loop")
+    entry.instructions.append(func.attach(Instruction(Opcode.LI, defs=[virtual_reg(0)], imm=1)))
+    loop.instructions.append(func.attach(Instruction(Opcode.J, target="loop")))
+    return func
+
+
+class TestBlocks:
+    def test_terminator_detection(self):
+        func = _mk_func()
+        assert func.block("entry").terminator is None
+        assert func.block("loop").terminator is not None
+
+    def test_body_excludes_terminator(self):
+        func = _mk_func()
+        assert func.block("loop").body == []
+        assert len(func.block("entry").body) == 1
+
+    def test_len_and_iter(self):
+        func = _mk_func()
+        assert len(func.block("entry")) == 1
+        assert list(func.block("entry"))[0].op is Opcode.LI
+
+
+class TestFunction:
+    def test_duplicate_label_rejected(self):
+        func = Function("f")
+        func.new_block("a")
+        with pytest.raises(ValueError):
+            func.new_block("a")
+
+    def test_block_lookup(self):
+        func = _mk_func()
+        assert func.block("loop").label == "loop"
+        with pytest.raises(KeyError):
+            func.block("missing")
+        assert func.block_index("loop") == 1
+
+    def test_entry_requires_blocks(self):
+        with pytest.raises(ValueError):
+            Function("empty").entry
+
+    def test_new_vreg_counter_never_collides_across_classes(self):
+        """v<k> and vf<k> must never both be handed out: shadow renaming
+        relies on the FP name of an INT vreg being unallocated."""
+        func = Function("f")
+        names = set()
+        for i in range(20):
+            rclass = RegClass.FP if i % 3 == 0 else RegClass.INT
+            reg = func.new_vreg(rclass)
+            names.add(reg.name)
+            shadow = "vf" + reg.name.removeprefix("vf").removeprefix("v")
+            assert shadow not in names or reg.name == shadow
+
+    def test_attach_assigns_unique_uids(self):
+        func = _mk_func()
+        uids = [i.uid for i in func.instructions()]
+        assert len(set(uids)) == len(uids)
+        assert all(uid >= 0 for uid in uids)
+
+    def test_renumber_dense_layout_order(self):
+        func = _mk_func()
+        func.renumber()
+        assert [i.uid for i in func.instructions()] == [0, 1]
+
+    def test_instruction_count(self):
+        assert _mk_func().instruction_count() == 2
+
+    def test_block_of_mapping(self):
+        func = _mk_func()
+        mapping = func.block_of()
+        instrs = list(func.instructions())
+        assert mapping[instrs[0].uid] == "entry"
+        assert mapping[instrs[1].uid] == "loop"
+
+    def test_params_sorted_by_index(self):
+        func = Function("g", n_params=2)
+        entry = func.new_block("entry")
+        p1 = func.attach(Instruction(Opcode.PARAM, defs=[virtual_reg(1)], imm=1))
+        p0 = func.attach(Instruction(Opcode.PARAM, defs=[virtual_reg(0)], imm=0))
+        entry.instructions.extend([p1, p0])
+        params = func.params()
+        assert [p.imm for p in params] == [0, 1]

@@ -1,0 +1,76 @@
+"""Tests for the Instruction container."""
+
+import pytest
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.registers import virtual_reg
+
+
+def _add(d, a, b):
+    return Instruction(Opcode.ADDU, defs=[d], uses=[a, b])
+
+
+class TestInstruction:
+    def test_identity_equality(self):
+        """Same shape at two program points = two distinct RDG nodes."""
+        a = _add(virtual_reg(0), virtual_reg(1), virtual_reg(2))
+        b = _add(virtual_reg(0), virtual_reg(1), virtual_reg(2))
+        assert a != b
+        assert a == a
+
+    def test_def_reg(self):
+        instr = _add(virtual_reg(0), virtual_reg(1), virtual_reg(2))
+        assert instr.def_reg == virtual_reg(0)
+        assert Instruction(Opcode.NOP).def_reg is None
+
+    def test_store_value_and_base(self):
+        store = Instruction(
+            Opcode.SW, uses=[virtual_reg(1), virtual_reg(2)], imm=4
+        )
+        assert store.store_value == virtual_reg(1)
+        assert store.address_base == virtual_reg(2)
+
+    def test_load_base(self):
+        load = Instruction(Opcode.LW, defs=[virtual_reg(0)], uses=[virtual_reg(1)], imm=0)
+        assert load.address_base == virtual_reg(1)
+
+    def test_store_value_on_non_store_raises(self):
+        with pytest.raises(ValueError):
+            _add(virtual_reg(0), virtual_reg(1), virtual_reg(2)).store_value
+
+    def test_address_base_on_alu_raises(self):
+        with pytest.raises(ValueError):
+            _add(virtual_reg(0), virtual_reg(1), virtual_reg(2)).address_base
+
+    def test_is_control(self):
+        assert Instruction(Opcode.J, target="x").is_control
+        assert Instruction(Opcode.RET).is_control
+        assert Instruction(
+            Opcode.BNE, uses=[virtual_reg(0), virtual_reg(1)], target="x"
+        ).is_control
+        assert not Instruction(Opcode.CALL, target="f").is_control
+
+    def test_is_memory(self):
+        assert Instruction(Opcode.LW, defs=[virtual_reg(0)], uses=[virtual_reg(1)], imm=0).is_memory
+        assert not Instruction(Opcode.NOP).is_memory
+
+    def test_copy_is_detached(self):
+        original = _add(virtual_reg(0), virtual_reg(1), virtual_reg(2))
+        original.uid = 17
+        clone = original.copy()
+        assert clone.uid == -1
+        assert clone.uses == original.uses
+        clone.uses[0] = virtual_reg(9)
+        assert original.uses[0] == virtual_reg(1)
+
+    def test_replace_use_counts(self):
+        reg = virtual_reg(1)
+        instr = _add(virtual_reg(0), reg, reg)
+        replaced = instr.replace_use(reg, virtual_reg(5))
+        assert replaced == 2
+        assert instr.uses == [virtual_reg(5), virtual_reg(5)]
+
+    def test_replace_use_missing(self):
+        instr = _add(virtual_reg(0), virtual_reg(1), virtual_reg(2))
+        assert instr.replace_use(virtual_reg(9), virtual_reg(5)) == 0

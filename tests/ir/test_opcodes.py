@@ -1,0 +1,103 @@
+"""Tests for opcode metadata, especially the FPa extension set."""
+
+import pytest
+
+from repro.ir.opcodes import (
+    FPA_OPCODES,
+    Opcode,
+    OpKind,
+    OPCODES,
+    fpa_twin,
+    int_twin,
+    is_offloadable,
+    opcode_by_name,
+)
+
+
+class TestFpaExtension:
+    def test_exactly_22_fpa_opcodes(self):
+        """The paper used 22 extra opcodes (§1); we match that count."""
+        assert len(FPA_OPCODES) == 22
+
+    def test_every_fpa_opcode_has_an_integer_twin(self):
+        for op in FPA_OPCODES:
+            twin = int_twin(op)
+            assert twin is not None, op
+            assert fpa_twin(twin) is op
+
+    def test_twins_preserve_operand_shape(self):
+        for op in FPA_OPCODES:
+            twin = int_twin(op)
+            assert OPCODES[op].n_uses == OPCODES[twin].n_uses
+            assert OPCODES[op].has_imm == OPCODES[twin].has_imm
+            assert OPCODES[op].has_target == OPCODES[twin].has_target
+            assert OPCODES[op].kind == OPCODES[twin].kind
+
+    def test_integer_multiply_divide_not_offloadable(self):
+        """The paper excludes mul/div from FPa (hardware cost)."""
+        assert fpa_twin(Opcode.MULT) is None
+        assert fpa_twin(Opcode.DIV) is None
+        assert fpa_twin(Opcode.REM) is None
+
+    def test_copies_are_not_counted_in_the_22(self):
+        """cp_to/from_comp pre-exist in real ISAs (mtc1/mfc1)."""
+        assert Opcode.CP_TO_COMP not in FPA_OPCODES
+        assert Opcode.CP_FROM_COMP not in FPA_OPCODES
+
+    def test_true_float_ops_are_not_fpa_extension(self):
+        assert Opcode.ADD_S not in FPA_OPCODES
+        assert Opcode.MUL_S not in FPA_OPCODES
+
+    @pytest.mark.parametrize(
+        "op", [Opcode.ADDU, Opcode.SLT, Opcode.SLL, Opcode.BEQ, Opcode.BLEZ, Opcode.LI]
+    )
+    def test_common_integer_ops_are_offloadable(self, op):
+        assert is_offloadable(op)
+
+    @pytest.mark.parametrize(
+        "op", [Opcode.NOR, Opcode.SRLV, Opcode.ORI, Opcode.XORI, Opcode.LUI,
+               Opcode.BGTZ, Opcode.BGEZ]
+    )
+    def test_uncovered_integer_ops_are_pinned(self, op):
+        assert not is_offloadable(op)
+
+
+class TestMetadata:
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            assert op in OPCODES
+
+    def test_latencies(self):
+        assert OPCODES[Opcode.MULT].latency == 6
+        assert OPCODES[Opcode.DIV].latency == 12
+        assert OPCODES[Opcode.ADDU].latency == 1
+        assert OPCODES[Opcode.MUL_S].latency == 6
+        assert OPCODES[Opcode.DIV_S].latency == 12
+
+    def test_kind_classification(self):
+        assert OPCODES[Opcode.LW].kind is OpKind.LOAD
+        assert OPCODES[Opcode.SW].kind is OpKind.STORE
+        assert OPCODES[Opcode.BNE].kind is OpKind.BRANCH
+        assert OPCODES[Opcode.J].kind is OpKind.JUMP
+        assert OPCODES[Opcode.CALL].kind is OpKind.CALL
+        assert OPCODES[Opcode.CP_TO_COMP].kind is OpKind.COPY
+
+    def test_subsystem_assignment(self):
+        """Memory ops execute in INT even when their data is FP-class."""
+        assert not OPCODES[Opcode.LS].fp_subsystem
+        assert not OPCODES[Opcode.SS].fp_subsystem
+        assert OPCODES[Opcode.ADDU_A].fp_subsystem
+        assert OPCODES[Opcode.BNE_A].fp_subsystem
+        assert OPCODES[Opcode.CP_FROM_COMP].fp_subsystem
+        assert not OPCODES[Opcode.CP_TO_COMP].fp_subsystem
+
+    def test_opcode_by_name_roundtrip(self):
+        for op in Opcode:
+            assert opcode_by_name(op.value) is op
+
+    def test_opcode_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            opcode_by_name("frobnicate")
+
+    def test_str_is_mnemonic(self):
+        assert str(Opcode.ADDU_A) == "addu.a"

@@ -1,0 +1,137 @@
+"""Parser / printer round-trip tests (example-based and property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpKind, OPCODES
+from repro.ir.parser import parse_instruction, parse_program
+from repro.ir.printer import print_instruction, print_program
+from repro.ir.registers import RegClass, virtual_reg
+
+
+class TestInstructionRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "v0 = li 5",
+            "v0 = li -5",
+            "v0 = li @glob",
+            "v1 = addu v0, v2",
+            "v1 = addiu v0, -1",
+            "v1 = sll v0, 2",
+            "v1 = lw v0, 8",
+            "sw v1, v0, 4",
+            "vf1 = l.s v0, 0",
+            "s.s vf1, v0, 0",
+            "beq v0, v1, somewhere",
+            "blez v0, somewhere",
+            "j exit",
+            "ret",
+            "ret v0",
+            "v0 = param 0",
+            "v0 = call f(v1, v2)",
+            "call f()",
+            "vf0 = cp_to_comp v0",
+            "v0 = cp_from_comp vf0",
+            "vf2 = addu.a vf0, vf1",
+            "bne.a vf0, vf1, top",
+            "vf0 = li.s 1.5",
+            "nop",
+        ],
+    )
+    def test_roundtrip(self, text):
+        instr = parse_instruction(text)
+        assert print_instruction(instr) == text
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_instruction("v0 = bogus v1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_instruction("v0 = addu v1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(ParseError):
+            parse_instruction("v0 = li banana")
+
+    def test_comments_stripped(self):
+        instr = parse_instruction("v0 = li 5 # hello")
+        assert instr.imm == 5
+
+
+class TestProgramRoundTrip:
+    def test_program_roundtrip(self, vector_sum_program):
+        text = print_program(vector_sum_program)
+        again = parse_program(text)
+        assert print_program(again) == text
+
+    def test_globals_with_init(self):
+        program = parse_program(
+            """
+global table 16 = 1 2 3 4
+
+func main(0) {
+entry:
+  ret
+}
+"""
+        )
+        assert program.globals["table"].init == [1, 2, 3, 4]
+        assert "= 1 2 3 4" in print_program(program)
+
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError):
+            parse_program("func main(0) {\nentry:\n  ret\n")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(ParseError):
+            parse_program("func main(0) {\n  ret\n}")
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("hello world")
+
+
+# property-based: synthesize ALU instructions and round-trip them
+_ALU_OPS = [
+    op
+    for op, info in OPCODES.items()
+    if info.kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV) and info.n_uses >= 0
+]
+
+
+@st.composite
+def alu_instruction(draw):
+    op = draw(st.sampled_from(_ALU_OPS))
+    info = OPCODES[op]
+    rclass = RegClass.FP if info.fp_subsystem else RegClass.INT
+    uses = [
+        virtual_reg(draw(st.integers(0, 30)), rclass) for _ in range(info.n_uses)
+    ]
+    imm = None
+    if info.has_imm:
+        if op is Opcode.LI_S:
+            imm = draw(st.floats(allow_nan=False, allow_infinity=False, width=32))
+        else:
+            imm = draw(st.integers(-(2**31), 2**31 - 1))
+    dest_class = RegClass.FP if info.fp_subsystem else RegClass.INT
+    if op in (Opcode.LI_S,):
+        dest_class = RegClass.FP
+    defs = [virtual_reg(draw(st.integers(0, 30)), dest_class)] if info.n_defs else []
+    return Instruction(op, defs=defs, uses=uses, imm=imm)
+
+
+@settings(max_examples=200)
+@given(alu_instruction())
+def test_alu_print_parse_roundtrip(instr):
+    text = print_instruction(instr)
+    parsed = parse_instruction(text)
+    assert parsed.op is instr.op
+    assert parsed.defs == instr.defs
+    assert parsed.uses == instr.uses
+    assert parsed.imm == instr.imm or (
+        isinstance(instr.imm, float) and parsed.imm == pytest.approx(instr.imm)
+    )

@@ -1,0 +1,63 @@
+"""Tests for the Program container and global layout."""
+
+import pytest
+
+from repro.ir.function import Function
+from repro.ir.program import DATA_BASE, GlobalVar, Program
+
+
+class TestGlobals:
+    def test_layout_assigns_word_aligned_addresses(self):
+        program = Program()
+        program.add_global("a", 6)  # rounds to 8
+        program.add_global("b", 4)
+        program.layout()
+        assert program.globals["a"].address == DATA_BASE
+        assert program.globals["b"].address == DATA_BASE + 8
+        assert program.globals["b"].address % 4 == 0
+
+    def test_global_address_lazy_layout(self):
+        program = Program()
+        program.add_global("x", 4)
+        assert program.global_address("x") == DATA_BASE
+
+    def test_duplicate_global_rejected(self):
+        program = Program()
+        program.add_global("x", 4)
+        with pytest.raises(ValueError):
+            program.add_global("x", 4)
+
+    def test_init_preserved(self):
+        program = Program()
+        var = program.add_global("t", 12, [1, 2, 3])
+        assert var.init == [1, 2, 3]
+
+
+class TestFunctions:
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            program.add_function(Function("f"))
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            Program().function("ghost")
+
+    def test_instruction_count_sums(self, vector_sum_program):
+        total = sum(
+            f.instruction_count() for f in vector_sum_program.functions.values()
+        )
+        assert vector_sum_program.instruction_count() == total
+
+
+class TestLayoutInterop:
+    def test_program_layout_pcs_unique_and_word_spaced(self, vector_sum_program):
+        from repro.runtime.trace import ProgramLayout, TEXT_BASE
+
+        layout = ProgramLayout(vector_sum_program)
+        pcs = sorted(layout.pc_of.values())
+        assert pcs[0] == TEXT_BASE
+        assert len(set(pcs)) == len(pcs)
+        assert all(b - a == 4 for a, b in zip(pcs, pcs[1:]))
+        assert layout.text_size == 4 * len(pcs)

@@ -1,0 +1,97 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.ir.registers import (
+    Reg,
+    RegClass,
+    ZERO,
+    fp_reg,
+    int_reg,
+    parse_reg,
+    virtual_reg,
+)
+
+
+class TestRegConstruction:
+    def test_int_reg(self):
+        reg = int_reg(5)
+        assert reg.name == "$5"
+        assert reg.rclass is RegClass.INT
+        assert not reg.virtual
+
+    def test_int_reg_zero_is_the_zero_register(self):
+        assert int_reg(0) is ZERO
+
+    def test_fp_reg(self):
+        reg = fp_reg(4)
+        assert reg.name == "$f4"
+        assert reg.rclass is RegClass.FP
+
+    def test_virtual_int(self):
+        reg = virtual_reg(3)
+        assert reg.name == "v3"
+        assert reg.virtual
+
+    def test_virtual_fp(self):
+        reg = virtual_reg(3, RegClass.FP)
+        assert reg.name == "vf3"
+        assert reg.rclass is RegClass.FP
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+
+    def test_regs_are_hashable_and_equal_by_value(self):
+        assert virtual_reg(1) == virtual_reg(1)
+        assert len({virtual_reg(1), virtual_reg(1), virtual_reg(2)}) == 2
+
+
+class TestWithClass:
+    def test_int_to_fp_renames(self):
+        reg = virtual_reg(7)
+        shadow = reg.with_class(RegClass.FP)
+        assert shadow.name == "vf7"
+        assert shadow.rclass is RegClass.FP
+
+    def test_fp_to_int_renames(self):
+        reg = virtual_reg(7, RegClass.FP)
+        back = reg.with_class(RegClass.INT)
+        assert back.name == "v7"
+
+    def test_same_class_is_identity(self):
+        reg = virtual_reg(2)
+        assert reg.with_class(RegClass.INT) is reg
+
+    def test_roundtrip(self):
+        reg = virtual_reg(11)
+        assert reg.with_class(RegClass.FP).with_class(RegClass.INT) == reg
+
+    def test_physical_register_cannot_change_class(self):
+        with pytest.raises(ValueError):
+            int_reg(4).with_class(RegClass.FP)
+
+
+class TestParseReg:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("$zero", ZERO),
+            ("$0", ZERO),
+            ("$7", int_reg(7)),
+            ("$f3", fp_reg(3)),
+            ("v9", virtual_reg(9)),
+            ("vf9", virtual_reg(9, RegClass.FP)),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_reg(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_reg("nope")
+
+    def test_str_is_name(self):
+        assert str(virtual_reg(3)) == "v3"

@@ -1,0 +1,263 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.parser import parse_function, parse_program
+from repro.ir.verify import verify_function, verify_program
+
+
+def _verify_text(text):
+    verify_function(parse_function(text))
+
+
+class TestStructure:
+    def test_valid_function_passes(self, figure3):
+        verify_function(figure3)
+
+    def test_control_mid_block_rejected(self):
+        with pytest.raises(IRError, match="mid-block"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  j out
+  v0 = li 1
+out:
+  ret
+}
+"""
+            )
+
+    def test_branch_to_unknown_label(self):
+        with pytest.raises(IRError, match="unknown label"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  v0 = li 1
+  blez v0, nowhere
+last:
+  ret
+}
+"""
+            )
+
+    def test_param_count_mismatch(self):
+        with pytest.raises(IRError, match="param"):
+            _verify_text(
+                """
+func f(2) {
+entry:
+  v0 = param 0
+  ret
+}
+"""
+            )
+
+    def test_param_outside_entry_block(self):
+        with pytest.raises(IRError, match="outside the entry block"):
+            _verify_text(
+                """
+func f(1) {
+entry:
+  v0 = param 0
+  j next
+next:
+  v1 = param 0
+  ret
+}
+"""
+            )
+
+    def test_writes_zero_rejected(self):
+        with pytest.raises(IRError, match="zero"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  $zero = li 1
+  ret
+}
+"""
+            )
+
+
+class TestClassConstraints:
+    def test_fpa_op_with_int_operand_rejected(self):
+        with pytest.raises(IRError, match="FP-class"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  v0 = li 1
+  vf1 = addiu.a v0, 1
+  ret
+}
+"""
+            )
+
+    def test_int_op_with_fp_operand_rejected(self):
+        with pytest.raises(IRError, match="INT-class"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  vf0 = li.a 1
+  v1 = addiu vf0, 1
+  ret
+}
+"""
+            )
+
+    def test_load_base_must_be_int(self):
+        with pytest.raises(IRError, match="base must be INT"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  vf0 = li.a 4096
+  v1 = lw vf0, 0
+  ret
+}
+"""
+            )
+
+    def test_ss_value_must_be_fp(self):
+        with pytest.raises(IRError, match="FP-class"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  v0 = li 4096
+  v1 = li 3
+  s.s v1, v0, 0
+  ret
+}
+"""
+            )
+
+    def test_call_arguments_must_be_int(self):
+        program = parse_program(
+            """
+func g(1) {
+entry:
+  v0 = param 0
+  ret
+}
+
+func main(0) {
+entry:
+  vf0 = li.a 3
+  call g(vf0)
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="INT-class"):
+            verify_program(program)
+
+    def test_copy_direction_checked(self):
+        with pytest.raises(IRError, match="cp_to_comp"):
+            _verify_text(
+                """
+func f(0) {
+entry:
+  vf0 = li.a 1
+  vf1 = cp_to_comp vf0
+  ret
+}
+"""
+            )
+
+
+class TestProgramLevel:
+    def test_missing_entry(self):
+        program = parse_program(
+            """
+func helper(0) {
+entry:
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="entry"):
+            verify_program(program)
+
+    def test_call_to_unknown_function(self):
+        program = parse_program(
+            """
+func main(0) {
+entry:
+  call ghost()
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="unknown function"):
+            verify_program(program)
+
+    def test_call_arity_mismatch(self):
+        program = parse_program(
+            """
+func g(2) {
+entry:
+  v0 = param 0
+  v1 = param 1
+  ret
+}
+
+func main(0) {
+entry:
+  v0 = li 1
+  call g(v0)
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="expected 2"):
+            verify_program(program)
+
+    def test_call_def_requires_returning_callee(self):
+        program = parse_program(
+            """
+func g(0) {
+entry:
+  ret
+}
+
+func main(0) {
+entry:
+  v0 = call g()
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="does not return"):
+            verify_program(program)
+
+    def test_unknown_global_reference(self):
+        program = parse_program(
+            """
+func main(0) {
+entry:
+  v0 = li @ghost
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="unknown global"):
+            verify_program(program)
+
+    def test_entry_with_params_rejected(self):
+        program = parse_program(
+            """
+func main(1) {
+entry:
+  v0 = param 0
+  ret
+}
+"""
+        )
+        with pytest.raises(IRError, match="no parameters"):
+            verify_program(program)

@@ -1,0 +1,242 @@
+"""Execution tests for compiled MiniC: the compiler + interpreter must
+agree with ordinary C semantics."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.minic.compile import compile_source
+from repro.runtime.interp import run_program
+
+
+def run_main(source, optimize=True):
+    return run_program(compile_source(source, optimize=optimize)).value
+
+
+def expr_main(expr):
+    return run_main(f"int main() {{ return {expr}; }}")
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 - 4 - 3", 3),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),  # C truncates toward zero
+            ("7 % 3", 1),
+            ("-7 % 3", -1),
+            ("1 << 10", 1024),
+            ("-8 >> 1", -4),  # arithmetic shift
+            ("6 & 3", 2),
+            ("6 | 3", 7),
+            ("6 ^ 3", 5),
+            ("~5", -6),
+            ("!3", 0),
+            ("!0", 1),
+            ("-(-5)", 5),
+        ],
+    )
+    def test_int_expressions(self, expr, expected):
+        assert expr_main(expr) == expected
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("3 < 4", 1),
+            ("4 < 3", 0),
+            ("3 <= 3", 1),
+            ("3 > 3", 0),
+            ("4 >= 3", 1),
+            ("3 == 3", 1),
+            ("3 != 3", 0),
+            ("1 && 2", 1),
+            ("0 && 1", 0),
+            ("0 || 0", 0),
+            ("0 || 7", 1),
+            ("(3 < 4) + (5 > 2)", 2),
+        ],
+    )
+    def test_comparisons_and_logic(self, expr, expected):
+        assert expr_main(expr) == expected
+
+    def test_wrapping_32bit(self):
+        assert expr_main("2147483647 + 1") == -2147483648
+
+    def test_short_circuit_prevents_division_by_zero(self):
+        source = """
+int zero;
+int main() {
+    if (zero != 0 && (10 / zero) > 0) { return 1; }
+    return 2;
+}
+"""
+        assert run_main(source) == 2
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+int classify(int x) {
+    if (x < 0) { return -1; }
+    else { if (x == 0) { return 0; } else { return 1; } }
+}
+int main() { return classify(-5) * 100 + classify(0) * 10 + classify(7); }
+"""
+        assert run_main(source) == -99  # -1*100 + 0*10 + 1
+
+    def test_while_loop(self):
+        assert run_main(
+            "int main() { int i = 0; int s = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        ) == 45
+
+    def test_for_with_break_continue(self):
+        source = """
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        if (i == 10) { break; }
+        if (i & 1) { continue; }
+        s = s + i;
+    }
+    return s;
+}
+"""
+        assert run_main(source) == 0 + 2 + 4 + 6 + 8
+
+    def test_nested_loops(self):
+        source = """
+int main() {
+    int i; int j; int s = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        for (j = 0; j < i; j = j + 1) { s = s + 1; }
+    }
+    return s;
+}
+"""
+        assert run_main(source) == 10
+
+    def test_implicit_return_zero(self):
+        assert run_main("int main() { int x = 3; x = x + 1; }") == 0
+
+
+class TestFunctionsAndGlobals:
+    def test_recursion(self):
+        source = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+"""
+        assert run_main(source) == 144
+
+    def test_mutual_recursion(self):
+        source = """
+int is_odd(int n);
+int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+int main() { return is_even(10) * 10 + is_odd(7); }
+"""
+        # forward declarations are not in the grammar; reorder instead
+        source = """
+int is_even(int n) { if (n == 0) { return 1; } if (n == 1) { return 0; } return is_even(n - 2); }
+int main() { return is_even(10) * 10 + is_even(8); }
+"""
+        assert run_main(source) == 11
+
+    def test_globals_persist_across_calls(self):
+        source = """
+int counter;
+void bump() { counter = counter + 1; }
+int main() {
+    int i;
+    for (i = 0; i < 7; i = i + 1) { bump(); }
+    return counter;
+}
+"""
+        assert run_main(source) == 7
+
+    def test_global_array_init(self):
+        source = """
+int t[4] = {10, 20, 30};
+int main() { return t[0] + t[1] + t[2] + t[3]; }
+"""
+        assert run_main(source) == 60
+
+    def test_array_index_expressions(self):
+        source = """
+int t[16];
+int main() {
+    int i;
+    for (i = 0; i < 16; i = i + 1) { t[i] = i * i; }
+    return t[3] + t[(1 + 2) * 2];
+}
+"""
+        assert run_main(source) == 9 + 36
+
+
+class TestFloats:
+    def test_float_arithmetic_via_cast(self):
+        assert run_main("int main() { return (int)(1.5 * 4.0); }") == 6
+
+    def test_int_to_float_promotion(self):
+        assert run_main("float g; int main() { g = 3; return (int)(g * 2.0); }") == 6
+
+    def test_float_comparison_branches(self):
+        source = """
+float x;
+int main() {
+    x = 2.5;
+    if (x > 2.0 && x < 3.0) { return 1; }
+    return 0;
+}
+"""
+        assert run_main(source) == 1
+
+    def test_float_global_array(self):
+        source = """
+float a[8];
+int main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) { a[i] = (float)i * 0.5; }
+    return (int)(a[7] * 2.0);
+}
+"""
+        assert run_main(source) == 7
+
+    def test_negative_float(self):
+        assert run_main("int main() { return (int)(-2.5 * -2.0); }") == 5
+
+    def test_truncation_toward_zero(self):
+        assert run_main("int main() { return (int)(-1.9); }") == -1
+
+
+class TestLoweringChoices:
+    """Codegen promises (docstring of repro.minic.codegen)."""
+
+    def test_no_bgtz_bgez_emitted(self):
+        program = compile_source(
+            "int main() { int x = 5; if (x > 0) { return 1; } if (x >= 2) { return 2; } return 0; }"
+        )
+        ops = {i.op for f in program.functions.values() for i in f.instructions()}
+        assert Opcode.BGTZ not in ops and Opcode.BGEZ not in ops
+
+    def test_no_zero_register_operands(self):
+        program = compile_source("int main() { int x = 0; return x == 0; }")
+        for func in program.functions.values():
+            for instr in func.instructions():
+                assert all(u.name != "$zero" for u in instr.uses)
+
+    def test_unopt_and_opt_agree(self):
+        source = """
+int t[8];
+int main() {
+    int i; int acc = 1;
+    for (i = 0; i < 8; i = i + 1) { t[i] = (i * 3) ^ (i << 2); }
+    for (i = 0; i < 8; i = i + 1) { acc = acc * 2 + t[i] % 5; }
+    return acc & 0xffff;
+}
+"""
+        assert run_main(source, optimize=False) == run_main(source, optimize=True)

@@ -1,0 +1,60 @@
+"""Robustness fuzzing: arbitrary input must produce a clean diagnostic
+(ParseError / SemanticError), never an internal exception."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError, SemanticError
+from repro.minic.compile import compile_source
+from repro.minic.lexer import tokenize
+
+_TOKEN_SOUP = st.lists(
+    st.sampled_from(
+        [
+            "int", "float", "void", "if", "else", "while", "for", "return",
+            "break", "continue", "main", "x", "t", "f", "0", "1", "42",
+            "1.5", "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-",
+            "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||",
+            "&", "|", "^", "!", "~", "<<", ">>",
+        ]
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_TOKEN_SOUP)
+def test_token_soup_never_crashes_the_frontend(tokens):
+    source = " ".join(tokens)
+    try:
+        compile_source(source)
+    except (ParseError, SemanticError):
+        pass  # clean diagnostics are the expected outcome
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=60))
+def test_arbitrary_text_never_crashes_the_lexer(text):
+    try:
+        tokenize(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="abcxyz0123456789(){};=+-*/<>!&|,. \n", max_size=80))
+def test_c_flavoured_noise_never_crashes_the_frontend(text):
+    try:
+        compile_source(text)
+    except (ParseError, SemanticError):
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="vf0123456789 =,@.$#:\nliadusw", max_size=80))
+def test_ir_parser_never_crashes(text):
+    from repro.ir.parser import parse_program
+
+    try:
+        parse_program(text)
+    except ParseError:
+        pass

@@ -1,0 +1,61 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+
+def _kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int intx if iffy")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[2].kind is TokenKind.KEYWORD
+        assert toks[3].kind is TokenKind.IDENT
+
+    def test_integer_literals(self):
+        toks = tokenize("42 0x2A 0")
+        assert [t.value for t in toks[:-1]] == [42, 42, 0]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 .25 2. 3e2")
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+        assert [t.value for t in toks[:-1]] == [1.5, 0.25, 2.0, 300.0]
+
+    def test_char_literals(self):
+        toks = tokenize(r"'a' '\n' '\\' '\0'")
+        assert [t.value for t in toks[:-1]] == [97, 10, 92, 0]
+        assert all(t.kind is TokenKind.INT_LIT for t in toks[:-1])
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("<= >= == != && || << >>")[:-1]]
+        assert texts == ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>"]
+
+    def test_comments_skipped(self):
+        toks = _kinds("a // comment\n b /* multi\nline */ c")
+        assert [text for _, text in toks] == ["a", "b", "c"]
+
+    def test_line_numbers_track_newlines(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_column_numbers(self):
+        toks = tokenize("ab cd")
+        assert toks[0].column == 1
+        assert toks[1].column == 4
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize(r"'\q'")

@@ -1,0 +1,180 @@
+"""Tests for the MiniC parser and semantic analysis."""
+
+import pytest
+
+from repro.errors import ParseError, SemanticError
+from repro.minic.astnodes import Binary, Call, Cast, For, If, IntLit, While
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+
+
+def _analyze(source):
+    unit = parse(source)
+    return unit, analyze(unit)
+
+
+MINIMAL = "int main() { return 0; }"
+
+
+class TestParser:
+    def test_minimal(self):
+        unit = parse(MINIMAL)
+        assert len(unit.functions) == 1
+        assert unit.functions[0].name == "main"
+
+    def test_precedence(self):
+        unit = parse("int main() { return 1 + 2 * 3; }")
+        expr = unit.functions[0].body.statements[0].value
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        unit = parse("int main() { return (1 + 2) * 3; }")
+        expr = unit.functions[0].body.statements[0].value
+        assert expr.op == "*"
+
+    def test_comparison_below_logic(self):
+        unit = parse("int main() { return 1 < 2 && 3 < 4; }")
+        expr = unit.functions[0].body.statements[0].value
+        assert expr.op == "&&"
+
+    def test_cast_expression(self):
+        unit = parse("float g; int main() { return (int)g; }")
+        expr = unit.functions[0].body.statements[0].value
+        assert isinstance(expr, Cast) and expr.target == "int"
+
+    def test_cast_vs_parenthesized_expr(self):
+        unit = parse("int x; int main() { return (x); }")
+        expr = unit.functions[0].body.statements[0].value
+        assert not isinstance(expr, Cast)
+
+    def test_for_loop_parts(self):
+        unit = parse("int main() { int i; for (i = 0; i < 3; i = i + 1) { } return 0; }")
+        stmt = unit.functions[0].body.statements[1]
+        assert isinstance(stmt, For)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_dangling_else_binds_inner(self):
+        unit = parse(
+            "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+        )
+        outer = unit.functions[0].body.statements[0]
+        assert isinstance(outer, If)
+        inner = outer.then_body.statements[0]
+        assert isinstance(inner, If) and inner.else_body is not None
+        assert outer.else_body is None
+
+    def test_global_array_with_init(self):
+        unit = parse("int t[4] = {1, 2, -3};\nint main() { return 0; }")
+        decl = unit.globals[0]
+        assert decl.array_size == 4
+        assert decl.init == [1, 2, -3]
+
+    def test_call_args(self):
+        unit = parse("int f(int a, int b) { return a; } int main() { return f(1, 2); }")
+        expr = unit.functions[1].body.statements[0].value
+        assert isinstance(expr, Call) and len(expr.args) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "int main() { return 0 }",  # missing ;
+            "int main() { 3 = x; }",  # bad assignment target
+            "int main( { return 0; }",
+            "void x;",  # void variable
+            "int main() { int t[3]; return 0; }",  # local arrays unsupported
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestSema:
+    def test_types_annotated(self):
+        unit, _info = _analyze("float g; int main() { g = g + 1; return 0; }")
+        assign = unit.functions[0].body.statements[0]
+        assert assign.value.type == "float"  # int promoted
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            _analyze("int main() { return ghost; }")
+
+    def test_array_used_without_index(self):
+        with pytest.raises(SemanticError, match="without an index"):
+            _analyze("int a[4]; int main() { return a; }")
+
+    def test_index_on_scalar(self):
+        with pytest.raises(SemanticError, match="not a global array"):
+            _analyze("int a; int main() { return a[0]; }")
+
+    def test_call_arity(self):
+        with pytest.raises(SemanticError, match="expects 1"):
+            _analyze("int f(int x) { return x; } int main() { return f(); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="undeclared function"):
+            _analyze("int main() { return ghost(); }")
+
+    def test_float_narrowing_requires_cast(self):
+        with pytest.raises(SemanticError, match="cast"):
+            _analyze("float g; int main() { int x; x = g; return x; }")
+
+    def test_float_widening_implicit(self):
+        _analyze("float g; int main() { g = 3; return 0; }")
+
+    def test_modulo_int_only(self):
+        with pytest.raises(SemanticError, match="requires int"):
+            _analyze("float g; int main() { g = g % 2.0; return 0; }")
+
+    def test_float_params_rejected(self):
+        with pytest.raises(SemanticError, match="parameters must be int"):
+            _analyze("int f(float x) { return 0; } int main() { return 0; }")
+
+    def test_float_return_rejected(self):
+        with pytest.raises(SemanticError, match="int or void"):
+            _analyze("float f() { } int main() { return 0; }")
+
+    def test_missing_main(self):
+        with pytest.raises(SemanticError, match="no main"):
+            _analyze("int f() { return 0; }")
+
+    def test_main_with_params(self):
+        with pytest.raises(SemanticError, match="no parameters"):
+            _analyze("int main(int argc) { return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            _analyze("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            _analyze("int main() { continue; return 0; }")
+
+    def test_void_value_in_expression(self):
+        with pytest.raises(SemanticError):
+            _analyze("void f() { } int main() { return f() + 1; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(SemanticError, match="returns void"):
+            _analyze("void f() { return 3; } int main() { return 0; }")
+
+    def test_bare_return_from_int(self):
+        with pytest.raises(SemanticError, match="must return a value"):
+            _analyze("int f() { return; } int main() { return 0; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            _analyze("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_global_rejected(self):
+        with pytest.raises(SemanticError, match="shadows"):
+            _analyze("int g; int main() { int g; return 0; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError, match="duplicate global"):
+            _analyze("int g; int g; int main() { return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate definition"):
+            _analyze("int f() { return 0; } int f() { return 1; } int main() { return 0; }")

@@ -1,0 +1,113 @@
+"""Property-based MiniC correctness: compiled arithmetic must agree with
+a Python reference evaluator (C 32-bit semantics)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.minic.compile import compile_source
+from repro.runtime.interp import run_program
+
+
+def _s32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+class _Expr:
+    """A random expression as both MiniC text and a Python evaluation."""
+
+    def __init__(self, text: str, value: int):
+        self.text = text
+        self.value = _s32(value)
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    if depth >= 4 or draw(st.integers(0, 2)) == 0:
+        n = draw(st.integers(-(2**20), 2**20))
+        if n < 0:
+            return _Expr(f"(0 - {-n})", n)
+        return _Expr(str(n), n)
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>"]))
+    left = draw(int_expr(depth=depth + 1))
+    if op == "<<":
+        k = draw(st.integers(0, 8))
+        return _Expr(f"(({left.text}) << {k})", left.value << k)
+    if op == ">>":
+        k = draw(st.integers(0, 8))
+        return _Expr(f"(({left.text}) >> {k})", left.value >> k)
+    right = draw(int_expr(depth=depth + 1))
+    py = {
+        "+": left.value + right.value,
+        "-": left.value - right.value,
+        "*": left.value * right.value,
+        "&": left.value & right.value,
+        "|": left.value | right.value,
+        "^": left.value ^ right.value,
+    }[op]
+    return _Expr(f"(({left.text}) {op} ({right.text}))", py)
+
+
+@settings(max_examples=60, deadline=None)
+@given(int_expr())
+def test_expression_evaluation_matches_reference(expr):
+    source = f"int main() {{ return ({expr.text}) & 0xffffff; }}"
+    result = run_program(compile_source(source)).value
+    assert result == (_s32(expr.value) & 0xFFFFFF)
+
+
+@settings(max_examples=40, deadline=None)
+@given(int_expr(), int_expr())
+def test_comparison_materialization(a, b):
+    source = f"""
+int main() {{
+    int lt = ({a.text}) < ({b.text});
+    int ge = ({a.text}) >= ({b.text});
+    int eq = ({a.text}) == ({b.text});
+    return lt * 100 + ge * 10 + eq;
+}}
+"""
+    expected = (
+        (1 if a.value < b.value else 0) * 100
+        + (1 if a.value >= b.value else 0) * 10
+        + (1 if a.value == b.value else 0)
+    )
+    assert run_program(compile_source(source)).value == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(-1000, 1000), st.integers(1, 100))
+def test_division_and_modulo_truncate_toward_zero(a, b):
+    source = f"""
+int main() {{
+    int a = 0 - {-a} ; int b = {b};
+    return (a / b) * 1000 + (a % b);
+}}
+""" if a < 0 else f"""
+int main() {{
+    int a = {a}; int b = {b};
+    return (a / b) * 1000 + (a % b);
+}}
+"""
+    q = abs(a) // b
+    q = -q if a < 0 else q
+    r = a - q * b
+    assert run_program(compile_source(source)).value == q * 1000 + r
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+def test_array_sum_loop(values):
+    n = len(values)
+    inits = " ".join(f"t[{i}] = 0 - {-v};" if v < 0 else f"t[{i}] = {v};" for i, v in enumerate(values))
+    source = f"""
+int t[16];
+int main() {{
+    int i; int s = 0;
+    {inits}
+    for (i = 0; i < {n}; i = i + 1) {{ s = s + t[i]; }}
+    return s;
+}}
+"""
+    assert run_program(compile_source(source)).value == sum(values)

@@ -1,0 +1,503 @@
+"""Per-pass tests for the machine-independent optimizer."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_function
+from repro.ir.verify import verify_function
+from repro.opt.coalesce import coalesce_moves
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import local_cse
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.jumpopt import simplify_jumps
+from repro.opt.remat import rematerialize_constants
+
+
+def _ops(func):
+    return [i.op for i in func.instructions()]
+
+
+class TestConstFold:
+    def test_alu_folds_to_li(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 6
+  v1 = li 7
+  v2 = mult v0, v1
+  ret v2
+}
+"""
+        )
+        assert fold_constants(func) == 1
+        mult = [i for i in func.instructions() if i.defs and i.defs[0].name == "v2"][0]
+        assert mult.op is Opcode.LI and mult.imm == 42
+
+    def test_fold_through_move(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 5
+  v1 = move v0
+  v2 = addiu v1, 1
+  ret v2
+}
+"""
+        )
+        fold_constants(func)
+        target = [i for i in func.instructions() if i.defs and i.defs[0].name == "v2"][0]
+        assert target.op is Opcode.LI and target.imm == 6
+
+    def test_symbolic_immediates_not_folded(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li @glob
+  v1 = addiu v0, 4
+  ret v1
+}
+"""
+        )
+        assert fold_constants(func) == 0
+
+    def test_division_by_zero_left_for_runtime(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  v1 = li 0
+  v2 = div v0, v1
+  ret v2
+}
+"""
+        )
+        fold_constants(func)
+        assert Opcode.DIV in _ops(func)
+
+    def test_taken_branch_becomes_jump(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 1
+  v1 = li 1
+  beq v0, v1, target
+mid:
+  ret
+target:
+  ret
+}
+"""
+        )
+        fold_constants(func)
+        assert Opcode.J in _ops(func) and Opcode.BEQ not in _ops(func)
+
+    def test_not_taken_branch_becomes_nop(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 1
+  v1 = li 2
+  beq v0, v1, target
+mid:
+  ret
+target:
+  ret
+}
+"""
+        )
+        fold_constants(func)
+        assert Opcode.NOP in _ops(func) and Opcode.BEQ not in _ops(func)
+
+    def test_redefinition_invalidates(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v9 = param 0
+  v0 = li 5
+  v0 = move v9
+  v1 = addiu v0, 1
+  ret v1
+}
+"""
+        )
+        fold_constants(func)
+        assert Opcode.ADDIU in _ops(func)  # not folded
+
+
+class TestCopyProp:
+    def test_use_rewritten(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = move v0
+  v2 = addiu v1, 1
+  ret v2
+}
+"""
+        )
+        assert propagate_copies(func) >= 1
+        addiu = [i for i in func.instructions() if i.op is Opcode.ADDIU][0]
+        assert addiu.uses[0].name == "v0"
+
+    def test_chain_chased(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = move v0
+  v2 = move v1
+  v3 = addiu v2, 1
+  ret v3
+}
+"""
+        )
+        propagate_copies(func)
+        addiu = [i for i in func.instructions() if i.op is Opcode.ADDIU][0]
+        assert addiu.uses[0].name == "v0"
+
+    def test_kill_on_source_redefinition(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = move v0
+  v0 = addiu v0, 1
+  v2 = addiu v1, 1
+  ret v2
+}
+"""
+        )
+        propagate_copies(func)
+        second = [i for i in func.instructions() if i.op is Opcode.ADDIU][1]
+        assert second.uses[0].name == "v1"  # stale copy not propagated
+
+    def test_cross_file_copies_not_propagated(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  vf1 = cp_to_comp v0
+  vf2 = addiu.a vf1, 1
+  ret v0
+}
+"""
+        )
+        propagate_copies(func)
+        fpa = [i for i in func.instructions() if i.op is Opcode.ADDIU_A][0]
+        assert fpa.uses[0].name == "vf1"
+
+
+class TestCSE:
+    def test_duplicate_expression_becomes_move(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = addiu v0, 4
+  v2 = addiu v0, 4
+  v3 = addu v1, v2
+  ret v3
+}
+"""
+        )
+        assert local_cse(func) == 1
+        assert _ops(func).count(Opcode.MOVE) == 1
+
+    def test_different_imm_not_merged(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = addiu v0, 4
+  v2 = addiu v0, 5
+  v3 = addu v1, v2
+  ret v3
+}
+"""
+        )
+        assert local_cse(func) == 0
+
+    def test_invalidation_on_operand_redefinition(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = addiu v0, 4
+  v0 = addiu v0, 1
+  v2 = addiu v0, 4
+  ret v2
+}
+"""
+        )
+        assert local_cse(func) == 0
+
+    def test_loads_never_merged(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 4096
+  v1 = lw v0, 0
+  sw v1, v0, 4
+  v2 = lw v0, 0
+  ret v2
+}
+"""
+        )
+        assert local_cse(func) == 0
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  v1 = addiu v0, 1
+  v2 = addiu v1, 1
+  v9 = li 42
+  ret v9
+}
+"""
+        )
+        assert eliminate_dead_code(func) == 3
+        assert len(list(func.instructions())) == 2
+
+    def test_stores_and_calls_kept(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 4096
+  v1 = li 1
+  sw v1, v0, 0
+  v2 = call f()
+  ret
+}
+"""
+        )
+        assert eliminate_dead_code(func) == 0
+
+    def test_params_kept_even_if_dead(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = li 3
+  ret v1
+}
+"""
+        )
+        eliminate_dead_code(func)
+        assert Opcode.PARAM in _ops(func)
+        verify_function(func)
+
+    def test_loop_carried_value_kept(self, figure3):
+        before = figure3.instruction_count()
+        removed = eliminate_dead_code(figure3)
+        assert removed == 0
+        assert figure3.instruction_count() == before
+
+
+class TestJumpOpt:
+    def test_fallthrough_jump_removed(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 1
+  j next
+next:
+  ret
+}
+"""
+        )
+        simplify_jumps(func)
+        assert Opcode.J not in _ops(func)
+        assert len(func.blocks) == 1  # merged
+
+    def test_unreachable_removed(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  ret
+island:
+  v0 = li 1
+  ret
+}
+"""
+        )
+        simplify_jumps(func)
+        assert [b.label for b in func.blocks] == ["entry"]
+
+    def test_jump_threading(self):
+        func = parse_function(
+            """
+func f(1) {
+entry:
+  v0 = param 0
+  blez v0, hop
+direct:
+  ret
+hop:
+  j final
+final:
+  ret
+}
+"""
+        )
+        simplify_jumps(func)
+        branch = [i for i in func.instructions() if i.op is Opcode.BLEZ][0]
+        assert branch.target == "final"
+
+    def test_nops_removed(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  nop
+  nop
+  ret
+}
+"""
+        )
+        simplify_jumps(func)
+        assert Opcode.NOP not in _ops(func)
+
+    def test_self_loop_not_merged(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 0
+spin:
+  v0 = addiu v0, 1
+  v1 = slti v0, 5
+  v2 = li 0
+  bne v1, v2, spin
+out:
+  ret
+}
+"""
+        )
+        simplify_jumps(func)
+        verify_function(func)
+        assert any(b.label == "spin" for b in func.blocks)
+
+
+class TestCoalesce:
+    def test_increment_pattern_collapsed(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v1 = li 0
+  v0 = addiu v1, 1
+  v1 = move v0
+  ret v1
+}
+"""
+        )
+        assert coalesce_moves(func) == 1
+        addiu = [i for i in func.instructions() if i.op is Opcode.ADDIU][0]
+        assert addiu.defs[0].name == "v1"
+        assert Opcode.MOVE not in _ops(func)
+
+    def test_multi_use_temp_not_coalesced(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v1 = li 0
+  v0 = addiu v1, 1
+  v1 = move v0
+  v2 = addu v0, v1
+  ret v2
+}
+"""
+        )
+        assert coalesce_moves(func) == 0
+
+    def test_class_mismatch_not_coalesced(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 3
+  vf1 = cp_to_comp v0
+  vf2 = mov.s vf1
+  ret
+}
+"""
+        )
+        # cp_to_comp def is FP and the move is FP: this IS coalescable
+        assert coalesce_moves(func) == 1
+
+
+class TestRemat:
+    def test_shared_constant_split(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 7
+  v1 = addiu v0, 1
+  v2 = addiu v0, 2
+  v3 = addu v1, v2
+  ret v3
+}
+"""
+        )
+        assert rematerialize_constants(func) == 1
+        lis = [i for i in func.instructions() if i.op is Opcode.LI]
+        assert len(lis) == 2
+        verify_function(func)
+
+    def test_single_user_untouched(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 7
+  v1 = addiu v0, 1
+  ret v1
+}
+"""
+        )
+        assert rematerialize_constants(func) == 0
+
+    def test_multi_def_not_split(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v9 = param 0
+  v0 = li 7
+  v0 = move v9
+  v1 = addiu v0, 1
+  v2 = addiu v0, 2
+  v3 = addu v1, v2
+  ret v3
+}
+"""
+        )
+        assert rematerialize_constants(func) == 0

@@ -1,0 +1,88 @@
+"""Tests for the load-balance extension (§6.6 future work)."""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.ir.verify import verify_function
+from repro.partition.advanced import advanced_partition
+from repro.partition.partition import check_partition, partition_stats
+from repro.partition.rewrite import apply_partition
+from repro.rdg.graph import Part
+from tests.conftest import FIGURE3_IR
+
+
+def _fp_weight_fraction(partition):
+    whole_fp = sum(1 for n in partition.fp if n.part is Part.WHOLE)
+    whole_all = sum(1 for n in partition.rdg.nodes if n.part is Part.WHOLE)
+    return whole_fp / whole_all
+
+
+class TestBalanceLimit:
+    def test_none_reproduces_published_behaviour(self, figure3):
+        unlimited = advanced_partition(figure3)
+        explicit = advanced_partition(
+            parse_function(FIGURE3_IR), balance_limit=None
+        )
+        assert len(unlimited.fp) == len(explicit.fp)
+
+    def test_zero_limit_evicts_all_movable_work(self, figure3):
+        partition = advanced_partition(figure3, balance_limit=0.0)
+        assert partition_stats(partition)["offloaded_instructions"] == 0
+        check_partition(partition)
+
+    def test_limit_monotone(self):
+        sizes = []
+        for limit in (0.05, 0.2, 0.5, 1.0):
+            func = parse_function(FIGURE3_IR)
+            partition = advanced_partition(func, balance_limit=limit)
+            sizes.append(len(partition.fp))
+        assert sizes == sorted(sizes)
+
+    def test_balanced_partition_still_legal_and_correct(self, figure3):
+        partition = advanced_partition(figure3, balance_limit=0.25)
+        check_partition(partition)
+        apply_partition(figure3, partition)
+        verify_function(figure3)
+
+    def test_memoryless_function_capped(self):
+        """§6.6's backfire case: with a balance limit, the memory-less
+        function no longer moves to FPa wholesale."""
+        source = """
+func rand_next(1) returns {
+entry:
+  v0 = param 0
+  v1 = li 1103515245
+  v2 = mult v0, v1
+  v3 = addiu v2, 12345
+  v4 = li 0x7fffffff
+  v5 = and v3, v4
+  v6 = sra v5, 8
+  v7 = xor v6, v5
+  v8 = sll v7, 3
+  v9 = addu v8, v7
+  v10 = srl v9, 1
+  ret v10
+}
+"""
+        greedy = advanced_partition(parse_function(source))
+        capped = advanced_partition(parse_function(source), balance_limit=0.3)
+        greedy_frac = _fp_weight_fraction(greedy)
+        capped_frac = _fp_weight_fraction(capped)
+        assert greedy_frac > 0.5  # greedy moves nearly everything
+        assert capped_frac <= 0.35
+
+    def test_pinned_fp_work_never_evicted(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  vf0 = li.s 1.0
+  vf1 = add.s vf0, vf0
+  vf2 = mul.s vf1, vf1
+  ret
+}
+"""
+        )
+        partition = advanced_partition(func, balance_limit=0.0)
+        ops = {partition.rdg.instruction(n).op.value for n in partition.fp}
+        assert {"add.s", "mul.s"} <= ops

@@ -1,0 +1,59 @@
+"""Independent verification of the §5.1 partitioning conditions.
+
+The basic scheme is implemented with connected components; these tests
+check its output against the *paper's own statement* of the conditions,
+computed through the independent slice machinery:
+
+    2. if v in F(G): Backward-Slice(G, v) ∩ I(G) = ∅
+    3. if v in F(G): Forward-Slice(G, v)  ∩ I(G) = ∅
+
+on randomly generated integer programs (where no pre-existing copy
+instructions blur the picture).
+"""
+
+from hypothesis import given, settings, HealthCheck
+
+from repro.minic.compile import compile_source
+from repro.partition.basic import basic_partition
+from repro.rdg.slices import backward_slice, forward_slice
+
+from tests.partition.test_properties import minic_program
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(minic_program())
+def test_condition_2_no_value_received_from_int(source):
+    program = compile_source(source)
+    for func in program.functions.values():
+        partition = basic_partition(func)
+        int_nodes = set(partition.int_nodes())
+        for node in partition.fp:
+            assert not (backward_slice(partition.rdg, node) & int_nodes), node
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(minic_program())
+def test_condition_3_no_value_supplied_to_int(source):
+    program = compile_source(source)
+    for func in program.functions.values():
+        partition = basic_partition(func)
+        int_nodes = set(partition.int_nodes())
+        for node in partition.fp:
+            assert not (forward_slice(partition.rdg, node) & int_nodes), node
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(minic_program())
+def test_basic_is_maximal(source):
+    """§5.2 aims for the *largest* F(G): every INT component must contain
+    a pinned node — nothing assignable was left behind."""
+    from repro.rdg.graph import Pin
+
+    program = compile_source(source)
+    for func in program.functions.values():
+        partition = basic_partition(func)
+        rdg = partition.rdg
+        for comp in rdg.undirected_components():
+            if comp <= partition.fp:
+                continue
+            assert any(rdg.pin.get(n) is Pin.INT for n in comp), comp

@@ -1,0 +1,124 @@
+"""Tests for partition legality (§5.1 conditions and their §6
+generalization) and the Partition datatype."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.ir.parser import parse_function
+from repro.partition.basic import basic_partition
+from repro.partition.advanced import advanced_partition
+from repro.partition.partition import Partition, check_partition
+from repro.rdg.build import build_rdg
+from repro.rdg.graph import Node, Part
+
+
+def _node_for(rdg, mnemonic, part=Part.WHOLE):
+    for node in rdg.nodes:
+        if rdg.instruction(node).op.value == mnemonic and node.part is part:
+            return node
+    raise AssertionError(f"no node {mnemonic}/{part}")
+
+
+class TestConditions:
+    def test_empty_partition_is_legal(self, figure3):
+        rdg = build_rdg(figure3)
+        check_partition(Partition(rdg=rdg, fp=set()))
+
+    def test_int_pinned_node_in_fp_rejected(self, figure3):
+        rdg = build_rdg(figure3)
+        addr = _node_for(rdg, "lw", Part.ADDR)
+        with pytest.raises(PartitionError, match="INT-pinned"):
+            check_partition(Partition(rdg=rdg, fp={addr}))
+
+    def test_fp_pinned_node_in_int_rejected(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  vf0 = li.s 1.0
+  vf1 = add.s vf0, vf0
+  ret
+}
+"""
+        )
+        rdg = build_rdg(func)
+        with pytest.raises(PartitionError, match="FP-pinned"):
+            check_partition(Partition(rdg=rdg, fp=set()))
+
+    def test_uncompensated_crossing_edge_rejected(self, figure3):
+        """Condition 2 of §5.1: an FPa node must not receive a register
+        value from INT (without a copy)."""
+        rdg = build_rdg(figure3)
+        slti = _node_for(rdg, "slti")  # consumes v0 from INT
+        with pytest.raises(PartitionError, match="uncompensated"):
+            check_partition(Partition(rdg=rdg, fp={slti}))
+
+    def test_fpa_to_int_edge_rejected(self, figure3):
+        """Condition 3 of §5.1: an FPa node must not supply a register
+        value to INT."""
+        rdg = build_rdg(figure3)
+        lw_value = _node_for(rdg, "lw", Part.VALUE)
+        # lw value feeds both bltz and addiu; putting only the value node
+        # in FPa leaves illegal FPa->INT edges
+        with pytest.raises(PartitionError, match="FPa->INT"):
+            check_partition(Partition(rdg=rdg, fp={lw_value}))
+
+    def test_crossing_edge_with_copy_accepted(self, figure3):
+        rdg = build_rdg(figure3)
+        slti = _node_for(rdg, "slti")
+        bne = _node_for(rdg, "bne")
+        li0 = None
+        for node in rdg.nodes:
+            instr = rdg.instruction(node)
+            if instr.op.value == "li" and instr.imm == 0:
+                li0 = node
+        v0_defs = [p for p in rdg.preds[slti]]
+        check_partition(
+            Partition(
+                rdg=rdg,
+                fp={slti, bne, li0},
+                copies=set(v0_defs),
+            )
+        )
+
+    def test_copy_site_must_define_register(self, figure3):
+        rdg = build_rdg(figure3)
+        sw_value = _node_for(rdg, "sw", Part.VALUE)
+        with pytest.raises(PartitionError):
+            check_partition(
+                Partition(rdg=rdg, fp=set(), copies={sw_value})
+            )
+
+    def test_dup_site_must_be_duplicable(self, figure3):
+        rdg = build_rdg(figure3)
+        lw_value = _node_for(rdg, "lw", Part.VALUE)
+        with pytest.raises(PartitionError, match="not duplicable"):
+            check_partition(Partition(rdg=rdg, fp=set(), dups={lw_value}))
+
+    def test_back_copy_site_must_be_fpa(self, figure3):
+        rdg = build_rdg(figure3)
+        sll = _node_for(rdg, "sll")
+        with pytest.raises(PartitionError, match="back-copy"):
+            check_partition(Partition(rdg=rdg, fp=set(), back_copies={sll}))
+
+
+class TestSchemesProduceLegalPartitions:
+    @pytest.mark.parametrize("scheme", ["basic", "advanced"])
+    def test_schemes_self_check(self, figure3, scheme):
+        if scheme == "basic":
+            partition = basic_partition(figure3)
+        else:
+            partition = advanced_partition(figure3)
+        check_partition(partition)  # re-check is idempotent
+        assert partition.scheme == scheme
+
+    def test_disjointness_by_construction(self, figure3):
+        """Condition 1: F(G) and I(G) are disjoint."""
+        partition = advanced_partition(figure3)
+        int_nodes = set(partition.int_nodes())
+        assert not (partition.fp & int_nodes)
+        assert partition.fp | int_nodes == set(partition.rdg.nodes)
+
+    def test_static_fraction(self, figure3):
+        partition = basic_partition(figure3)
+        assert 0.0 < partition.fp_fraction_static() < 1.0

@@ -1,0 +1,193 @@
+"""Tests for the cost model (§6.1) and copy/duplicate heuristic (§6.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.ir.parser import parse_function
+from repro.partition.copydup import CopyDupDecider, is_duplicable
+from repro.partition.cost import (
+    CostParams,
+    ExecutionProfile,
+    block_counts,
+    estimate_profile,
+)
+from repro.rdg.build import build_rdg
+from repro.rdg.graph import Part
+
+
+class TestCostParams:
+    def test_defaults_within_paper_ranges(self):
+        params = CostParams()
+        assert 3.0 <= params.o_copy <= 6.0
+        assert 1.5 <= params.o_dupl <= 3.0
+
+    def test_dupl_must_be_cheaper_than_copy(self):
+        """§6.2: if o_dupl >= o_copy no node is ever duplicated."""
+        with pytest.raises(PartitionError):
+            CostParams(o_copy=3.0, o_dupl=3.0)
+        with pytest.raises(PartitionError):
+            CostParams(o_copy=3.0, o_dupl=4.0)
+
+    def test_custom_params(self):
+        params = CostParams(o_copy=6.0, o_dupl=3.0)
+        assert params.o_copy == 6.0
+
+
+class TestExecutionProfile:
+    def test_record_accumulates(self):
+        profile = ExecutionProfile()
+        profile.record("f", "loop")
+        profile.record("f", "loop", 4)
+        assert profile.block_count("f", "loop") == 5.0
+
+    def test_covers(self):
+        profile = ExecutionProfile()
+        profile.record("f", "entry")
+        assert profile.covers("f")
+        assert not profile.covers("g")
+
+    def test_for_function_defaults_to_zero(self, figure3):
+        profile = ExecutionProfile()
+        profile.record("invalidate", "loop", 66)
+        counts = profile.for_function(figure3)
+        assert counts["loop"] == 66.0
+        assert counts["exit"] == 0.0
+
+
+class TestEstimatedProfile:
+    def test_entry_probability_one(self, figure3):
+        est = estimate_profile(figure3)
+        assert est["entry"] == 1.0
+
+    def test_loop_blocks_weighted_by_5_to_depth(self, figure3):
+        """n_B = p_B * 5^d_B (§6.1)."""
+        est = estimate_profile(figure3)
+        assert est["loop"] == pytest.approx(5.0)  # p=1, depth=1
+        assert est["body"] == pytest.approx(2.5)  # p=0.5 inside the loop
+        assert est["skip"] == pytest.approx(5.0)  # rejoins both paths
+
+    def test_branch_directions_equally_likely(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, b
+a:
+  v1 = li 1
+  j join
+b:
+  v1 = li 2
+join:
+  ret v1
+}
+"""
+        )
+        est = estimate_profile(func)
+        assert est["a"] == pytest.approx(0.5)
+        assert est["b"] == pytest.approx(0.5)
+        assert est["join"] == pytest.approx(1.0)
+
+    def test_block_counts_prefers_measured(self, figure3):
+        profile = ExecutionProfile()
+        profile.record("invalidate", "loop", 66)
+        counts = block_counts(figure3, profile)
+        assert counts["loop"] == 66.0
+
+    def test_block_counts_falls_back_to_estimate(self, figure3):
+        profile = ExecutionProfile()
+        profile.record("someone_else", "entry", 1)
+        counts = block_counts(figure3, profile)
+        assert counts["loop"] == pytest.approx(5.0)
+
+
+class TestCopyDupDecider:
+    def _decider(self, func, params=None):
+        rdg = build_rdg(func)
+        n_b = estimate_profile(func)
+        return rdg, CopyDupDecider(rdg, n_b, params or CostParams())
+
+    def test_copy_cost_formula(self, figure3):
+        rdg, decider = self._decider(figure3)
+        for node in rdg.nodes:
+            expected = CostParams().o_copy * decider.node_count(node)
+            assert decider.copying_cost[node] == pytest.approx(expected)
+
+    def test_loop_increment_duplicated(self, figure3):
+        """The self-dependent regno increment duplicates (Figure 6)."""
+        rdg, decider = self._decider(figure3)
+        increments = [
+            n
+            for n in rdg.nodes
+            if rdg.instruction(n).op.value == "addiu" and rdg.block(n) == "skip"
+        ]
+        assert increments and decider.should_duplicate(increments[0])
+
+    def test_non_duplicable_nodes_have_infinite_dup_cost(self, figure3):
+        rdg, decider = self._decider(figure3)
+        for node in rdg.nodes:
+            if not is_duplicable(rdg.instruction(node), node):
+                assert math.isinf(decider.dupl_cost[node])
+
+    def test_dup_chain_cost_fans_out(self):
+        """Duplicating a node whose parent must also be made available
+        charges the parent's cheaper mechanism."""
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  v1 = addiu v0, 2
+  v2 = addiu v1, 3
+  ret v2
+}
+"""
+        )
+        rdg, decider = self._decider(func)
+        nodes = {rdg.instruction(n).imm: n for n in rdg.nodes if rdg.instruction(n).op.value == "addiu"}
+        li = [n for n in rdg.nodes if rdg.instruction(n).op.value == "li"][0]
+        params = CostParams()
+        assert decider.dupl_cost[li] == pytest.approx(params.o_dupl)
+        assert decider.dupl_cost[nodes[2]] == pytest.approx(2 * params.o_dupl)
+        assert decider.dupl_cost[nodes[3]] == pytest.approx(3 * params.o_dupl)
+
+    def test_comm_cost_is_min_of_both(self, figure3):
+        rdg, decider = self._decider(figure3)
+        for node in rdg.nodes:
+            assert decider.comm_cost(node) == pytest.approx(
+                min(decider.copying_cost[node], decider.dupl_cost[node])
+            )
+
+
+class TestIsDuplicable:
+    def test_alu_with_twin_duplicable(self, figure3):
+        rdg = build_rdg(figure3)
+        for node in rdg.nodes:
+            instr = rdg.instruction(node)
+            if instr.op.value == "slti":
+                assert is_duplicable(instr, node)
+
+    def test_memory_value_nodes_not_duplicable(self, figure3):
+        """Duplicating a load would add a memory access."""
+        rdg = build_rdg(figure3)
+        for node in rdg.nodes:
+            if node.part is Part.VALUE:
+                assert not is_duplicable(rdg.instruction(node), node)
+
+    def test_mult_not_duplicable(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 3
+  v1 = mult v0, v0
+  ret v1
+}
+"""
+        )
+        rdg = build_rdg(func)
+        for node in rdg.nodes:
+            if rdg.instruction(node).op.value == "mult":
+                assert not is_duplicable(rdg.instruction(node), node)

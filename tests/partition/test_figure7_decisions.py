@@ -1,0 +1,133 @@
+"""Decision tests shaped after the paper's Figure 7 examples.
+
+Figure 7 illustrates why Phase 1 alone is insufficient: examining nodes
+``u`` and ``v`` one at a time (each fed by INT node ``x``) yields
+``loss = 1`` for both, so neither is moved — yet whether *keeping* them
+in FPa is profitable depends on how much hangs below them, which only
+Phase 2's component-level Profit sees:
+
+* Example 1 — ``u`` and ``v`` are leaves: one copy buys two cheap
+  instructions; ``Profit < 0``; the component must be evicted to INT.
+* Example 2 — ``u`` and ``v`` each feed further FPa work (``p``, ``q``
+  chains): the same copy buys a large component; ``Profit > 0``; the
+  component must stay in FPa.
+"""
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.partition.advanced import advanced_partition
+from repro.partition.cost import CostParams
+from repro.partition.partition import partition_stats
+
+# x = a loaded value that also feeds an address (so x is INT); u and v
+# consume x and compute store values.
+EXAMPLE1 = """
+func ex1(0) {
+entry:
+  v9 = li 4096
+loop:
+  v0 = lw v9, 0
+  v1 = sll v0, 2
+  v2 = addu v9, v1
+  v3 = lw v2, 4
+  v4 = addiu v0, 1
+  v5 = addiu v0, 2
+  sw v4, v2, 8
+  sw v5, v2, 12
+  v6 = slti v3, 100
+  v7 = li 0
+  bne v6, v7, loop
+exit:
+  ret
+}
+"""
+
+# same shape, but u and v head long offloadable chains
+EXAMPLE2 = """
+func ex2(0) {
+entry:
+  v9 = li 4096
+loop:
+  v0 = lw v9, 0
+  v1 = sll v0, 2
+  v2 = addu v9, v1
+  v3 = lw v2, 4
+  v4 = addiu v0, 1
+  v5 = addiu v0, 2
+  v10 = sll v4, 3
+  v11 = xor v10, v4
+  v12 = addu v11, v10
+  v13 = sra v12, 1
+  v14 = sll v5, 2
+  v15 = xor v14, v5
+  v16 = addu v15, v14
+  v17 = addu v13, v16
+  sw v17, v2, 8
+  sw v16, v2, 12
+  v6 = slti v3, 100
+  v7 = li 0
+  bne v6, v7, loop
+exit:
+  ret
+}
+"""
+
+#: a deliberately copy-hostile setting so Example 1's two instructions
+#: cannot pay for x's copy, while Example 2's nine can.
+PARAMS = CostParams(o_copy=4.0, o_dupl=2.0)
+
+
+def _offloaded_store_value_work(func_text):
+    func = parse_function(func_text)
+    partition = advanced_partition(func, params=PARAMS)
+    stats = partition_stats(partition)
+    # exclude the loop-exit branch slice (slti/li/bne on v3): count only
+    # the u/v component by checking whether any copies were kept
+    return partition, stats
+
+
+class TestFigure7:
+    def test_example1_component_evicted(self):
+        partition, stats = _offloaded_store_value_work(EXAMPLE1)
+        # the x -> {u, v} component is unprofitable: no copies survive
+        assert stats["copies"] == 0
+        assert stats["dups"] == 0
+        ops = {
+            partition.rdg.instruction(n).op.value
+            for n in partition.fp
+        }
+        assert "addiu" not in ops  # u and v stayed in INT
+
+    def test_example2_component_kept(self):
+        partition, stats = _offloaded_store_value_work(EXAMPLE2)
+        assert stats["copies"] + stats["dups"] >= 1
+        ops = {
+            partition.rdg.instruction(n).op.value for n in partition.fp
+        }
+        # the long chains execute in FPa
+        assert "xor" in ops and "sra" in ops and "addiu" in ops
+
+    def test_phase1_alone_does_not_distinguish(self):
+        """Both examples survive Phase 1 identically (loss > 0 keeps the
+        candidates); only Phase 2 separates them — mirroring the paper's
+        point that Phase 1 uses only local information."""
+        from repro.partition.advanced import _AdvancedPartitioner
+        from repro.partition.cost import estimate_profile
+        from repro.rdg.build import build_rdg
+
+        kept = {}
+        for name, text in (("ex1", EXAMPLE1), ("ex2", EXAMPLE2)):
+            func = parse_function(text)
+            p = _AdvancedPartitioner(
+                func, build_rdg(func), estimate_profile(func), PARAMS
+            )
+            p.initial_int()
+            p.phase1()
+            fpa_ops = {
+                p.rdg.instruction(n).op.value
+                for n in p.rdg.nodes
+                if n not in p.int_set
+            }
+            kept[name] = "addiu" in fpa_ops
+        assert kept["ex1"] and kept["ex2"]  # both still in FPa after Phase 1

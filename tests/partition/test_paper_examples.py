@@ -1,0 +1,181 @@
+"""Reproduction of the paper's worked examples (Figures 2–6).
+
+These tests pin the algorithms to the paper's own narrative:
+
+* Figure 4 — the basic scheme offloads exactly the component computing
+  the ``reg_tick[regno]++`` store value (load value -> bltz / addiu ->
+  store value) and converts the memory ops to ``l.s``/``s.s``.
+* Figures 5/6 — the advanced scheme additionally offloads the loop
+  termination branch slice by duplicating the induction variable
+  (``I1d``/``I15d`` in Figure 6), with the out-of-loop duplicate costing
+  nothing per iteration.
+"""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_function
+from repro.ir.verify import verify_function
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.partition.partition import partition_stats
+from repro.partition.rewrite import apply_partition
+from repro.rdg.graph import Part
+
+
+def _ops(func):
+    return [instr.op for instr in func.instructions()]
+
+
+class TestFigure4Basic:
+    def test_basic_offloads_store_value_component(self, figure3):
+        partition = basic_partition(figure3)
+        stats = partition_stats(partition)
+        # the component {lw-value, bltz, addiu, sw-value}: two of those
+        # are WHOLE instructions (bltz, addiu)
+        assert stats["offloaded_instructions"] == 2
+        assert stats["copies"] == 0 and stats["dups"] == 0
+
+    def test_basic_never_inserts_instructions(self, figure3):
+        before = figure3.instruction_count()
+        partition = basic_partition(figure3)
+        apply_partition(figure3, partition)
+        assert figure3.instruction_count() == before
+
+    def test_rewrite_converts_memory_ops(self, figure3):
+        partition = basic_partition(figure3)
+        apply_partition(figure3, partition)
+        verify_function(figure3)
+        ops = _ops(figure3)
+        assert Opcode.LS in ops and Opcode.SS in ops
+        assert Opcode.LW not in ops and Opcode.SW not in ops
+        assert Opcode.BLTZ_A in ops and Opcode.ADDIU_A in ops
+
+    def test_loop_branch_stays_int_in_basic(self, figure3):
+        """The termination branch shares regno with addressing, so the
+        basic scheme cannot offload it (paper §5.3)."""
+        partition = basic_partition(figure3)
+        apply_partition(figure3, partition)
+        ops = _ops(figure3)
+        assert Opcode.BNE in ops  # not bne.a
+        assert Opcode.SLTI in ops  # not slti.a
+
+
+class TestFigure6Advanced:
+    def test_advanced_duplicates_induction_variable(self, figure3):
+        partition = advanced_partition(figure3)
+        stats = partition_stats(partition)
+        assert stats["dups"] == 2  # li 0 (outside loop) + addiu regno,1
+        assert stats["offloaded_instructions"] == 5  # bltz, addiu, slti, li, bne
+
+    def test_rewrite_matches_figure6_shape(self, figure3):
+        partition = advanced_partition(figure3)
+        apply_partition(figure3, partition)
+        verify_function(figure3)
+        ops = _ops(figure3)
+        # both maintained copies of regno exist: addiu and addiu.a
+        assert Opcode.ADDIU in ops and Opcode.ADDIU_A in ops
+        # the loop branch now executes in FPa
+        assert Opcode.BNE_A in ops and Opcode.SLTI_A in ops
+        # the out-of-loop duplicate (I1d) lives in the entry block
+        entry_ops = [i.op for i in figure3.entry.instructions]
+        assert Opcode.LI_A in entry_ops
+
+    def test_duplicate_overhead_only_inside_loop(self, figure3):
+        """Figure 6: overheads are incurred each iteration only for the
+        in-loop duplicate; the entry-block duplicate runs once."""
+        partition = advanced_partition(figure3)
+        dup_blocks = {partition.rdg.block(node) for node in partition.dups}
+        assert dup_blocks == {"entry", "skip"}
+
+    def test_advanced_is_superset_of_basic(self, figure3):
+        basic = basic_partition(figure3)
+        advanced = advanced_partition(figure3)
+        assert basic.fp <= advanced.fp
+
+
+class TestCallingConventions:
+    """§6.4: formal parameters get dummy INT nodes whose copies the
+    algorithm prices; actual-argument producers may stay in FPa with a
+    cp_from_comp."""
+
+    def test_param_copy_enables_offload(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v9 = li 4096
+loop:
+  v1 = lw v9, 0
+  v2 = addu v1, v0
+  sw v2, v9, 4
+  v3 = addiu v0, 0
+  v4 = slti v3, 100
+  v5 = li 0
+  bne v4, v5, loop
+exit:
+  ret
+}
+"""
+        )
+        partition = advanced_partition(func)
+        stats = partition_stats(partition)
+        # v0 (the formal) feeds FPa work; it must be copied or duplicated
+        assert stats["copies"] + stats["dups"] >= 1
+        apply_partition(func, partition)
+        verify_function(func)
+
+    def test_return_value_producer_gets_back_copy(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v9 = li 4096
+  v1 = lw v9, 0
+  v2 = addiu v1, 5
+  sw v2, v9, 4
+  ret v2
+}
+"""
+        )
+        partition = advanced_partition(func)
+        if partition.back_copies:
+            apply_partition(func, partition)
+            verify_function(func)
+            ops = _ops(func)
+            assert Opcode.CP_FROM_COMP in ops
+
+    def test_memoryless_function_moves_to_fpa(self):
+        """§6.6: compress's run() performs no memory access, so the
+        greedy schemes move the entire body to FPa."""
+        func = parse_function(
+            """
+func rand_next(1) returns {
+entry:
+  v0 = param 0
+  v1 = li 1103515245
+  v2 = mult v0, v1
+  v3 = addiu v2, 12345
+  v4 = li 0x7fffffff
+  v5 = and v3, v4
+  v6 = sra v5, 8
+  v7 = xor v6, v5
+  v8 = sll v7, 3
+  v9 = addu v8, v7
+  v10 = srl v9, 1
+  ret v10
+}
+"""
+        )
+        partition = advanced_partition(func)
+        stats = partition_stats(partition)
+        # everything except param/ret/mult glue lands in FPa
+        offloadable = {"li", "and", "addiu", "sra", "xor", "sll", "addu", "srl"}
+        offloaded_ops = {
+            partition.rdg.instruction(n).op.value
+            for n in partition.fp
+            if n.part is Part.WHOLE
+        }
+        assert offloadable <= offloaded_ops
+        assert stats["back_copies"] >= 1  # the return value flows back

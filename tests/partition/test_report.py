@@ -1,0 +1,82 @@
+"""Tests for the partition reporting helpers."""
+
+import pytest
+
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.partition.report import (
+    annotate_partition,
+    offload_by_opcode,
+    partition_summary_table,
+)
+
+
+class TestAnnotate:
+    def test_figure6_annotations(self, figure3):
+        partition = advanced_partition(figure3)
+        text = annotate_partition(figure3, partition)
+        assert "[advanced scheme]" in text
+        assert "FPa" in text
+        assert "+dup" in text  # the duplicated induction variable
+        assert "INT/fpa-data" in text  # converted load/store
+
+    def test_basic_annotations(self, figure3):
+        partition = basic_partition(figure3)
+        text = annotate_partition(figure3, partition)
+        assert "+dup" not in text and "+copy" not in text
+
+    def test_wrong_function_rejected(self, figure3, straightline):
+        partition = basic_partition(figure3)
+        with pytest.raises(ValueError):
+            annotate_partition(straightline, partition)
+
+    def test_every_instruction_listed(self, figure3):
+        partition = basic_partition(figure3)
+        text = annotate_partition(figure3, partition)
+        assert text.count(";") == figure3.instruction_count()
+
+
+class TestSummaryTable:
+    def test_addresses_all_int(self, figure3):
+        partition = advanced_partition(figure3)
+        table = partition_summary_table(partition)
+        assert table["address"]["fpa"] == 0
+        assert table["address"]["int"] == 2
+
+    def test_branches_split_per_figure6(self, figure3):
+        partition = advanced_partition(figure3)
+        table = partition_summary_table(partition)
+        # both bltz and bne offloaded by the advanced scheme
+        assert table["branch"]["fpa"] == 2
+        assert table["branch"]["int"] == 0
+
+    def test_counts_cover_all_nodes(self, figure3):
+        partition = basic_partition(figure3)
+        table = partition_summary_table(partition)
+        total = sum(v for sides in table.values() for v in sides.values())
+        assert total == len(partition.rdg.nodes)
+
+
+class TestOffloadByOpcode:
+    def test_figure6_opcode_usage(self, figure3):
+        partition = advanced_partition(figure3)
+        usage = offload_by_opcode(partition)
+        assert usage["addiu"] == 1  # the tick increment
+        assert usage["slti"] == 1
+        assert usage["bne"] == 1 and usage["bltz"] == 1
+
+    def test_empty_for_unpartitioned_fp_code(self):
+        from repro.ir.parser import parse_function
+
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  vf0 = li.s 1.0
+  vf1 = add.s vf0, vf0
+  ret
+}
+"""
+        )
+        partition = basic_partition(func)
+        assert offload_by_opcode(partition) == {}

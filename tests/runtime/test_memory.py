@@ -1,0 +1,92 @@
+"""Tests for the sparse memory model."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.state import Memory, s32
+
+
+class TestS32:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, 0),
+            (1, 1),
+            (-1, -1),
+            (0x7FFFFFFF, 0x7FFFFFFF),
+            (0x80000000, -0x80000000),
+            (0xFFFFFFFF, -1),
+            (0x100000000, 0),
+            (-0x80000001, 0x7FFFFFFF),
+        ],
+    )
+    def test_wrapping(self, value, expected):
+        assert s32(value) == expected
+
+
+class TestWords:
+    def test_default_zero(self):
+        assert Memory().load_word(0x1000) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = Memory()
+        mem.store_word(0x1000, 12345)
+        assert mem.load_word(0x1000) == 12345
+
+    def test_negative_values(self):
+        mem = Memory()
+        mem.store_word(0x1000, -7)
+        assert mem.load_word(0x1000) == -7
+
+    def test_values_wrap_to_32_bits(self):
+        mem = Memory()
+        mem.store_word(0x1000, 0x1_0000_0005)
+        assert mem.load_word(0x1000) == 5
+
+    def test_float_values_stored_exactly(self):
+        mem = Memory()
+        mem.store_word(0x1000, 2.75)
+        assert mem.load_word(0x1000) == 2.75
+
+    def test_unaligned_word_access_rejected(self):
+        mem = Memory()
+        with pytest.raises(ExecutionError):
+            mem.load_word(0x1002)
+        with pytest.raises(ExecutionError):
+            mem.store_word(0x1001, 1)
+
+    def test_distinct_addresses_independent(self):
+        mem = Memory()
+        mem.store_word(0x1000, 1)
+        mem.store_word(0x1004, 2)
+        assert mem.load_word(0x1000) == 1
+        assert mem.load_word(0x1004) == 2
+        assert mem.words_used() == 2
+
+
+class TestBytes:
+    def test_byte_lanes(self):
+        mem = Memory()
+        for i, b in enumerate([0x11, 0x22, 0x33, 0x44]):
+            mem.store_byte(0x1000 + i, b)
+        assert mem.load_word(0x1000) == 0x44332211
+
+    def test_signed_byte_load(self):
+        mem = Memory()
+        mem.store_byte(0x1000, 0xFF)
+        assert mem.load_byte(0x1000, signed=True) == -1
+        assert mem.load_byte(0x1000, signed=False) == 255
+
+    def test_byte_store_preserves_neighbours(self):
+        mem = Memory()
+        mem.store_word(0x1000, 0x11223344)
+        mem.store_byte(0x1001, 0xAA)
+        assert mem.load_word(0x1000) == 0x1122AA44
+
+    def test_byte_access_to_float_rejected(self):
+        mem = Memory()
+        mem.store_word(0x1000, 1.5)
+        with pytest.raises(ExecutionError):
+            mem.load_byte(0x1000)
+        with pytest.raises(ExecutionError):
+            mem.store_byte(0x1000, 3)

@@ -1,0 +1,102 @@
+"""Tests for the cache model and gshare predictor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.branch_pred import GSharePredictor, PerfectPredictor
+from repro.sim.cache import Cache
+from repro.sim.config import CacheConfig, PredictorConfig
+
+
+def _tiny_cache(assoc=2):
+    # 4 sets x assoc x 16B lines
+    return Cache(CacheConfig(size_bytes=4 * assoc * 16, assoc=assoc, line_bytes=16))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = _tiny_cache()
+        assert cache.access(0x1000) == 7  # 1 + 6
+        assert cache.access(0x1000) == 1
+        assert cache.access(0x100C) == 1  # same line
+        assert cache.misses == 1 and cache.hits == 2
+
+    def test_lru_eviction(self):
+        cache = _tiny_cache(assoc=2)
+        a, b, c = 0x0, 0x40, 0x80  # all map to set 0 (16B lines, 4 sets)
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b (LRU)
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_sets_are_independent(self):
+        cache = _tiny_cache()
+        cache.access(0x0)
+        cache.access(0x10)  # next set
+        assert cache.probe(0x0) and cache.probe(0x10)
+
+    def test_miss_rate(self):
+        cache = _tiny_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == pytest.approx(0.5)
+        assert Cache(CacheConfig(64, 2, 16)).miss_rate == 0.0
+
+    def test_geometry_validation(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=100, assoc=2, line_bytes=16)
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=3 * 2 * 16, assoc=2, line_bytes=16)
+
+    def test_paper_caches_have_correct_set_counts(self):
+        icache = CacheConfig(64 * 1024, 2, 128)
+        dcache = CacheConfig(32 * 1024, 2, 32)
+        assert icache.n_sets == 256
+        assert dcache.n_sets == 512
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        pred = GSharePredictor(PredictorConfig(table_entries=1024, history_bits=4))
+        for _ in range(8):
+            pred.update(0x400000, True)
+        assert pred.predict(0x400000)
+
+    def test_learns_alternating_pattern_via_history(self):
+        pred = GSharePredictor(PredictorConfig(table_entries=1024, history_bits=8))
+        outcomes = [True, False] * 200
+        for taken in outcomes[:100]:
+            pred.update(0x400100, taken)
+        correct = sum(pred.update(0x400100, t) for t in outcomes[100:])
+        assert correct / len(outcomes[100:]) > 0.95
+
+    def test_accuracy_counter(self):
+        pred = GSharePredictor()
+        for i in range(10):
+            pred.update(0x400000, True)
+        assert pred.predictions == 10
+        assert 0.0 <= pred.accuracy <= 1.0
+
+    def test_counters_saturate(self):
+        pred = GSharePredictor(PredictorConfig(table_entries=16, history_bits=0))
+        for _ in range(100):
+            pred.update(0x40, True)
+        # one not-taken shouldn't flip a saturated counter
+        pred.update(0x40, False)
+        assert pred.predict(0x40)
+
+    def test_initial_prediction_not_taken(self):
+        pred = GSharePredictor()
+        assert not pred.predict(0x400000)
+
+
+class TestPerfect:
+    def test_never_mispredicts(self):
+        pred = PerfectPredictor()
+        assert pred.update(0x400000, True)
+        assert pred.update(0x400000, False)
+        assert pred.accuracy == 1.0
+        assert pred.mispredictions == 0

@@ -1,0 +1,54 @@
+"""Edge cases for SimStats derived metrics."""
+
+from repro.sim.stats import SimStats
+
+
+class TestDerivedMetrics:
+    def test_zero_division_guards(self):
+        stats = SimStats()
+        assert stats.ipc == 0.0
+        assert stats.fp_fraction == 0.0
+        assert stats.branch_accuracy == 1.0
+        assert stats.icache_miss_rate == 0.0
+        assert stats.dcache_miss_rate == 0.0
+        assert stats.int_idle_while_fp_busy_fraction == 0.0
+
+    def test_fractions(self):
+        stats = SimStats(
+            cycles=100,
+            retired=150,
+            fp_issued=30,
+            branches=50,
+            branch_mispredicts=5,
+            icache_hits=90,
+            icache_misses=10,
+            dcache_hits=45,
+            dcache_misses=5,
+            fp_busy_cycles=40,
+            int_idle_fp_busy_cycles=10,
+        )
+        assert stats.ipc == 1.5
+        assert stats.fp_fraction == 0.2
+        assert stats.branch_accuracy == 0.9
+        assert stats.icache_miss_rate == 0.1
+        assert stats.dcache_miss_rate == 0.1
+        assert stats.int_idle_while_fp_busy_fraction == 0.25
+
+    def test_as_dict_matches_properties(self):
+        stats = SimStats(cycles=10, retired=20, fp_issued=4)
+        d = stats.as_dict()
+        assert d["ipc"] == stats.ipc
+        assert d["fp_fraction"] == stats.fp_fraction
+        assert d["cycles"] == 10
+
+
+class TestPipelineDeterminism:
+    def test_run_benchmark_is_deterministic(self):
+        from repro.experiments.runner import run_benchmark
+
+        a = run_benchmark("m88ksim", "advanced", scale=1)
+        b = run_benchmark("m88ksim", "advanced", scale=1)
+        assert a.cycles == b.cycles
+        assert a.checksum == b.checksum
+        assert a.offload_fraction == b.offload_fraction
+        assert a.partition_summary == b.partition_summary

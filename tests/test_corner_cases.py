@@ -1,0 +1,226 @@
+"""Cross-cutting corner cases discovered while reading the code."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_function, parse_program
+from repro.ir.verify import verify_function, verify_program
+from repro.minic.compile import compile_source
+from repro.runtime.interp import run_program
+
+
+class TestMiniCCorners:
+    def test_infinite_for_with_break(self):
+        source = """
+int main() {
+    int i = 0;
+    for (;;) {
+        i = i + 1;
+        if (i == 12) { break; }
+    }
+    return i;
+}
+"""
+        assert run_program(compile_source(source)).value == 12
+
+    def test_for_without_step(self):
+        source = """
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 5;) { s = s + i; i = i + 1; }
+    return s;
+}
+"""
+        assert run_program(compile_source(source)).value == 10
+
+    def test_deeply_nested_expressions(self):
+        expr = "1"
+        for _ in range(40):
+            expr = f"({expr} + 1)"
+        source = f"int main() {{ return {expr}; }}"
+        assert run_program(compile_source(source)).value == 41
+
+    def test_logical_ops_as_values_inside_arithmetic(self):
+        source = """
+int main() {
+    int a = 5; int b = 0;
+    return (a && 3) * 10 + (b || a) + (!a) * 100;
+}
+"""
+        assert run_program(compile_source(source)).value == 11
+
+    def test_empty_function_bodies(self):
+        source = """
+void noop() { }
+int main() { noop(); noop(); return 1; }
+"""
+        assert run_program(compile_source(source)).value == 1
+
+    def test_comparison_chain_materialized(self):
+        # (a < b) == (c < d) — comparisons as first-class values
+        source = """
+int main() {
+    int a = 1; int b = 2; int c = 3; int d = 4;
+    return (a < b) == (c < d);
+}
+"""
+        assert run_program(compile_source(source)).value == 1
+
+    def test_float_zero_division_does_not_crash(self):
+        source = """
+float x;
+int main() {
+    x = 1.0;
+    x = x / 0.0;
+    if (x > 1000000.0) { return 1; }
+    return 0;
+}
+"""
+        assert run_program(compile_source(source)).value == 1
+
+
+class TestRegallocFpSpills:
+    def test_fp_pressure_spills_and_preserves_results(self):
+        n = 28
+        decls = " ".join(f"float f{i} = {i}.5;" for i in range(n))
+        bumps = " ".join(f"f{i} = f{i} + 0.5;" for i in range(n))
+        total = " + ".join(f"(int)f{i}" for i in range(n))
+        source = f"""
+int main() {{
+    {decls}
+    int k;
+    for (k = 0; k < 2; k = k + 1) {{ {bumps} }}
+    return ({total}) & 0xffff;
+}}
+"""
+        from repro.regalloc.linear_scan import allocate_program
+
+        program = compile_source(source)
+        reference = run_program(program).value
+        results = allocate_program(program)
+        verify_program(program)
+        assert run_program(program).value == reference
+        fp_spills = [
+            vreg for vreg in results["main"].spilled if vreg.rclass.value == "fp"
+        ]
+        assert fp_spills, "expected FP-class spills under pressure"
+
+
+class TestOptCorners:
+    def test_remat_splits_float_constants(self):
+        from repro.opt.remat import rematerialize_constants
+
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  vf0 = li.s 2.5
+  vf1 = add.s vf0, vf0
+  vf2 = mul.s vf0, vf1
+  vf3 = sub.s vf0, vf2
+  ret
+}
+"""
+        )
+        assert rematerialize_constants(func) == 2
+        verify_function(func)
+
+    def test_constfold_handles_remainder_sign(self):
+        from repro.opt.constfold import fold_constants
+
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li -7
+  v1 = li 3
+  v2 = rem v0, v1
+  ret v2
+}
+"""
+        )
+        fold_constants(func)
+        folded = [i for i in func.instructions() if i.defs and i.defs[0].name == "v2"][0]
+        assert folded.op is Opcode.LI and folded.imm == -1
+
+    def test_dce_keeps_copies_feeding_live_values(self):
+        from repro.opt.dce import eliminate_dead_code
+
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 5
+  vf1 = cp_to_comp v0
+  vf2 = addiu.a vf1, 1
+  v3 = cp_from_comp vf2
+  ret v3
+}
+"""
+        )
+        assert eliminate_dead_code(func) == 0
+
+
+class TestInterpCorners:
+    def test_byte_ops_roundtrip_through_program(self):
+        program = parse_program(
+            """
+global buf 8
+
+func main(0) {
+entry:
+  v0 = li @buf
+  v1 = li 0x7FC3
+  sb v1, v0, 1
+  v2 = lb v0, 1
+  v3 = lbu v0, 1
+  v4 = subu v3, v2
+  ret v4
+}
+"""
+        )
+        # 0xC3 stored: signed -61, unsigned 195, difference 256
+        assert run_program(program).value == 256
+
+    def test_deep_recursion_within_fuel(self):
+        program = parse_program(
+            """
+func down(1) returns {
+entry:
+  v0 = param 0
+  v1 = slti v0, 1
+  v2 = li 0
+  beq v1, v2, more
+done:
+  ret v2
+more:
+  v3 = addiu v0, -1
+  v4 = call down(v3)
+  v5 = addiu v4, 1
+  ret v5
+}
+
+func main(0) {
+entry:
+  v0 = li 400
+  v1 = call down(v0)
+  ret v1
+}
+"""
+        )
+        assert run_program(program).value == 400
+
+    def test_sp_visible_to_loads(self):
+        """Spill-style $sp-relative access works without regalloc."""
+        program = parse_program(
+            """
+func main(0) {
+entry:
+  v0 = li 123
+  sw v0, $sp, 8
+  v1 = lw $sp, 8
+  ret v1
+}
+"""
+        )
+        assert run_program(program).value == 123

@@ -1,0 +1,54 @@
+"""The example scripts must stay runnable (they are documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "speedup" in result.stdout
+        assert "offloaded to FPa" in result.stdout
+
+    def test_paper_walkthrough(self):
+        result = _run("paper_walkthrough.py")
+        assert result.returncode == 0, result.stderr
+        assert "LdSt slice" in result.stdout
+        assert "basic scheme" in result.stdout
+        assert "advanced scheme" in result.stdout
+        # Figure 6's duplicated induction variable must be visible
+        assert "addiu.a" in result.stdout
+        assert "bne.a" in result.stdout
+
+    def test_custom_workload_demo(self):
+        result = _run("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "basic scheme" in result.stdout
+        assert "advanced scheme" in result.stdout
+        assert "dynamic offload" in result.stdout
+
+    def test_benchmark_report_rejects_unknown(self):
+        result = _run("benchmark_report.py", "quake3")
+        assert result.returncode == 2
+        assert "unknown benchmark" in result.stdout
+
+    def test_benchmark_report_runs_small(self):
+        result = _run("benchmark_report.py", "li", "2")
+        assert result.returncode == 0, result.stderr
+        assert "4-way" in result.stdout and "8-way" in result.stdout
+        assert "advanced" in result.stdout

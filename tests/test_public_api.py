@@ -1,0 +1,81 @@
+"""Top-level package surface tests."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    ExecutionError,
+    FuelExhausted,
+    IRError,
+    ParseError,
+    PartitionError,
+    RegAllocError,
+    ReproError,
+    SemanticError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            IRError,
+            ParseError,
+            SemanticError,
+            AnalysisError,
+            PartitionError,
+            RegAllocError,
+            ExecutionError,
+            SimulationError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_fuel_is_execution_error(self):
+        assert issubclass(FuelExhausted, ExecutionError)
+
+    def test_parse_error_location(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+
+class TestTopLevelHelpers:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_compile_minic(self):
+        program = repro.compile_minic("int main() { return 7; }")
+        from repro.runtime import run_program
+
+        assert run_program(program).value == 7
+
+    def test_partition_helpers(self):
+        program = repro.compile_minic(
+            """
+int t[8];
+int main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) { t[i] = t[i] + 1; }
+    return t[0];
+}
+"""
+        )
+        main = program.functions["main"]
+        basic = repro.partition_basic(main)
+        assert basic.scheme == "basic"
+        advanced = repro.partition_advanced(program.functions["main"])
+        assert advanced.scheme == "advanced"
+        assert len(advanced.fp) >= len(basic.fp)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,43 @@
+"""Golden checksums for every workload at the CI scales.
+
+These pin the *functional* behaviour of the whole stack (frontend,
+optimizer, interpreter, memory model): any semantics change — however
+subtle — shows up as a checksum diff here before it can silently skew
+the timing results. Update the constants only when a workload source is
+deliberately changed, and note it in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.runtime.interp import run_program
+from repro.workloads import compile_workload
+
+#: (workload, scale, expected checksum, expected dynamic instructions)
+GOLDEN = [
+    ("compress", 120, 353523, 20394),
+    ("gcc", 1, 2510, 207428),
+    ("go", 1, 262, 38849),
+    ("ijpeg", 2, 12697091, 80752),
+    ("li", 2, 4560, 21511),
+    ("m88ksim", 1, 1564851, 19506),
+    ("perl", 1, 3107, 105223),
+    ("ear", 1, 44221, 200422),
+    ("swim", 1, 2428, 112215),
+]
+
+
+@pytest.mark.parametrize("name,scale,checksum,instructions", GOLDEN)
+def test_golden_checksum(name, scale, checksum, instructions):
+    result = run_program(compile_workload(name, scale))
+    assert result.value == checksum, (
+        f"{name}: functional behaviour changed (got {result.value})"
+    )
+    # dynamic instruction counts may drift with optimizer improvements,
+    # but only within reason — large swings mean a real change
+    assert result.instructions == pytest.approx(instructions, rel=0.25), name
+
+
+def test_golden_list_covers_all_workloads():
+    from repro.workloads import WORKLOADS
+
+    assert {name for name, *_ in GOLDEN} == set(WORKLOADS)
