@@ -5,6 +5,7 @@ Usage::
     python -m repro compile prog.mc            # print optimized IR
     python -m repro run prog.mc                # execute, print the result
     python -m repro partition prog.mc          # annotated partition + stats
+    python -m repro lint prog.mc               # static checks on partitioned IR
     python -m repro simulate prog.mc           # conventional vs partitioned
     python -m repro report [fig8 fig9 ...]     # regenerate paper artifacts
 
@@ -91,13 +92,98 @@ def cmd_partition(args: argparse.Namespace) -> int:
             ops = ", ".join(f"{op}x{n}" for op, n in sorted(usage.items()))
             print(f"  -> opcodes: {ops}")
         print()
+    if args.verify:
+        from repro.ir.verify import verify_program
+        from repro.lint import lint_program, partition_rule_ids, render_text
+        from repro.partition.rewrite import apply_partition
+
+        result = lint_program(
+            program,
+            partitions=partitions,
+            profile=profile,
+            scheme=args.scheme,
+            rules=partition_rule_ids(),
+        )
+        for name, func in program.functions.items():
+            kwargs = {}
+            if args.interprocedural:
+                kwargs = dict(
+                    fp_params=decisions.fp_params.get(name),
+                    fp_call_args=decisions.fp_call_args.get(name),
+                    skip_back_copies=decisions.dropped_back_copies.get(name),
+                    skip_param_copies=decisions.dropped_param_copies.get(name),
+                )
+            apply_partition(func, partitions[name], **kwargs)
+        verify_program(program)
+        result.extend(lint_program(program, scheme=args.scheme))
+        result.finalize()
+        if result.diagnostics:
+            print(render_text(result))
+        else:
+            print("verify: structural checks and all lint rules clean")
+        return 0 if result.ok else 1
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        Severity,
+        lint_program,
+        partition_rule_ids,
+        render_json,
+        render_text,
+    )
+
+    program = _compile(args)
+    rules = [r for r in args.rules.split(",") if r.strip()] if args.rules else None
+    fail_on = Severity.from_name(args.fail_on)
+    if args.scheme == "none":
+        result = lint_program(program, rules=rules)
+    else:
+        from repro.ir.verify import verify_program
+        from repro.partition.advanced import advanced_partition
+        from repro.partition.basic import basic_partition
+        from repro.partition.rewrite import apply_partition
+        from repro.runtime.interp import run_program
+
+        profile = run_program(program).profile if args.scheme == "advanced" else None
+        partitions = {}
+        for name, func in program.functions.items():
+            if args.scheme == "basic":
+                partitions[name] = basic_partition(func)
+            else:
+                partitions[name] = advanced_partition(func, profile=profile)
+        partition_only = partition_rule_ids()
+        pre_rules = (
+            [r for r in rules if r in partition_only]
+            if rules is not None
+            else partition_only
+        )
+        result = lint_program(
+            program,
+            partitions=partitions,
+            profile=profile,
+            scheme=args.scheme,
+            rules=pre_rules,
+        )
+        for name, func in program.functions.items():
+            apply_partition(func, partitions[name])
+        verify_program(program)
+        post_rules = (
+            [r for r in rules if r not in partition_only]
+            if rules is not None
+            else None
+        )
+        result.extend(
+            lint_program(program, scheme=args.scheme, rules=post_rules)
+        )
+        result.finalize()
+    print(render_json(result) if args.json else render_text(result))
+    return 1 if result.failed(fail_on) else 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.partition.advanced import advanced_partition
-    from repro.partition.basic import basic_partition
-    from repro.partition.rewrite import apply_partition
+    from repro.partition.program import partition_program
     from repro.regalloc.linear_scan import allocate_program
     from repro.runtime.interp import run_program
     from repro.runtime.trace import dynamic_mix
@@ -113,12 +199,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         program = compile_source(source, optimize=not args.no_opt)
         if scheme is not None:
             profile = run_program(program).profile
-            for func in program.functions.values():
-                if scheme == "basic":
-                    partition = basic_partition(func)
-                else:
-                    partition = advanced_partition(func, profile=profile)
-                apply_partition(func, partition)
+            # with --verify, partition_program also runs the linter on the
+            # partitions and the rewritten IR, raising on any error.
+            partition_program(
+                program, scheme, profile=profile,
+                lint=True if args.verify else None,
+            )
         allocate_program(program)
         return program
 
@@ -184,7 +270,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interprocedural", action="store_true",
                    help="pass integer arguments in FP registers where safe "
                         "(the §6.6 extension)")
+    p.add_argument("--verify", action="store_true",
+                   help="rewrite the partitioned program, run the structural "
+                        "verifier plus all lint rules, and exit non-zero on "
+                        "errors")
     p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("lint", help="static checks on partitioned IR")
+    add_source(p)
+    p.add_argument("--scheme", choices=("basic", "advanced", "none"),
+                   default="advanced",
+                   help="partition + rewrite with this scheme before linting; "
+                        "'none' lints the compiled IR as-is")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON diagnostics")
+    p.add_argument("--fail-on", choices=("note", "warning", "error"),
+                   default="error",
+                   help="lowest severity that makes the exit status non-zero")
+    p.add_argument("--rules", default=None, metavar="ID,ID",
+                   help="comma-separated rule ids to run (default: all)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("simulate", help="conventional vs partitioned timing")
     add_source(p)
@@ -193,6 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline", type=int, default=0, metavar="N",
                    help="print an N-instruction pipeline diagram of the "
                         "advanced-scheme run")
+    p.add_argument("--verify", action="store_true",
+                   help="run the structural verifier plus all lint rules on "
+                        "each partitioned build, exiting non-zero on errors")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("report", help="regenerate the paper's tables/figures")

@@ -6,6 +6,11 @@ register-class mismatches against the opcode's subsystem, control
 instructions in the middle of a block, branches to unknown labels, calls
 to unknown functions with the wrong arity, and uses of the hard-wired
 zero register as a destination.
+
+The per-operand register-class rules live in :func:`expected_def_class`
+and :func:`expected_use_class` so that the partition linter
+(:mod:`repro.lint`) checks flow-level facts against exactly the same
+class table the structural verifier enforces point-wise.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ def _check(cond: bool, message: str) -> None:
         raise IRError(message)
 
 
-def _expected_def_class(instr: Instruction, func: Function) -> RegClass | None:
+def expected_def_class(instr: Instruction, func: Function) -> RegClass | None:
     """Register class the destination must have, or None if unconstrained."""
     op, info = instr.op, instr.info
     if op is Opcode.CP_TO_COMP:
@@ -45,6 +50,57 @@ def _expected_def_class(instr: Instruction, func: Function) -> RegClass | None:
     return None
 
 
+def expected_use_class(
+    instr: Instruction,
+    pos: int,
+    callee_fp_params: set[int] | None = None,
+) -> RegClass | None:
+    """Register class use operand ``pos`` must have, or None if unconstrained.
+
+    For ``call`` instructions the argument classes depend on the callee:
+    pass the callee's ``fp_params`` set when it is known, or None to
+    leave call arguments unconstrained (intra-function checking).
+    """
+    op, info = instr.op, instr.info
+    kind = info.kind
+    if op is Opcode.CP_TO_COMP:
+        return RegClass.INT  # source is read from the integer file
+    if op is Opcode.CP_FROM_COMP:
+        return RegClass.FP  # source is read from the FP file
+    if kind is OpKind.LOAD:
+        return RegClass.INT  # the single use is the base address
+    if kind is OpKind.STORE:
+        if pos == 1:
+            return RegClass.INT  # base address
+        return RegClass.FP if op is Opcode.SS else RegClass.INT  # value
+    if kind is OpKind.CALL:
+        if callee_fp_params is None:
+            return None
+        return RegClass.FP if pos in callee_fp_params else RegClass.INT
+    if kind is OpKind.RET:
+        return RegClass.INT  # return values always cross in INT registers
+    if kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV, OpKind.BRANCH):
+        return RegClass.FP if info.fp_subsystem else RegClass.INT
+    return None
+
+
+def _use_class_message(
+    instr: Instruction, pos: int, want: RegClass, where: str
+) -> str:
+    """Error text for a use-class violation, kept specific per operand role."""
+    kind = instr.kind
+    if kind is OpKind.LOAD:
+        return f"{where}: load base must be {want.name}-class"
+    if kind is OpKind.STORE:
+        role = "base" if pos == 1 else "value"
+        return f"{where}: store {role} must be {want.name}-class"
+    if kind is OpKind.RET:
+        return f"{where}: return value must be {want.name}-class"
+    return (
+        f"{where}: use {instr.uses[pos]} must be {want.name}-class for {instr.op}"
+    )
+
+
 def verify_instruction(instr: Instruction, func: Function, labels: set[str]) -> None:
     """Verify one instruction in the context of its function."""
     info = instr.info
@@ -62,38 +118,20 @@ def verify_instruction(instr: Instruction, func: Function, labels: set[str]) -> 
     for d in instr.defs:
         _check(d != ZERO, f"{where}: writes $zero")
 
-    expected = _expected_def_class(instr, func)
+    expected = expected_def_class(instr, func)
     if expected is not None:
         for d in instr.defs:
             _check(d.rclass is expected, f"{where}: def {d} must be {expected.name}-class")
 
-    # use-class constraints
-    if instr.op is Opcode.CP_TO_COMP:
-        _check(instr.uses[0].rclass is RegClass.INT, f"{where}: cp_to_comp reads INT reg")
-    elif instr.op is Opcode.CP_FROM_COMP:
-        _check(instr.uses[0].rclass is RegClass.FP, f"{where}: cp_from_comp reads FP reg")
-    elif info.kind is OpKind.LOAD:
-        _check(instr.uses[0].rclass is RegClass.INT, f"{where}: load base must be INT-class")
-    elif info.kind is OpKind.STORE:
-        _check(instr.uses[1].rclass is RegClass.INT, f"{where}: store base must be INT-class")
-        value_class = RegClass.FP if instr.op is Opcode.SS else RegClass.INT
-        _check(
-            instr.uses[0].rclass is value_class,
-            f"{where}: store value must be {value_class.name}-class",
-        )
-    elif info.kind is OpKind.CALL:
-        pass  # argument classes depend on the callee; checked in verify_function
-    elif info.kind is OpKind.RET:
+    if info.kind is OpKind.RET:
         _check(len(instr.uses) <= 1, f"{where}: ret takes at most one value")
-        for use in instr.uses:
-            _check(use.rclass is RegClass.INT, f"{where}: return value must be INT-class")
-    elif info.kind in (OpKind.ALU, OpKind.MUL, OpKind.DIV, OpKind.BRANCH):
-        want = RegClass.FP if info.fp_subsystem else RegClass.INT
-        for use in instr.uses:
-            _check(
-                use.rclass is want,
-                f"{where}: use {use} must be {want.name}-class for {instr.op}",
-            )
+
+    # use-class constraints, one shared table for every operand position
+    # (call arguments are callee-dependent and checked in verify_function)
+    for pos, use in enumerate(instr.uses):
+        want = expected_use_class(instr, pos)
+        if want is not None:
+            _check(use.rclass is want, _use_class_message(instr, pos, want, where))
 
     if info.has_target and info.kind in (OpKind.BRANCH, OpKind.JUMP):
         _check(instr.target in labels, f"{where}: branch to unknown label {instr.target!r}")
@@ -149,9 +187,7 @@ def verify_function(func: Function, program: Program | None = None) -> None:
                     f"expected {callee.n_params}",
                 )
                 for pos, use in enumerate(instr.uses):
-                    want = (
-                        RegClass.FP if pos in callee.fp_params else RegClass.INT
-                    )
+                    want = expected_use_class(instr, pos, callee.fp_params)
                     _check(
                         use.rclass is want,
                         f"{func.name}: argument {pos} of call to {instr.target} "

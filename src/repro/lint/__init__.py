@@ -1,0 +1,57 @@
+"""Partition lint: dataflow-based static verification of partitioned IR.
+
+The structural verifier (:mod:`repro.ir.verify`) checks each instruction
+in isolation; this package proves *flow* properties over whole programs
+and their pre-rewrite partitions, using the :mod:`repro.analysis`
+dataflow machinery:
+
+========================  =============================================
+rule id                   property
+========================  =============================================
+subsystem-consistency     no FP-file value reaches an INT consumer
+                          without ``cp_from_comp`` (and vice versa)
+address-slice-int         every value feeding a load/store address is
+                          INT-resident along all def-use paths
+calling-convention        call args / returns / ``fp_params`` agree
+                          caller vs. callee program-wide
+copy-hygiene              no dead or redundant inter-partition copies
+partition-legality        the INT/FPa assignment satisfies the paper's
+                          partitioning conditions pre-rewrite
+cost-consistency          advanced-scheme S_copy/S_dupl/Profit match a
+                          recount from the profile
+========================  =============================================
+
+Typical use::
+
+    from repro.lint import lint_program, render_text
+
+    result = lint_program(program, partitions=parts, scheme="advanced")
+    if not result.ok:
+        print(render_text(result))
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintResult, Severity
+from repro.lint.registry import (
+    LintContext,
+    LintRule,
+    all_rules,
+    partition_rule_ids,
+    register,
+)
+from repro.lint.render import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.lint.runner import lint_program
+
+__all__ = [
+    "Diagnostic",
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "LintResult",
+    "LintRule",
+    "Severity",
+    "all_rules",
+    "lint_program",
+    "partition_rule_ids",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,166 @@
+"""Diagnostic datatypes of the partition linter.
+
+A :class:`Diagnostic` pins a finding to a rule, a severity, and the most
+precise program location the rule could determine (function, block,
+instruction uid plus its printed form).  Rules may attach a ``hint`` — a
+one-line suggestion of the fix the paper's schemes would apply (insert a
+``cp_from_comp``, drop a dead ``cp_to_comp``, ...).
+
+A :class:`LintResult` aggregates the diagnostics of one lint run in a
+deterministic order so text and JSON renderings are stable across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    Attributes:
+        rule: Rule identifier (``"address-slice-int"``, ...).
+        severity: How bad the finding is.
+        message: Human-readable description of the violation.
+        function: Enclosing function name, when known.
+        block: Enclosing basic-block label, when known.
+        uid: Offending instruction uid within the function, when known.
+        instruction: Printed form of the offending instruction.
+        hint: Optional one-line fix suggestion.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    function: str | None = None
+    block: str | None = None
+    uid: int | None = None
+    instruction: str | None = None
+    hint: str | None = None
+
+    @property
+    def location(self) -> str:
+        """``function:block:#uid`` with unknown pieces elided."""
+        parts = [p for p in (self.function, self.block) if p is not None]
+        if self.uid is not None:
+            parts.append(f"#{self.uid}")
+        return ":".join(parts) if parts else "<program>"
+
+    def sort_key(self) -> tuple:
+        return (
+            self.function or "",
+            self.block or "",
+            -1 if self.uid is None else self.uid,
+            self.rule,
+            self.message,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation with a stable key order."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "function": self.function,
+            "block": self.block,
+            "uid": self.uid,
+            "instruction": self.instruction,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(eq=False, slots=True)
+class LintResult:
+    """All diagnostics of one lint run.
+
+    Attributes:
+        diagnostics: Findings in deterministic order (see :meth:`add`).
+        rules_run: Identifiers of every rule that executed, in order.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    rules_run: list[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "LintResult") -> None:
+        """Merge another result (diagnostics and rules run) into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        for rule in other.rules_run:
+            if rule not in self.rules_run:
+                self.rules_run.append(rule)
+
+    def finalize(self) -> "LintResult":
+        """Sort diagnostics into the canonical stable order."""
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
+
+    # -- queries ---------------------------------------------------------
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no diagnostic is an error."""
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        out = {str(s): 0 for s in Severity}
+        for d in self.diagnostics:
+            out[str(d.severity)] += 1
+        return out
+
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def failed(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """True when any diagnostic is at least ``fail_on`` severe."""
+        worst = self.max_severity()
+        return worst is not None and worst >= fail_on
+
+    def rules_with_findings(self) -> list[str]:
+        return sorted({d.rule for d in self.diagnostics})
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"<LintResult {counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['note']} notes from {len(self.rules_run)} rules>"
+        )

@@ -1,0 +1,62 @@
+"""Text and JSON renderings of a :class:`LintResult`.
+
+The text form is one line per diagnostic —
+
+    error: subsystem-consistency: main:body:#12: vf3 is produced ...
+        -> route the value through cp_from_comp (§4)
+
+followed by a summary line.  The JSON form is a stable, versioned
+document so CI and editor tooling can parse it without tracking
+repository internals::
+
+    {"version": 1,
+     "summary": {"errors": N, "warnings": N, "notes": N,
+                 "rules_run": [...], "ok": bool},
+     "diagnostics": [{"rule": ..., "severity": ..., ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import LintResult
+
+#: Bumped whenever a field is added/renamed in the JSON document.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, *, hints: bool = True) -> str:
+    """Human-readable rendering, one line per diagnostic plus summary."""
+    lines: list[str] = []
+    for diag in result.diagnostics:
+        lines.append(
+            f"{diag.severity}: {diag.rule}: {diag.location}: {diag.message}"
+        )
+        if diag.instruction is not None:
+            lines.append(f"    | {diag.instruction}")
+        if hints and diag.hint is not None:
+            lines.append(f"    -> {diag.hint}")
+    counts = result.counts()
+    lines.append(
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['note']} note(s) from {len(result.rules_run)} rule(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, *, indent: int | None = 2) -> str:
+    """Stable machine-readable rendering (see module docstring)."""
+    counts = result.counts()
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "summary": {
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+            "notes": counts["note"],
+            "rules_run": list(result.rules_run),
+            "rules_with_findings": result.rules_with_findings(),
+            "ok": result.ok,
+        },
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)

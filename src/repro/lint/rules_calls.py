@@ -1,0 +1,173 @@
+"""Calling-convention rule: caller/callee agreement program-wide.
+
+The paper's §6.4 convention is strict: call arguments and return values
+cross function boundaries in INT registers, except for parameter
+positions the interprocedural extension (§6.6) explicitly retargets to
+the FP file via ``fp_params``.  This rule checks that every call site,
+every ``param`` definition, every ``ret`` and every ``fp_params``
+annotation tell the same story across the whole program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.function import Function
+from repro.ir.opcodes import OpKind
+from repro.ir.registers import RegClass
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import LintContext, LintRule, register
+
+
+@register
+class CallingConventionRule(LintRule):
+    """Call arguments, return values and ``fp_params`` annotations agree
+    between caller and callee across the whole program."""
+
+    id = "calling-convention"
+    description = (
+        "call args, return values and fp_params annotations agree "
+        "between caller and callee program-wide"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        program = ctx.program
+        if program.entry not in program.functions:
+            yield self.report(
+                f"entry function {program.entry!r} is not defined",
+                hint="define it or set Program.entry to an existing function",
+            )
+        for func in program.functions.values():
+            yield from self._check_signature(ctx, func)
+            yield from self._check_returns(func)
+            yield from self._check_calls(ctx, func)
+
+    # -- callee side -----------------------------------------------------
+    def _check_signature(self, ctx: LintContext, func: Function) -> Iterator[Diagnostic]:
+        bad_indices = {i for i in func.fp_params if not 0 <= i < func.n_params}
+        if bad_indices:
+            yield self.report(
+                f"fp_params {sorted(bad_indices)} out of range for "
+                f"{func.n_params} parameter(s)",
+                func=func,
+                hint="fp_params may only name existing parameter indices",
+            )
+        if func.name == ctx.program.entry and func.n_params != 0:
+            yield self.report(
+                f"entry function takes {func.n_params} parameter(s)",
+                func=func,
+                hint="nothing calls the entry: it must take no parameters",
+            )
+        for param in func.params():
+            want = RegClass.FP if param.imm in func.fp_params else RegClass.INT
+            if param.defs and param.defs[0].rclass is not want:
+                side = (
+                    "is annotated fp_params"
+                    if want is RegClass.FP
+                    else "is not annotated fp_params"
+                )
+                yield self.report(
+                    f"parameter {param.imm} {side} but lands in "
+                    f"{param.defs[0]} ({param.defs[0].rclass.name} file)",
+                    func=func,
+                    instr=param,
+                    hint="the param destination class must match fp_params",
+                )
+
+    def _check_returns(self, func: Function) -> Iterator[Diagnostic]:
+        for blk in func.blocks:
+            for instr in blk.instructions:
+                if instr.kind is not OpKind.RET:
+                    continue
+                if func.returns_value and not instr.uses:
+                    yield self.report(
+                        "function is declared returning but ret carries no value",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                    )
+                elif not func.returns_value and instr.uses:
+                    yield self.report(
+                        "function is declared void but ret carries a value",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                    )
+                for use in instr.uses:
+                    if use.rclass is not RegClass.INT:
+                        yield self.report(
+                            f"return value {use} is in the FP file",
+                            func=func,
+                            block=blk.label,
+                            instr=instr,
+                            hint="return values cross in INT registers (§6.4); "
+                            "insert cp_from_comp before the ret",
+                        )
+
+    # -- caller side -----------------------------------------------------
+    def _check_calls(self, ctx: LintContext, func: Function) -> Iterator[Diagnostic]:
+        program = ctx.program
+        for blk in func.blocks:
+            for instr in blk.instructions:
+                if instr.kind is not OpKind.CALL:
+                    continue
+                callee = program.functions.get(instr.target)
+                if callee is None:
+                    yield self.report(
+                        f"call to unknown function {instr.target!r}",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                    )
+                    continue
+                if len(instr.uses) != callee.n_params:
+                    yield self.report(
+                        f"call passes {len(instr.uses)} argument(s) but "
+                        f"{callee.name} takes {callee.n_params}",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                    )
+                for pos, use in enumerate(instr.uses):
+                    if pos >= callee.n_params:
+                        break
+                    want = (
+                        RegClass.FP if pos in callee.fp_params else RegClass.INT
+                    )
+                    if use.rclass is not want:
+                        if want is RegClass.FP:
+                            hint = (
+                                f"{callee.name} receives parameter {pos} in "
+                                "the FP file (fp_params); pass the producer's "
+                                "FP register"
+                            )
+                        else:
+                            hint = (
+                                "arguments cross in INT registers (§6.4); "
+                                "insert cp_from_comp before the call or "
+                                "annotate the callee's fp_params"
+                            )
+                        yield self.report(
+                            f"argument {pos} of call to {callee.name} is "
+                            f"{use} ({use.rclass.name} file) but the callee "
+                            f"expects it in the {want.name} file",
+                            func=func,
+                            block=blk.label,
+                            instr=instr,
+                            hint=hint,
+                        )
+                if instr.defs and not callee.returns_value:
+                    yield self.report(
+                        f"call captures a result but {callee.name} is void",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                    )
+                if instr.defs and instr.defs[0].rclass is not RegClass.INT:
+                    yield self.report(
+                        f"call result {instr.defs[0]} lands in the FP file",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                        hint="return values always cross in INT registers (§6.4)",
+                    )

@@ -1,0 +1,117 @@
+"""Dead- and redundant-copy rule.
+
+Every ``cp_to_comp``/``cp_from_comp`` is pure overhead the §6.1 cost
+model charged for, so a copy whose shadow result nobody reads — or that
+duplicates a dominating copy of the same still-valid value — means the
+communication bookkeeping and the emitted code have drifted apart.
+Liveness of the copied value is established through reaching
+definitions (a def with no def-use edge is dead: values only escape a
+function through uses — stores, call arguments, returns); redundancy
+through dominators plus the reaching-definition sets of source and
+destination at both copy points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir.function import Function
+from repro.ir.opcodes import OpKind
+from repro.ir.registers import Reg
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import LintContext, LintRule, register
+
+
+def _reaching_before_copies(
+    func: Function, reaching: ReachingDefinitions
+) -> dict[int, dict[Reg, frozenset[int]]]:
+    """For every copy instruction, the def-site uids of each register
+    reaching the program point just before it."""
+    snapshots: dict[int, dict[Reg, frozenset[int]]] = {}
+    for blk in func.blocks:
+        current: dict[Reg, set[int]] = {}
+        for site in reaching.reaching_in(blk.label):
+            current.setdefault(site.reg, set()).add(site.uid)
+        for instr in blk.instructions:
+            if instr.kind is OpKind.COPY:
+                snapshots[instr.uid] = {
+                    reg: frozenset(uids) for reg, uids in current.items()
+                }
+            for reg in instr.defs:
+                current[reg] = {instr.uid}
+    return snapshots
+
+
+@register
+class CopyHygieneRule(LintRule):
+    """``cp_to_comp``/``cp_from_comp`` whose result is never used, or
+    that repeats a dominating copy of the same unchanged value."""
+
+    id = "copy-hygiene"
+    description = (
+        "no dead inter-partition copies and no copy repeating a "
+        "dominating copy of the same value"
+    )
+    default_severity = Severity.WARNING
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ctx.program.functions.values():
+            yield from self._run_function(ctx, func)
+
+    def _run_function(self, ctx: LintContext, func: Function) -> Iterator[Diagnostic]:
+        copies = [i for i in func.instructions() if i.kind is OpKind.COPY]
+        if not copies:
+            return
+        reaching = ctx.reaching(func)
+        used_defs = {def_uid for def_uid, _use, _pos, _reg in reaching.du_edges()}
+
+        for copy in copies:
+            if copy.defs and copy.uid not in used_defs:
+                yield self.report(
+                    f"the {copy.defs[0]} written by this {copy.op} is never read",
+                    func=func,
+                    instr=copy,
+                    hint="drop the copy: its communication cost buys nothing",
+                )
+
+        # redundant copies: same (op, source, destination), the earlier
+        # one dominates, and neither source nor destination was redefined
+        # in between.
+        snapshots = _reaching_before_copies(func, reaching)
+        dom = ctx.dominators(func)
+        block_of = func.block_of()
+        position = {i.uid: pos for pos, i in enumerate(func.instructions())}
+        by_key: dict[tuple, list] = {}
+        for copy in copies:
+            if copy.defs and copy.uses:
+                key = (copy.op, copy.uses[0], copy.defs[0])
+                by_key.setdefault(key, []).append(copy)
+
+        for (op, src, dst), group in by_key.items():
+            group.sort(key=lambda i: position[i.uid])
+            for later_idx, later in enumerate(group):
+                for earlier in group[:later_idx]:
+                    b_early, b_late = block_of[earlier.uid], block_of[later.uid]
+                    if b_early == b_late:
+                        dominates = position[earlier.uid] < position[later.uid]
+                    else:
+                        dominates = dom.dominates(b_early, b_late)
+                    if not dominates:
+                        continue
+                    src_same = snapshots[earlier.uid].get(src) == snapshots[
+                        later.uid
+                    ].get(src)
+                    dst_intact = snapshots[later.uid].get(dst) == frozenset(
+                        {earlier.uid}
+                    )
+                    if src_same and dst_intact:
+                        yield self.report(
+                            f"{op} of {src} repeats the dominating copy "
+                            f"#{earlier.uid} with both registers unchanged",
+                            func=func,
+                            instr=later,
+                            hint=f"the value {dst} from #{earlier.uid} is "
+                            "still valid here; delete this copy",
+                        )
+                        break

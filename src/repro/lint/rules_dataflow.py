@@ -1,0 +1,216 @@
+"""Dataflow rules: register-file flow and address-slice residency.
+
+Both rules reason about where a *value* physically lives — which
+register file the producing instruction writes — and follow it along
+def-use chains computed by reaching definitions, across basic blocks and
+(through the calling convention) across functions.  This is strictly
+stronger than the structural verifier, which only checks each
+instruction's operand classes in isolation: a rewrite bug that renames a
+definition into the FP file while a consumer keeps reading the INT name
+leaves every instruction locally well-formed but breaks the def-use
+chain, and only the flow view notices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.program import Program
+from repro.ir.registers import RegClass, ZERO
+from repro.ir.verify import expected_def_class, expected_use_class
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import LintContext, LintRule, register
+
+
+def produced_file(instr: Instruction, func: Function) -> RegClass | None:
+    """Register file the value defined by ``instr`` materializes in, or
+    None when the instruction defines nothing.
+
+    This is the flow-side twin of
+    :func:`repro.ir.verify.expected_def_class`: the file is a property
+    of the *executing subsystem* (an ``.a`` opcode writes the FP file
+    regardless of how its destination register is spelled), which is
+    exactly what lets the linter catch consistently mis-classed IR.
+    """
+    if not instr.defs:
+        return None
+    return expected_def_class(instr, func)
+
+
+def _callee_fp_params(instr: Instruction, program: Program) -> set[int] | None:
+    """``fp_params`` of a call's callee, or None when unresolvable."""
+    if instr.kind is not OpKind.CALL:
+        return None
+    callee = program.functions.get(instr.target)
+    return callee.fp_params if callee is not None else None
+
+
+@register
+class SubsystemConsistencyRule(LintRule):
+    """No FP-file value may reach an INT consumer except through
+    ``cp_from_comp``, and vice versa (paper §4).
+
+    For every def-use edge the file the producer writes must match the
+    file the consumer's operand position reads from; call arguments and
+    ``param`` definitions link the chains across functions.  Uses whose
+    reaching-definition set is empty are reported too: an FP-class
+    register with no definition is the signature of a rewrite that
+    renamed a def into the shadow file and lost a reader.
+    """
+
+    id = "subsystem-consistency"
+    description = (
+        "FP-file values reach INT consumers only via cp_from_comp (and "
+        "INT values reach FPa only via cp_to_comp), proven on def-use "
+        "chains"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ctx.program.functions.values():
+            yield from self._run_function(ctx, func)
+
+    def _run_function(self, ctx: LintContext, func: Function) -> Iterator[Diagnostic]:
+        reaching = ctx.reaching(func)
+        instr_of = {i.uid: i for i in func.instructions()}
+        for blk in func.blocks:
+            for instr in blk.instructions:
+                for pos, reg in enumerate(instr.uses):
+                    if reg == ZERO:
+                        continue
+                    sites = reaching.reaching_defs_of_use(instr, pos)
+                    if not sites:
+                        severity = (
+                            Severity.ERROR
+                            if reg.rclass is RegClass.FP
+                            else Severity.WARNING
+                        )
+                        yield self.report(
+                            f"{reg} is read but no definition reaches this use",
+                            severity=severity,
+                            func=func,
+                            block=blk.label,
+                            instr=instr,
+                            hint=(
+                                "a partition rewrite renamed the defining "
+                                "instruction into the other register file, or "
+                                "the value is used before initialization"
+                            ),
+                        )
+                        continue
+                    required = expected_use_class(
+                        instr, pos, _callee_fp_params(instr, ctx.program)
+                    )
+                    if required is None:
+                        continue
+                    for site in sites:
+                        producer = instr_of[site.uid]
+                        produced = produced_file(producer, func)
+                        if produced is None or produced is required:
+                            continue
+                        fix = (
+                            "cp_from_comp"
+                            if produced is RegClass.FP
+                            else "cp_to_comp"
+                        )
+                        yield self.report(
+                            f"{reg} is produced in the {produced.name} file by "
+                            f"{producer.op} #{site.uid} but consumed from the "
+                            f"{required.name} file",
+                            func=func,
+                            block=blk.label,
+                            instr=instr,
+                            hint=f"route the value through {fix} (§4)",
+                        )
+
+
+#: Instruction kinds whose definition enters the INT file fresh — their
+#: inputs live in another domain (memory, the caller's frame), so the
+#: address-slice walk stops there.
+_SLICE_BARRIERS = (OpKind.LOAD, OpKind.CALL, OpKind.PARAM)
+
+
+@register
+class AddressSliceIntRule(LintRule):
+    """Every value transitively feeding a load/store address executes in
+    the INT subsystem (paper §4: the LdSt slice never moves to FPa).
+
+    The rule follows each address operand's reaching definitions
+    backwards across blocks, through the whole arithmetic slice, and
+    flags any producer that writes the FP file.  ``cp_from_comp`` is the
+    one legal FPa→INT crossing and stops the walk; load values, call
+    results and formal parameters enter the INT file fresh and stop it
+    too.
+    """
+
+    id = "address-slice-int"
+    description = (
+        "registers reaching load/store address operands are INT-resident "
+        "along every def-use path"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for func in ctx.program.functions.values():
+            yield from self._run_function(ctx, func)
+
+    def _run_function(self, ctx: LintContext, func: Function) -> Iterator[Diagnostic]:
+        reaching = ctx.reaching(func)
+        instr_of = {i.uid: i for i in func.instructions()}
+
+        # Least fixed point of "an FP-file producer reaches this def
+        # without crossing cp_from_comp": start everything clean and
+        # propagate taint along def-use edges until stable.
+        taint: dict[int, int] = {}  # def uid -> uid of the FPa producer
+        changed = True
+        while changed:
+            changed = False
+            for instr in instr_of.values():
+                if not instr.defs or instr.uid in taint:
+                    continue
+                if produced_file(instr, func) is RegClass.FP:
+                    taint[instr.uid] = instr.uid
+                    changed = True
+                    continue
+                if instr.op is Opcode.CP_FROM_COMP or instr.kind in _SLICE_BARRIERS:
+                    continue  # fresh INT value: inputs do not taint it
+                for pos, reg in enumerate(instr.uses):
+                    if reg == ZERO:
+                        continue
+                    for site in reaching.reaching_defs_of_use(instr, pos):
+                        if site.uid in taint:
+                            taint[instr.uid] = taint[site.uid]
+                            changed = True
+                            break
+                    if instr.uid in taint:
+                        break
+
+        for blk in func.blocks:
+            for instr in blk.instructions:
+                if not instr.is_memory:
+                    continue
+                pos = 0 if instr.kind is OpKind.LOAD else 1
+                reg = instr.uses[pos]
+                if reg == ZERO:
+                    continue
+                for site in reaching.reaching_defs_of_use(instr, pos):
+                    if site.uid not in taint:
+                        continue
+                    producer = instr_of[taint[site.uid]]
+                    via = (
+                        ""
+                        if producer.uid == site.uid
+                        else f" via {instr_of[site.uid].op} #{site.uid}"
+                    )
+                    yield self.report(
+                        f"address {reg} of {instr.op} depends on the FP-file "
+                        f"value of {producer.op} #{producer.uid}{via}",
+                        func=func,
+                        block=blk.label,
+                        instr=instr,
+                        hint=(
+                            "address slices must stay in INT; cross back with "
+                            "cp_from_comp or keep the slice unpartitioned (§4)"
+                        ),
+                    )

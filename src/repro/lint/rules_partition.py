@@ -1,0 +1,176 @@
+"""Partition-level rules: legality and cost-model consistency.
+
+These rules run only when the caller supplies pre-rewrite
+:class:`~repro.partition.partition.Partition` objects (whose RDGs still
+reference the live instructions): after
+:func:`~repro.partition.rewrite.apply_partition` the RDG is invalidated
+and only the program-level rules apply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.function import Function
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import LintContext, LintRule, register
+from repro.partition.partition import Partition, iter_partition_violations
+from repro.rdg.graph import Node, Pin
+
+
+def _node_diag_args(partition: Partition, node: Node | None) -> dict:
+    """Location keyword arguments for a diagnostic about ``node``."""
+    if node is None:
+        return {}
+    rdg = partition.rdg
+    return {
+        "block": rdg.block_of.get(node.uid),
+        "instr": rdg.instr_of.get(node.uid),
+    }
+
+
+@register
+class PartitionLegalityRule(LintRule):
+    """The INT/FPa assignment satisfies the partitioning conditions of
+    §5.1/§6 before rewrite — pins respected, every cross-partition edge
+    mediated, copy/dup/back-copy membership consistent — and, for the
+    basic scheme, that no component mixes FPa nodes with address, call
+    or return nodes and no communication sets are present at all."""
+
+    id = "partition-legality"
+    description = (
+        "the INT/FPa assignment satisfies the basic/advanced partitioning "
+        "conditions before rewrite"
+    )
+    requires_partition = True
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for name, partition in sorted((ctx.partitions or {}).items()):
+            func = ctx.program.functions.get(name)
+            if func is None:
+                yield self.report(
+                    f"partition refers to unknown function {name!r}",
+                )
+                continue
+            if partition.rdg.func is not func:
+                yield self.report(
+                    "partition RDG was built for a different function object; "
+                    "the partition is stale",
+                    func=func,
+                    hint="rebuild the RDG and repartition after rewriting",
+                )
+                continue
+            for message, node in iter_partition_violations(partition):
+                yield self.report(
+                    message,
+                    func=func,
+                    **_node_diag_args(partition, node),
+                )
+            if partition.scheme == "basic":
+                yield from self._basic_scheme_conditions(func, partition)
+
+    def _basic_scheme_conditions(
+        self, func: Function, partition: Partition
+    ) -> Iterator[Diagnostic]:
+        from repro.partition.basic import components_ignoring_copies
+
+        for label, nodes in (
+            ("copy", partition.copies),
+            ("duplicate", partition.dups),
+            ("back-copy", partition.back_copies),
+        ):
+            for node in sorted(nodes, key=lambda n: (n.uid, n.part.value)):
+                yield self.report(
+                    f"basic-scheme partition carries a {label} site {node!r}",
+                    func=func,
+                    hint="the basic scheme may not add instructions (§5)",
+                    **_node_diag_args(partition, node),
+                )
+        for comp in components_ignoring_copies(partition.rdg):
+            pinned_int = [n for n in comp if partition.rdg.pin.get(n) is Pin.INT]
+            offenders = [n for n in comp if n in partition.fp]
+            if pinned_int and offenders:
+                anchor = min(pinned_int, key=lambda n: (n.uid, n.part.value))
+                offender = min(offenders, key=lambda n: (n.uid, n.part.value))
+                yield self.report(
+                    f"FPa node {offender!r} shares a component with "
+                    f"INT-pinned node {anchor!r} (address/call/return work)",
+                    func=func,
+                    hint="under §5.1 a whole undirected component moves or "
+                    "stays together; only copies may cross",
+                    **_node_diag_args(partition, offender),
+                )
+
+
+@register
+class CostConsistencyRule(LintRule):
+    """Advanced-scheme Profit bookkeeping matches a recount from the
+    profile: the stored S_copy/S_dupl/back-copy sets equal what the §6.2
+    decision procedure derives for the final boundary, and every FPa
+    component that pays for communication still prices out profitable."""
+
+    id = "cost-consistency"
+    description = (
+        "S_copy/S_dupl/back-copy sets and component Profit agree with a "
+        "recount from the profile"
+    )
+    requires_partition = True
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.partition.advanced import recount_communication
+
+        for name, partition in sorted((ctx.partitions or {}).items()):
+            if partition.scheme != "advanced":
+                continue
+            func = ctx.program.functions.get(name)
+            if func is None or partition.rdg.func is not func:
+                continue  # partition-legality already reported the staleness
+            recount = recount_communication(
+                partition, profile=ctx.profile, params=ctx.params
+            )
+            for label, stored, expected in (
+                ("S_copy", partition.copies, recount.copies),
+                ("S_dupl", partition.dups, recount.dups),
+                ("back-copies", partition.back_copies, recount.back_copies),
+            ):
+                yield from self._compare_sets(
+                    func, partition, label, stored, expected
+                )
+            for comp, profit, uses_communication in recount.component_profits:
+                if uses_communication and profit < -1e-9:
+                    anchor = min(comp, key=lambda n: (n.uid, n.part.value))
+                    yield self.report(
+                        f"FPa component around {anchor!r} recounts to "
+                        f"Profit {profit:.2f} < 0",
+                        severity=Severity.WARNING,
+                        func=func,
+                        hint="the cost model would evict this component; the "
+                        "profile or cost caches have drifted since "
+                        "partitioning (§6.1)",
+                        **_node_diag_args(partition, anchor),
+                    )
+
+    def _compare_sets(
+        self,
+        func: Function,
+        partition: Partition,
+        label: str,
+        stored: set[Node],
+        expected: set[Node],
+    ) -> Iterator[Diagnostic]:
+        for node in sorted(stored - expected, key=lambda n: (n.uid, n.part.value)):
+            yield self.report(
+                f"{label} contains {node!r} but the recount does not need it",
+                func=func,
+                hint="stale communication site: the boundary moved after the "
+                "copy/dup sets were computed",
+                **_node_diag_args(partition, node),
+            )
+        for node in sorted(expected - stored, key=lambda n: (n.uid, n.part.value)):
+            yield self.report(
+                f"{label} is missing {node!r} required by the recount",
+                func=func,
+                hint="recompute the communication sets for the final "
+                "boundary (§6.2)",
+                **_node_diag_args(partition, node),
+            )

@@ -1,0 +1,59 @@
+"""Entry point: run a set of lint rules over a program.
+
+:func:`lint_program` is the one function the pipeline, the CLI and the
+tests call.  It builds a :class:`~repro.lint.registry.LintContext`,
+executes every selected rule (skipping partition-level rules when no
+partitions were supplied), and returns a finalized
+:class:`~repro.lint.diagnostics.LintResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.program import Program
+from repro.lint.diagnostics import LintResult
+from repro.lint.registry import LintContext, select_rules
+from repro.partition.cost import CostParams, ExecutionProfile
+from repro.partition.partition import Partition
+
+
+def lint_program(
+    program: Program,
+    *,
+    partitions: dict[str, Partition] | None = None,
+    profile: ExecutionProfile | None = None,
+    params: CostParams | None = None,
+    scheme: str | None = None,
+    rules: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``program``, optionally against its pre-rewrite partitions.
+
+    Args:
+        program: Program to analyse (pre- or post-rewrite IR).
+        partitions: Function name -> pre-rewrite :class:`Partition`.
+            When None, rules with ``requires_partition`` are skipped.
+        profile: Execution profile used by the cost-consistency recount;
+            None matches a partitioner run without a profile.
+        params: Cost-model weights used by the recount.
+        scheme: ``"basic"`` / ``"advanced"`` when known.
+        rules: Optional iterable of rule ids to restrict the run.
+
+    Returns:
+        A finalized (deterministically ordered) :class:`LintResult`.
+    """
+    ctx = LintContext(
+        program=program,
+        partitions=partitions,
+        profile=profile,
+        params=params,
+        scheme=scheme,
+    )
+    result = LintResult()
+    for rule in select_rules(rules):
+        if rule.requires_partition and not partitions:
+            continue
+        result.rules_run.append(rule.id)
+        for diagnostic in rule.run(ctx):
+            result.add(diagnostic)
+    return result.finalize()

@@ -36,6 +36,7 @@ with ``Profit < 0`` are evicted to INT and their communication removed.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 from repro.errors import PartitionError
 from repro.ir.function import Function
@@ -383,6 +384,67 @@ class _AdvancedPartitioner:
         )
         check_partition(partition)
         return partition
+
+
+@dataclass(eq=False, slots=True)
+class CommunicationRecount:
+    """Communication sets and component profits recomputed from scratch
+    for an existing partition (see :func:`recount_communication`).
+
+    Attributes:
+        copies: Expected ``S_copy`` for the partition's INT/FPa boundary.
+        dups: Expected ``S_dupl``.
+        back_copies: Expected back-copy sites (§6.4).
+        component_profits: One ``(component, profit, uses_communication)``
+            triple per FPa connected component, priced with the §6.1
+            model against the recomputed communication sets.
+    """
+
+    copies: set[Node]
+    dups: set[Node]
+    back_copies: set[Node]
+    component_profits: list[tuple[frozenset[Node], float, bool]]
+
+
+def recount_communication(
+    partition: Partition,
+    profile: ExecutionProfile | None = None,
+    params: CostParams | None = None,
+) -> CommunicationRecount:
+    """Recompute S_copy / S_dupl / back-copies and per-component Profit
+    for ``partition`` from first principles.
+
+    The partition's INT/FPa node assignment is taken as given; the
+    communication sets and the §6.1 cost bookkeeping are re-derived with
+    a fresh :class:`~repro.partition.copydup.CopyDupDecider` built from
+    ``profile``/``params``.  The lint cost-consistency rule compares the
+    result against the sets stored in the partition to flag drifted
+    cost-model caches; it is also useful for debugging hand-edited
+    partitions.  The partition's RDG must still be valid (pre-rewrite).
+    """
+    rdg = partition.rdg
+    if params is None:
+        params = CostParams()
+    n_b = block_counts(rdg.func, profile)
+    engine = _AdvancedPartitioner(rdg.func, rdg, n_b, params)
+    engine.int_set = {node for node in rdg.nodes if node not in partition.fp}
+    engine.compute_copy_dup_sets()
+    back = engine.back_copy_sites()
+    profits: list[tuple[frozenset[Node], float, bool]] = []
+    for comp in engine._fpa_components():
+        feed_copy, feed_dup = engine._feeders_of(comp)
+        uses_communication = bool(feed_copy or feed_dup) or any(
+            v in back for v in comp
+        )
+        profits.append(
+            (frozenset(comp), engine._component_profit(comp, back), uses_communication)
+        )
+    return CommunicationRecount(
+        copies=set(engine.copies),
+        dups=set(engine.dups),
+        back_copies=back,
+        component_profits=profits,
+    )
 
 
 def advanced_partition(

@@ -27,7 +27,7 @@ from repro.rdg.graph import RDG, Node, Pin
 from repro.partition.partition import Partition, check_partition
 
 
-def _components_ignoring_copies(rdg: RDG) -> list[set[Node]]:
+def components_ignoring_copies(rdg: RDG) -> list[set[Node]]:
     """Undirected components, with copy out-edges treated as absent."""
     seen: set[Node] = set()
     components: list[set[Node]] = []
@@ -72,7 +72,7 @@ def basic_partition(func: Function, rdg: RDG | None = None) -> Partition:
         rdg = build_rdg(func)
 
     fp: set[Node] = set()
-    for comp in _components_ignoring_copies(rdg):
+    for comp in components_ignoring_copies(rdg):
         pins = {rdg.pin.get(node) for node in comp}
         pins.discard(None)
         if Pin.INT in pins and Pin.FP in pins:

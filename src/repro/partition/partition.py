@@ -21,6 +21,7 @@ copy, a duplicate, or an allowed calling-convention edge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.errors import PartitionError
 from repro.ir.opcodes import OpKind
@@ -62,8 +63,11 @@ def _is_cut_edge(rdg: RDG, src: Node, dst: Node) -> bool:
     return rdg.instruction(src).kind is OpKind.COPY
 
 
-def check_partition(partition: Partition) -> None:
-    """Raise :class:`PartitionError` if ``partition`` is illegal.
+def iter_partition_violations(
+    partition: Partition,
+) -> Iterator[tuple[str, Node | None]]:
+    """Yield every violation of the partitioning conditions as
+    ``(message, offending node)``.
 
     Checks, for RDG ``G`` with FPa partition ``F`` and INT partition
     ``I``:
@@ -80,6 +84,9 @@ def check_partition(partition: Partition) -> None:
        INT nodes that define a register; back-copies are FPa nodes).
     5. Duplicated nodes are duplicable and their parents are available
        in FPa (in ``F`` or themselves copied/duplicated).
+
+    :func:`check_partition` raises on the first yielded violation; the
+    lint partition-legality rule reports them all.
     """
     from repro.partition.copydup import is_duplicable
 
@@ -88,25 +95,25 @@ def check_partition(partition: Partition) -> None:
 
     for node in fp:
         if rdg.pin.get(node) is Pin.INT:
-            raise PartitionError(f"{node!r} is INT-pinned but assigned to FPa")
+            yield f"{node!r} is INT-pinned but assigned to FPa", node
     for node, pin in rdg.pin.items():
         if pin is Pin.FP and node not in fp:
-            raise PartitionError(f"{node!r} is FP-pinned but assigned to INT")
+            yield f"{node!r} is FP-pinned but assigned to INT", node
 
     for node in partition.copies | partition.dups:
         if node in fp:
-            raise PartitionError(f"copy/dup site {node!r} must be an INT node")
+            yield f"copy/dup site {node!r} must be an INT node", node
         instr = rdg.instruction(node)
         has_def = bool(instr.defs) and not (
             instr.kind is OpKind.STORE
         )
         if node.part is Part.ADDR:
-            raise PartitionError(f"address node {node!r} cannot be copied/duplicated")
-        if not has_def:
-            raise PartitionError(f"copy/dup site {node!r} defines no register")
+            yield f"address node {node!r} cannot be copied/duplicated", node
+        elif not has_def:
+            yield f"copy/dup site {node!r} defines no register", node
     for node in partition.dups:
         if not is_duplicable(rdg.instruction(node), node):
-            raise PartitionError(f"{node!r} is not duplicable")
+            yield f"{node!r} is not duplicable", node
         for parent in rdg.preds[node]:
             if parent == node:
                 continue  # self-dependence satisfied by the twin itself
@@ -114,12 +121,13 @@ def check_partition(partition: Partition) -> None:
                 continue
             if _is_cut_edge(rdg, parent, node):
                 continue
-            raise PartitionError(
-                f"duplicated node {node!r} has parent {parent!r} unavailable in FPa"
+            yield (
+                f"duplicated node {node!r} has parent {parent!r} unavailable in FPa",
+                node,
             )
     for node in partition.back_copies:
         if node not in fp:
-            raise PartitionError(f"back-copy site {node!r} must be an FPa node")
+            yield f"back-copy site {node!r} must be an FPa node", node
 
     for src in rdg.nodes:
         for dst in rdg.succs[src]:
@@ -131,13 +139,19 @@ def check_partition(partition: Partition) -> None:
                 continue
             if not src_fp and dst_fp:
                 if src not in partition.copies and src not in partition.dups:
-                    raise PartitionError(
-                        f"uncompensated INT->FPa edge {src!r} -> {dst!r}"
-                    )
+                    yield f"uncompensated INT->FPa edge {src!r} -> {dst!r}", src
             else:
                 if (src, dst) in rdg.convention_edges and src in partition.back_copies:
                     continue
-                raise PartitionError(f"illegal FPa->INT edge {src!r} -> {dst!r}")
+                yield f"illegal FPa->INT edge {src!r} -> {dst!r}", src
+
+
+def check_partition(partition: Partition) -> None:
+    """Raise :class:`PartitionError` on the first violation found by
+    :func:`iter_partition_violations`; silent when the partition is
+    legal."""
+    for message, _node in iter_partition_violations(partition):
+        raise PartitionError(message)
 
 
 def partition_stats(partition: Partition) -> dict[str, int]:

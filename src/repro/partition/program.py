@@ -17,6 +17,7 @@ then every function is rewritten.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -50,6 +51,14 @@ class ProgramPartitionResult:
         return self.decisions.copies_eliminated() if self.decisions else 0
 
 
+def _raise_on_lint_errors(result, stage: str) -> None:
+    if result.ok:
+        return
+    from repro.lint.render import render_text
+
+    raise ReproError(f"{stage} lint failed:\n{render_text(result)}")
+
+
 def partition_program(
     program: Program,
     scheme: str = "advanced",
@@ -57,6 +66,7 @@ def partition_program(
     params: CostParams | None = None,
     balance_limit: float | None = None,
     interprocedural: bool = False,
+    lint: bool | None = None,
 ) -> ProgramPartitionResult:
     """Partition and rewrite every function of ``program`` in place.
 
@@ -69,6 +79,11 @@ def partition_program(
         interprocedural: Enable FP-argument passing (§6.6 extension;
             advanced scheme only — the basic scheme may not add copies,
             so it cannot exploit relaxed conventions).
+        lint: Run the partition linter as a debug check: the
+            partition-level rules before rewriting and the full
+            dataflow rules after, raising :class:`ReproError` on any
+            error diagnostic.  ``None`` (the default) enables linting
+            when the ``REPRO_LINT`` environment variable is non-empty.
 
     Returns:
         A :class:`ProgramPartitionResult`; the program is verified after
@@ -78,6 +93,8 @@ def partition_program(
         raise ReproError(f"unknown scheme {scheme!r}")
     if interprocedural and scheme != "advanced":
         raise ReproError("the interprocedural extension requires the advanced scheme")
+    if lint is None:
+        lint = bool(os.environ.get("REPRO_LINT"))
 
     result = ProgramPartitionResult()
     for name, func in program.functions.items():
@@ -91,6 +108,21 @@ def partition_program(
 
     if interprocedural:
         result.decisions = decide_fp_arguments(program, result.partitions)
+
+    if lint:
+        from repro.lint import lint_program, partition_rule_ids
+
+        _raise_on_lint_errors(
+            lint_program(
+                program,
+                partitions=result.partitions,
+                profile=profile,
+                params=params,
+                scheme=scheme,
+                rules=partition_rule_ids(),
+            ),
+            "pre-rewrite",
+        )
 
     decisions = result.decisions
     for name, func in program.functions.items():
@@ -106,4 +138,10 @@ def partition_program(
             func, result.partitions[name], **kwargs
         )
     verify_program(program)
+    if lint:
+        from repro.lint import lint_program
+
+        _raise_on_lint_errors(
+            lint_program(program, scheme=scheme), "post-rewrite"
+        )
     return result

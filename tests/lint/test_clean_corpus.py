@@ -1,0 +1,64 @@
+"""The acceptance bar: every example program and benchmark workload
+lints clean — partition-level rules on the pre-rewrite partitions,
+program-level rules on the rewritten IR — under both schemes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir.verify import verify_program
+from repro.lint import Severity, lint_program, partition_rule_ids, render_text
+from repro.minic.compile import compile_source
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.partition.program import partition_program
+from repro.partition.rewrite import apply_partition
+from repro.workloads import WORKLOADS, compile_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.mc"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/*.mc is the lint CI corpus; do not remove it"
+
+
+@pytest.mark.parametrize("scheme", ["basic", "advanced"])
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_examples_lint_clean(path, scheme):
+    program = compile_source(path.read_text())
+    partitions = {}
+    for name, func in program.functions.items():
+        partitions[name] = (
+            basic_partition(func) if scheme == "basic" else advanced_partition(func)
+        )
+    pre = lint_program(
+        program, partitions=partitions, scheme=scheme, rules=partition_rule_ids()
+    )
+    assert not pre.diagnostics, render_text(pre)
+    for name, func in program.functions.items():
+        apply_partition(func, partitions[name])
+    verify_program(program)
+    post = lint_program(program, scheme=scheme)
+    assert not post.failed(Severity.WARNING), render_text(post)
+
+
+@pytest.mark.parametrize("scheme", ["basic", "advanced"])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workloads_lint_clean(name, scheme):
+    program = compile_workload(name, scale=3)
+    # lint=True makes partition_program itself run the partition-level
+    # rules pre-rewrite and the dataflow rules post-rewrite, raising on
+    # any error diagnostic.
+    partition_program(program, scheme, lint=True)
+    result = lint_program(program, scheme=scheme)
+    assert result.ok, render_text(result)
+
+
+def test_interprocedural_pipeline_lints_clean():
+    program = compile_workload("li", scale=3)
+    partition_program(program, "advanced", interprocedural=True, lint=True)
+    result = lint_program(program, scheme="advanced")
+    assert result.ok, render_text(result)

@@ -1,0 +1,99 @@
+"""The ``repro lint`` subcommand and the ``--verify`` flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+int t[16];
+
+int twice(int x) {
+    return x * 2;
+}
+
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 16; i = i + 1) { t[i] = twice(i) ^ 5; }
+    for (i = 0; i < 16; i = i + 1) { s = s + t[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_program_exits_zero(self, source_file, capsys):
+        assert main(["lint", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 note(s) from 6 rule(s)" in out
+
+    def test_basic_scheme(self, source_file, capsys):
+        assert main(["lint", "--scheme", "basic", source_file]) == 0
+        assert "from 6 rule(s)" in capsys.readouterr().out
+
+    def test_scheme_none_skips_partition_rules(self, source_file, capsys):
+        assert main(["lint", "--scheme", "none", "--json", source_file]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "partition-legality" not in document["summary"]["rules_run"]
+        assert "subsystem-consistency" in document["summary"]["rules_run"]
+
+    def test_json_output_schema(self, source_file, capsys):
+        assert main(["lint", "--json", source_file]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["summary"]["ok"] is True
+        assert document["summary"]["errors"] == 0
+        assert document["diagnostics"] == []
+        assert set(document["summary"]["rules_run"]) == {
+            "partition-legality",
+            "cost-consistency",
+            "subsystem-consistency",
+            "address-slice-int",
+            "calling-convention",
+            "copy-hygiene",
+        }
+
+    def test_rules_filter(self, source_file, capsys):
+        assert (
+            main(["lint", "--json", "--rules", "copy-hygiene", source_file]) == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["rules_run"] == ["copy-hygiene"]
+
+    def test_unknown_rule_exits_nonzero(self, source_file, capsys):
+        assert main(["lint", "--rules", "bogus-rule", source_file]) == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_fail_on_note_still_clean(self, source_file):
+        assert main(["lint", "--fail-on", "note", source_file]) == 0
+
+
+class TestVerifyFlags:
+    def test_partition_verify(self, source_file, capsys):
+        assert main(["partition", "--verify", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "verify: structural checks and all lint rules clean" in out
+
+    def test_partition_verify_basic(self, source_file, capsys):
+        assert main(["partition", "--scheme", "basic", "--verify", source_file]) == 0
+        assert "lint rules clean" in capsys.readouterr().out
+
+    def test_partition_verify_interprocedural(self, source_file, capsys):
+        assert (
+            main(["partition", "--interprocedural", "--verify", source_file]) == 0
+        )
+        assert "lint rules clean" in capsys.readouterr().out
+
+    def test_simulate_verify(self, source_file, capsys):
+        assert main(["simulate", "--verify", source_file]) == 0
+        assert "speedup" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Unit tests for the diagnostics framework and renderers."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    JSON_SCHEMA_VERSION,
+    LintResult,
+    Severity,
+    render_json,
+    render_text,
+)
+
+
+def _diag(**overrides):
+    base = dict(
+        rule="subsystem-consistency",
+        severity=Severity.ERROR,
+        message="vf3 is produced in the FP file but consumed from the INT file",
+        function="main",
+        block="loop",
+        uid=12,
+        instruction="v4 = addu v1, vf3",
+        hint="route the value through cp_from_comp (§4)",
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+        assert max([Severity.WARNING, Severity.ERROR]) is Severity.ERROR
+
+    def test_str_lowercase(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_name("fatal")
+
+
+class TestDiagnostic:
+    def test_location(self):
+        assert _diag().location == "main:loop:#12"
+        assert _diag(block=None, uid=None).location == "main"
+        assert _diag(function=None, block=None, uid=None).location == "<program>"
+
+    def test_to_dict_key_order(self):
+        keys = list(_diag().to_dict())
+        assert keys == [
+            "rule", "severity", "function", "block", "uid",
+            "instruction", "message", "hint",
+        ]
+
+    def test_sort_is_by_location_then_rule(self):
+        first = _diag(uid=3, rule="zzz")
+        second = _diag(uid=40, rule="aaa")
+        assert first.sort_key() < second.sort_key()
+
+
+class TestLintResult:
+    def test_queries(self):
+        result = LintResult(rules_run=["a", "b"])
+        result.add(_diag())
+        result.add(_diag(severity=Severity.WARNING, rule="copy-hygiene"))
+        assert len(result.errors) == 1
+        assert len(result.warnings) == 1
+        assert not result.ok
+        assert result.max_severity() is Severity.ERROR
+        assert result.counts() == {"note": 0, "warning": 1, "error": 1}
+        assert result.rules_with_findings() == [
+            "copy-hygiene", "subsystem-consistency",
+        ]
+
+    def test_failed_threshold(self):
+        result = LintResult()
+        assert not result.failed()
+        result.add(_diag(severity=Severity.WARNING))
+        assert result.ok
+        assert not result.failed(Severity.ERROR)
+        assert result.failed(Severity.WARNING)
+
+    def test_finalize_orders_deterministically(self):
+        result = LintResult()
+        result.add(_diag(function="zeta", uid=1))
+        result.add(_diag(function="main", uid=9))
+        result.add(_diag(function="main", uid=2))
+        result.finalize()
+        assert [(d.function, d.uid) for d in result.diagnostics] == [
+            ("main", 2), ("main", 9), ("zeta", 1),
+        ]
+
+    def test_extend_merges_rules_run(self):
+        left = LintResult(rules_run=["a"])
+        right = LintResult(rules_run=["a", "b"])
+        right.add(_diag())
+        left.extend(right)
+        assert left.rules_run == ["a", "b"]
+        assert len(left) == 1
+
+
+class TestRenderers:
+    def test_text_contains_location_hint_and_summary(self):
+        result = LintResult(rules_run=["subsystem-consistency"])
+        result.add(_diag())
+        text = render_text(result)
+        assert "error: subsystem-consistency: main:loop:#12:" in text
+        assert "| v4 = addu v1, vf3" in text
+        assert "-> route the value through cp_from_comp" in text
+        assert "1 error(s), 0 warning(s), 0 note(s) from 1 rule(s)" in text
+
+    def test_text_can_suppress_hints(self):
+        result = LintResult()
+        result.add(_diag())
+        assert "->" not in render_text(result, hints=False)
+
+    def test_json_schema(self):
+        result = LintResult(rules_run=["subsystem-consistency"])
+        result.add(_diag())
+        document = json.loads(render_json(result))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["summary"]["errors"] == 1
+        assert document["summary"]["ok"] is False
+        assert document["summary"]["rules_run"] == ["subsystem-consistency"]
+        [entry] = document["diagnostics"]
+        assert entry["rule"] == "subsystem-consistency"
+        assert entry["severity"] == "error"
+        assert entry["uid"] == 12
+
+    def test_json_is_stable_across_runs(self):
+        def build():
+            result = LintResult(rules_run=["subsystem-consistency"])
+            result.add(_diag(uid=7))
+            result.add(_diag(uid=2))
+            return render_json(result.finalize())
+
+        assert build() == build()

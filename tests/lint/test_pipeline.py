@@ -1,0 +1,78 @@
+"""The debug-mode lint hook inside :func:`partition_program`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.minic.compile import compile_source
+from repro.partition.program import partition_program
+from repro.rdg.graph import Pin
+
+SOURCE = """
+int arr[64];
+
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        arr[i] = (i * 7) & 255;
+        s = s + arr[i];
+    }
+    return s;
+}
+"""
+
+
+def _sabotaging_advanced_partition(monkeypatch):
+    """Patch the partitioner so its result assigns an INT-pinned node to
+    FPa — an illegal partition the pre-rewrite lint must reject."""
+    import repro.partition.program as program_module
+
+    real = program_module.advanced_partition
+
+    def sabotage(func, **kwargs):
+        partition = real(func, **kwargs)
+        pinned = next(
+            (
+                node
+                for node, pin in partition.rdg.pin.items()
+                if pin is Pin.INT and node not in partition.fp
+            ),
+            None,
+        )
+        if pinned is not None:
+            partition.fp.add(pinned)
+        return partition
+
+    monkeypatch.setattr(program_module, "advanced_partition", sabotage)
+
+
+def test_lint_flag_accepts_clean_pipeline():
+    partition_program(compile_source(SOURCE), "advanced", lint=True)
+
+
+def test_lint_flag_rejects_illegal_partition(monkeypatch):
+    _sabotaging_advanced_partition(monkeypatch)
+    with pytest.raises(ReproError, match="pre-rewrite lint failed"):
+        partition_program(compile_source(SOURCE), "advanced", lint=True)
+
+
+def test_lint_failure_message_carries_diagnostics(monkeypatch):
+    _sabotaging_advanced_partition(monkeypatch)
+    with pytest.raises(ReproError, match="INT-pinned but assigned to FPa"):
+        partition_program(compile_source(SOURCE), "advanced", lint=True)
+
+
+def test_env_var_enables_lint(monkeypatch):
+    _sabotaging_advanced_partition(monkeypatch)
+    monkeypatch.setenv("REPRO_LINT", "1")
+    with pytest.raises(ReproError, match="pre-rewrite lint failed"):
+        partition_program(compile_source(SOURCE), "advanced")
+
+
+def test_lint_false_overrides_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "1")
+    # lint=False must win over the environment; the clean pipeline is
+    # used so the run succeeds either way and only the flag is probed.
+    partition_program(compile_source(SOURCE), "advanced", lint=False)

@@ -1,0 +1,265 @@
+"""Per-rule tests: one violating and one clean fixture for each rule.
+
+The program-level rules run on hand-written IR fixtures under
+``fixtures/`` (parsed without verification, so the violating ones can
+exist at all).  The partition-level rules run on partitions of a small
+MiniC substrate that the tests tamper with in targeted ways.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir.opcodes import OpKind
+from repro.ir.parser import parse_program
+from repro.ir.verify import verify_program
+from repro.lint import Severity, lint_program, partition_rule_ids
+from repro.lint.registry import all_rules, get_rule
+from repro.minic.compile import compile_source
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.rdg.graph import Part, Pin
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load(name: str):
+    return parse_program((FIXTURES / name).read_text())
+
+
+def run_rule(rule_id: str, program, **kwargs):
+    return lint_program(program, rules=[rule_id], **kwargs)
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        ids = {rule.id for rule in all_rules()}
+        assert ids == {
+            "subsystem-consistency",
+            "address-slice-int",
+            "calling-convention",
+            "copy-hygiene",
+            "partition-legality",
+            "cost-consistency",
+        }
+
+    def test_partition_rule_ids(self):
+        assert set(partition_rule_ids()) == {
+            "partition-legality",
+            "cost-consistency",
+        }
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ReproError, match="unknown lint rule"):
+            get_rule("no-such-rule")
+
+    def test_rules_have_descriptions(self):
+        for rule in all_rules():
+            assert rule.description
+
+
+PROGRAM_RULE_CASES = [
+    ("subsystem-consistency", "subsystem_bad.ir", "subsystem_clean.ir"),
+    ("address-slice-int", "address_bad.ir", "address_clean.ir"),
+    ("calling-convention", "convention_bad.ir", "convention_clean.ir"),
+    ("copy-hygiene", "copies_bad.ir", "copies_clean.ir"),
+]
+
+
+class TestProgramRules:
+    @pytest.mark.parametrize("rule_id,bad,_clean", PROGRAM_RULE_CASES)
+    def test_violating_fixture_is_flagged(self, rule_id, bad, _clean):
+        result = run_rule(rule_id, load(bad))
+        assert result.diagnostics, f"{rule_id} missed the violation in {bad}"
+        assert all(d.rule == rule_id for d in result.diagnostics)
+
+    @pytest.mark.parametrize("rule_id,_bad,clean", PROGRAM_RULE_CASES)
+    def test_clean_fixture_passes(self, rule_id, _bad, clean):
+        result = run_rule(rule_id, load(clean))
+        assert not result.diagnostics
+
+    def test_subsystem_violation_names_both_files(self):
+        [diag] = run_rule("subsystem-consistency", load("subsystem_bad.ir")).diagnostics
+        assert "FP file" in diag.message and "INT file" in diag.message
+        assert "cp_from_comp" in diag.hint
+        assert diag.severity is Severity.ERROR
+
+    def test_address_violation_reports_propagation_chain(self):
+        [diag] = run_rule("address-slice-int", load("address_bad.ir")).diagnostics
+        assert "li.a" in diag.message
+        assert "via addu" in diag.message
+
+    def test_copy_rule_finds_dead_and_redundant(self):
+        result = run_rule("copy-hygiene", load("copies_bad.ir"))
+        assert len(result.diagnostics) == 2
+        messages = " / ".join(d.message for d in result.diagnostics)
+        assert "never read" in messages
+        assert "repeats the dominating copy" in messages
+        assert all(d.severity is Severity.WARNING for d in result.diagnostics)
+
+    def test_flow_rule_is_stronger_than_structural_verifier(self):
+        # An FP-class register read with no reaching definition: every
+        # instruction is locally well-formed (verify passes), but the
+        # def-use chain is broken — the signature of a rewrite that
+        # renamed a def into the shadow file and lost a reader.
+        program = parse_program(
+            """
+func main(0) returns {
+entry:
+  vf2 = addiu.a vf9, 1
+  v3 = cp_from_comp vf2
+  ret v3
+}
+"""
+        )
+        verify_program(program)
+        result = run_rule("subsystem-consistency", program)
+        assert result.errors
+        assert "no definition reaches" in result.errors[0].message
+
+
+#: Substrate whose advanced partition needs duplicates (the loop
+#: induction variable feeds both the address slice and offloadable
+#: work, Figures 5/6) so the cost-consistency tests have non-empty
+#: communication sets to perturb.
+SUBSTRATE = """
+int arr[64];
+
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        arr[i] = (i * 7) & 255;
+        s = s + arr[i];
+    }
+    return s;
+}
+"""
+
+
+def _partitions(program, scheme):
+    out = {}
+    for name, func in program.functions.items():
+        out[name] = (
+            basic_partition(func) if scheme == "basic" else advanced_partition(func)
+        )
+    return out
+
+
+def _int_node_with_def(partition, *, avoid_fp_children=False):
+    """An INT-assigned WHOLE node defining a register, outside every
+    communication set (a safe thing to tamper with)."""
+    rdg = partition.rdg
+    for node in rdg.nodes:
+        instr = rdg.instruction(node)
+        if (
+            node.part is Part.WHOLE
+            and node not in partition.fp
+            and node not in partition.copies
+            and node not in partition.dups
+            and instr.defs
+            and instr.kind not in (OpKind.STORE, OpKind.CALL)
+            and (
+                not avoid_fp_children
+                or all(succ not in partition.fp for succ in rdg.succs[node])
+            )
+        ):
+            return node
+    raise AssertionError("substrate has no tamperable INT node")
+
+
+class TestPartitionLegalityRule:
+    def test_clean_partitions_pass(self):
+        for scheme in ("basic", "advanced"):
+            program = compile_source(SUBSTRATE)
+            parts = _partitions(program, scheme)
+            result = run_rule(
+                "partition-legality", program, partitions=parts, scheme=scheme
+            )
+            assert not result.diagnostics
+
+    def test_skipped_without_partitions(self):
+        result = run_rule("partition-legality", compile_source(SUBSTRATE))
+        assert result.rules_run == []
+        assert not result.diagnostics
+
+    def test_int_pinned_node_in_fpa_is_flagged(self):
+        program = compile_source(SUBSTRATE)
+        parts = _partitions(program, "advanced")
+        partition = parts["main"]
+        pinned = next(
+            node
+            for node, pin in partition.rdg.pin.items()
+            if pin is Pin.INT and node not in partition.fp
+        )
+        partition.fp.add(pinned)
+        result = run_rule(
+            "partition-legality", program, partitions=parts, scheme="advanced"
+        )
+        assert any("INT-pinned but assigned to FPa" in d.message for d in result.errors)
+
+    def test_basic_scheme_rejects_communication_sets(self):
+        program = compile_source(SUBSTRATE)
+        parts = _partitions(program, "basic")
+        partition = parts["main"]
+        partition.copies.add(_int_node_with_def(partition))
+        result = run_rule(
+            "partition-legality", program, partitions=parts, scheme="basic"
+        )
+        assert any(
+            "basic-scheme partition carries a copy site" in d.message
+            for d in result.errors
+        )
+
+
+class TestCostConsistencyRule:
+    def test_clean_advanced_partitions_pass(self):
+        program = compile_source(SUBSTRATE)
+        parts = _partitions(program, "advanced")
+        assert any(p.copies or p.dups for p in parts.values()), (
+            "substrate must exercise the communication sets"
+        )
+        result = run_rule(
+            "cost-consistency", program, partitions=parts, scheme="advanced"
+        )
+        assert not result.diagnostics
+
+    def test_basic_partitions_are_ignored(self):
+        program = compile_source(SUBSTRATE)
+        parts = _partitions(program, "basic")
+        result = run_rule(
+            "cost-consistency", program, partitions=parts, scheme="basic"
+        )
+        assert result.rules_run == ["cost-consistency"]
+        assert not result.diagnostics
+
+    def test_spurious_copy_site_is_flagged(self):
+        program = compile_source(SUBSTRATE)
+        parts = _partitions(program, "advanced")
+        partition = parts["main"]
+        partition.copies.add(_int_node_with_def(partition, avoid_fp_children=True))
+        result = run_rule(
+            "cost-consistency", program, partitions=parts, scheme="advanced"
+        )
+        assert any(
+            "S_copy contains" in d.message and "does not need it" in d.message
+            for d in result.errors
+        )
+
+    def test_dropped_site_is_flagged(self):
+        program = compile_source(SUBSTRATE)
+        parts = _partitions(program, "advanced")
+        partition = next(p for p in parts.values() if p.copies or p.dups)
+        if partition.dups:
+            partition.dups.pop()
+            expected = "S_dupl is missing"
+        else:
+            partition.copies.pop()
+            expected = "S_copy is missing"
+        result = run_rule(
+            "cost-consistency", program, partitions=parts, scheme="advanced"
+        )
+        assert any(expected in d.message for d in result.errors)

@@ -14,6 +14,7 @@ from hypothesis import given, settings, strategies as st, HealthCheck
 
 from repro.minic.compile import compile_source
 from repro.ir.verify import verify_program
+from repro.lint import Severity, lint_program, partition_rule_ids, render_text
 from repro.partition.advanced import advanced_partition
 from repro.partition.basic import basic_partition
 from repro.partition.cost import CostParams
@@ -114,6 +115,30 @@ def test_cost_parameters_never_break_semantics(source, params):
     baseline = run_program(compile_source(source), fuel=2_000_000).value
     got = _partition_and_run(source, "advanced", CostParams(o_copy=o_copy, o_dupl=o_dupl))
     assert got == baseline
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(minic_program(), st.sampled_from(["basic", "advanced"]))
+def test_partitioned_programs_lint_clean(source, scheme):
+    """Every partitioned+rewritten random program passes all lint rules:
+    the partition-level rules on the pre-rewrite partitions and the
+    dataflow rules on the rewritten IR."""
+    program = compile_source(source)
+    partitions = {}
+    for name, func in program.functions.items():
+        if scheme == "basic":
+            partitions[name] = basic_partition(func)
+        else:
+            partitions[name] = advanced_partition(func)
+    pre = lint_program(
+        program, partitions=partitions, scheme=scheme, rules=partition_rule_ids()
+    )
+    assert not pre.diagnostics, render_text(pre)
+    for name, func in program.functions.items():
+        apply_partition(func, partitions[name])
+    verify_program(program)
+    post = lint_program(program, scheme=scheme)
+    assert not post.failed(Severity.WARNING), render_text(post)
 
 
 @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
