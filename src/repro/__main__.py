@@ -8,9 +8,12 @@ Usage::
     python -m repro lint prog.mc               # static checks on partitioned IR
     python -m repro simulate prog.mc           # conventional vs partitioned
     python -m repro report [fig8 fig9 ...]     # regenerate paper artifacts
+    python -m repro bench --suite fig8 -j 4    # benchmark matrix -> BENCH JSON
 
 ``prog.mc`` is a MiniC source file (see ``examples/`` and the README for
-the language).  ``-`` reads from stdin.
+the language).  ``-`` reads from stdin, and ``workload:<name>`` uses the
+generated source of a registered benchmark workload (e.g.
+``workload:compress``) so CI can lint exactly what the harness runs.
 """
 
 from __future__ import annotations
@@ -24,6 +27,10 @@ from repro.errors import ReproError
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
+    if path.startswith("workload:"):
+        from repro.workloads import workload_source
+
+        return workload_source(path[len("workload:"):])
     with open(path) as handle:
         return handle.read()
 
@@ -238,7 +245,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import main as report_main
 
-    return report_main(args.experiments)
+    return report_main(args.experiments, jobs=args.jobs)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import run as bench_run
+
+    return bench_run(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -250,7 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_source(p):
-        p.add_argument("file", help="MiniC source file, or - for stdin")
+        p.add_argument("file", help="MiniC source file, - for stdin, or "
+                                    "workload:<name> for a registered workload")
         p.add_argument("--no-opt", action="store_true", help="skip optimizations")
 
     p = sub.add_parser("compile", help="compile MiniC and print the IR")
@@ -305,7 +319,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="regenerate the paper's tables/figures")
     p.add_argument("experiments", nargs="*", default=[])
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for pipeline cells; 0 = one per "
+                        "CPU (default: 1)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark matrix in parallel, emit BENCH_<suite>.json",
+    )
+    from repro.bench.cli import configure_parser as configure_bench_parser
+
+    configure_bench_parser(p)
+    p.set_defaults(fn=cmd_bench)
 
     return parser
 

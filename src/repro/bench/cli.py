@@ -1,0 +1,212 @@
+"""``repro bench`` — run the experiment matrix, emit BENCH JSON.
+
+Examples::
+
+    repro bench --suite fig8 --jobs 4
+    repro bench --suite fig8 --jobs 4 --baseline benchmarks/baseline.json
+    repro bench --validate BENCH_fig8.json
+    repro bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.errors import ReproError
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suite",
+        default="fig8",
+        metavar="NAME",
+        help="experiment suite to run (see --list; default: fig8)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; 0 = one per CPU (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="force one workload scale on every cell (default: per-workload)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="BENCH JSON path (default: BENCH_<suite>.json; '-' = stdout only)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-bench-cache",
+        metavar="DIR",
+        help="on-disk result cache directory (default: .repro-bench-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk cache",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell even on cache hits (cache is rewritten)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare against this committed BENCH JSON; exit 1 on slowdown",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed cycle-count slowdown vs the baseline, in percent "
+        "(default: 10)",
+    )
+    parser.add_argument(
+        "--validate",
+        default=None,
+        metavar="PATH",
+        help="only validate an existing BENCH JSON file, then exit",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_suites",
+        help="list available suites and their cells, then exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress per-cell progress lines",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.bench.cache import ResultCache
+    from repro.bench.compare import compare_documents, format_report
+    from repro.bench.harness import run_cells
+    from repro.bench.matrix import SUITES, suite_cells
+    from repro.bench.results import (
+        build_document,
+        load_document,
+        save_document,
+        validate_document,
+    )
+
+    if args.list_suites:
+        for name in sorted(SUITES):
+            cells = SUITES[name]()
+            print(f"{name:8s} {len(cells):3d} cells  "
+                  + ", ".join(c.label for c in cells[:4])
+                  + (", ..." if len(cells) > 4 else ""))
+        return 0
+
+    if args.validate is not None:
+        doc = load_document(args.validate)
+        validate_document(doc)
+        print(
+            f"{args.validate}: valid {doc['schema']} document, "
+            f"suite {doc['suite']!r}, {len(doc['cells'])} cells"
+        )
+        return 0
+
+    cells = suite_cells(args.suite, scale=args.scale)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(outcome) -> None:
+        if args.quiet:
+            return
+        tag = outcome.source if outcome.cached else f"{outcome.seconds:6.2f}s"
+        print(
+            f"  [{tag:>8s}] {outcome.cell.label:32s} "
+            f"{outcome.result.cycles:>9d} cycles",
+            file=sys.stderr,
+        )
+
+    print(
+        f"suite {args.suite!r}: {len(cells)} cells, jobs={jobs}, "
+        f"cache={'off' if cache is None else args.cache_dir}",
+        file=sys.stderr,
+    )
+    start = time.perf_counter()
+    outcomes = run_cells(
+        cells, jobs=jobs, cache=cache, force=args.force, progress=progress
+    )
+    total_seconds = time.perf_counter() - start
+
+    hits = sum(1 for o in outcomes if o.cached)
+    doc = build_document(
+        args.suite,
+        outcomes,
+        jobs=jobs,
+        total_seconds=total_seconds,
+        # replay rate over memo + disk; cache.stats() alone misses memo hits
+        cache_stats={
+            "dir": None if cache is None else str(cache.root),
+            "hits": hits,
+            "misses": len(outcomes) - hits,
+            "hit_rate": hits / len(outcomes) if outcomes else 0.0,
+        },
+    )
+    validate_document(doc)
+
+    output = args.output
+    if output is None:
+        output = f"BENCH_{args.suite}.json"
+    if output == "-":
+        import json
+
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        save_document(doc, output)
+
+    compute_total = sum(o.compute_seconds for o in outcomes)
+    print(
+        f"{len(outcomes)} cells in {total_seconds:.1f}s wall "
+        f"({compute_total:.1f}s of pipeline work; {hits} replayed from "
+        f"cache, hit rate {hits / len(outcomes):.0%})"
+        + (f"; wrote {output}" if output != "-" else ""),
+        file=sys.stderr,
+    )
+
+    if args.baseline is not None:
+        baseline = load_document(args.baseline)
+        validate_document(baseline)
+        report = compare_documents(doc, baseline, tolerance=args.tolerance / 100.0)
+        print(format_report(report))
+        if not report.ok:
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.bench.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description=__doc__.splitlines()[0]
+    )
+    configure_parser(parser)
+    try:
+        return run(parser.parse_args(argv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

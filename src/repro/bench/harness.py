@@ -1,0 +1,179 @@
+"""Parallel, cached execution of experiment-matrix cells.
+
+Resolution order for each cell:
+
+1. the in-process memo (shared by every figure/table driver of one
+   invocation, replacing the old ``runner._CACHE``),
+2. the on-disk :class:`~repro.bench.cache.ResultCache` (if given),
+3. fresh computation — inline for ``jobs <= 1``, otherwise fanned out
+   over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Workers return plain dicts (the same serialization the cache stores),
+so a parallel run, a serial run and a cache replay all yield
+bit-identical result documents — the property the harness tests and
+the CI baseline gate rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.cache import ResultCache, cell_key
+from repro.bench.matrix import Cell
+from repro.bench.results import result_from_dict, result_to_dict
+from repro.experiments.runner import BenchmarkResult, run_benchmark
+
+#: key -> (result, fresh compute seconds); one process-wide memo.
+_MEMO: dict[str, tuple[BenchmarkResult, float]] = {}
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (tests and long-lived processes)."""
+    _MEMO.clear()
+
+
+@dataclass(eq=False, slots=True)
+class CellOutcome:
+    """One resolved cell.
+
+    Attributes:
+        cell: The matrix cell.
+        result: The (possibly replayed) benchmark result.
+        key: Content-address of the cell (cache key).
+        cached: True when the result was replayed, not computed.
+        source: ``"memo"``, ``"disk"`` or ``"computed"``.
+        seconds: Wall-clock this invocation spent obtaining the cell
+            (≈0 for replays).
+        compute_seconds: Wall-clock of the original fresh computation.
+    """
+
+    cell: Cell
+    result: BenchmarkResult
+    key: str
+    cached: bool
+    source: str
+    seconds: float
+    compute_seconds: float
+
+
+def compute_cell(cell: Cell) -> tuple[BenchmarkResult, float]:
+    """Run one cell's full pipeline; returns (result, seconds)."""
+    start = time.perf_counter()
+    result = run_benchmark(
+        cell.workload, cell.scheme, width=cell.width, scale=cell.scale
+    )
+    return result, time.perf_counter() - start
+
+
+def _pool_worker(payload: tuple[str, dict]) -> tuple[str, dict, float]:
+    """Process-pool entry point (must stay module-level picklable)."""
+    key, cell_doc = payload
+    result, seconds = compute_cell(Cell.from_dict(cell_doc))
+    return key, result_to_dict(result), seconds
+
+
+def run_cells(
+    cells: list[Cell],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    progress: Callable[[CellOutcome], None] | None = None,
+) -> list[CellOutcome]:
+    """Resolve every cell; returns outcomes in input order (deduplicated).
+
+    Args:
+        cells: Cells to run; duplicates are resolved once.
+        jobs: Worker processes (<=1 runs inline in this process).
+        cache: Optional on-disk cache consulted before computing and
+            updated (atomically) after.
+        force: Recompute even on a cache hit (the cache is rewritten).
+        progress: Callback invoked as each cell resolves, in completion
+            order.
+    """
+    ordered: list[tuple[Cell, str]] = []
+    seen: set[str] = set()
+    for cell in cells:
+        key = cell_key(cell)
+        if key not in seen:
+            seen.add(key)
+            ordered.append((cell, key))
+
+    outcomes: dict[str, CellOutcome] = {}
+    pending: list[tuple[Cell, str]] = []
+
+    def _resolved(outcome: CellOutcome) -> None:
+        outcomes[outcome.key] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    for cell, key in ordered:
+        if not force and key in _MEMO:
+            result, compute_seconds = _MEMO[key]
+            _resolved(
+                CellOutcome(cell, result, key, True, "memo", 0.0, compute_seconds)
+            )
+            continue
+        if not force and cache is not None:
+            start = time.perf_counter()
+            entry = cache.get(key)
+            if entry is not None:
+                result = result_from_dict(entry["result"])
+                compute_seconds = entry.get("compute_seconds", 0.0)
+                _MEMO[key] = (result, compute_seconds)
+                _resolved(
+                    CellOutcome(
+                        cell,
+                        result,
+                        key,
+                        True,
+                        "disk",
+                        time.perf_counter() - start,
+                        compute_seconds,
+                    )
+                )
+                continue
+        pending.append((cell, key))
+
+    def _computed(cell: Cell, key: str, result: BenchmarkResult, seconds: float) -> None:
+        _MEMO[key] = (result, seconds)
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "cell": cell.as_dict(),
+                    "result": result_to_dict(result),
+                    "compute_seconds": seconds,
+                },
+            )
+        _resolved(CellOutcome(cell, result, key, False, "computed", seconds, seconds))
+
+    if pending and (jobs <= 1 or len(pending) == 1):
+        for cell, key in pending:
+            result, seconds = compute_cell(cell)
+            # normalize through the dict round trip so serial results are
+            # representationally identical to pooled/cached ones
+            _computed(cell, key, result_from_dict(result_to_dict(result)), seconds)
+    elif pending:
+        by_key = {key: cell for cell, key in pending}
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_pool_worker, (key, cell.as_dict())): key
+                for cell, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, result_doc, seconds = future.result()
+                    _computed(by_key[key], key, result_from_dict(result_doc), seconds)
+
+    return [outcomes[key] for _, key in ordered]
+
+
+def results_by_cell(outcomes: list[CellOutcome]) -> dict[Cell, BenchmarkResult]:
+    """Convenience lookup table for the figure/table drivers."""
+    return {outcome.cell: outcome.result for outcome in outcomes}

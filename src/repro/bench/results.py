@@ -1,0 +1,221 @@
+"""Serialization of benchmark results and the BENCH JSON document.
+
+``BENCH_<suite>.json`` is the machine-readable trajectory artifact CI
+uploads and gates on.  Layout (schema ``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "suite": "fig8",
+      "created_unix": 1754000000.0,
+      "code_version": "<sha256 of the repro sources>",
+      "host": {"platform": ..., "python": ..., "cpu_count": ...},
+      "jobs": 4,
+      "total_seconds": 12.3,
+      "cache": {"dir": ..., "hits": 12, "misses": 2, "hit_rate": 0.857},
+      "cells": [
+        {
+          "workload": "compress", "scheme": "advanced",
+          "width": 4, "scale": null,
+          "key": "<cache key>", "cached": false, "source": "computed",
+          "seconds": 1.9,            # time this run spent on the cell
+          "compute_seconds": 1.9,    # fresh pipeline time (from cache)
+          "throughput_ips": 130000.0,  # simulated instructions / compute s
+          "result": { ...BenchmarkResult... }
+        }, ...
+      ]
+    }
+
+Every numeric field of ``result`` is produced by the deterministic
+pipeline, so two documents for the same code version must agree cell
+for cell — that is what the CI baseline gate checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.runner import BenchmarkResult
+from repro.sim.stats import SimStats
+
+#: Document schema identifier; bump on incompatible layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+_RESULT_FIELDS = (
+    "name",
+    "scheme",
+    "machine",
+    "checksum",
+    "dynamic_instructions",
+    "offload_fraction",
+    "cycles",
+    "ipc",
+    "static_instructions",
+)
+
+
+def result_to_dict(result: BenchmarkResult) -> dict:
+    """Lossless, JSON-able form of a :class:`BenchmarkResult`."""
+    doc = {field: getattr(result, field) for field in _RESULT_FIELDS}
+    doc["partition_summary"] = dict(result.partition_summary)
+    doc["mix"] = dict(result.mix)
+    doc["stats"] = result.stats.to_counters()
+    return doc
+
+
+def result_from_dict(doc: dict) -> BenchmarkResult:
+    """Inverse of :func:`result_to_dict`."""
+    try:
+        return BenchmarkResult(
+            stats=SimStats.from_counters(doc["stats"]),
+            partition_summary=dict(doc["partition_summary"]),
+            mix=dict(doc["mix"]),
+            **{field: doc[field] for field in _RESULT_FIELDS},
+        )
+    except KeyError as exc:
+        raise ReproError(f"malformed benchmark result: missing {exc}") from None
+
+
+def host_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_document(
+    suite: str,
+    outcomes,
+    *,
+    jobs: int,
+    total_seconds: float,
+    cache_stats: dict | None = None,
+    code_version: str | None = None,
+) -> dict:
+    """Assemble the BENCH document from harness outcomes."""
+    from repro.bench.cache import code_fingerprint
+
+    cells = []
+    for outcome in outcomes:
+        compute = outcome.compute_seconds
+        cells.append(
+            {
+                **outcome.cell.as_dict(),
+                "key": outcome.key,
+                "cached": outcome.cached,
+                "source": outcome.source,
+                "seconds": outcome.seconds,
+                "compute_seconds": compute,
+                "throughput_ips": (
+                    outcome.result.dynamic_instructions / compute
+                    if compute > 0
+                    else 0.0
+                ),
+                "result": result_to_dict(outcome.result),
+            }
+        )
+    hits = sum(1 for o in outcomes if o.cached)
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "created_unix": time.time(),
+        "code_version": (
+            code_version if code_version is not None else code_fingerprint()
+        ),
+        "host": host_info(),
+        "jobs": jobs,
+        "total_seconds": total_seconds,
+        "cache": cache_stats
+        or {
+            "dir": None,
+            "hits": hits,
+            "misses": len(cells) - hits,
+            "hit_rate": hits / len(cells) if cells else 0.0,
+        },
+        "cells": cells,
+    }
+
+
+_TOP_LEVEL_REQUIRED = (
+    "schema",
+    "suite",
+    "created_unix",
+    "code_version",
+    "host",
+    "jobs",
+    "total_seconds",
+    "cache",
+    "cells",
+)
+
+_CELL_REQUIRED = (
+    "workload",
+    "scheme",
+    "width",
+    "key",
+    "cached",
+    "seconds",
+    "compute_seconds",
+    "throughput_ips",
+    "result",
+)
+
+_RESULT_REQUIRED = _RESULT_FIELDS + ("partition_summary", "mix", "stats")
+
+
+def validate_document(doc: dict) -> None:
+    """Raise :class:`ReproError` listing every schema violation."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        raise ReproError("bench document must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    for field in _TOP_LEVEL_REQUIRED:
+        if field not in doc:
+            problems.append(f"missing top-level field {field!r}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append("cells must be a non-empty list")
+        cells = []
+    for index, cell in enumerate(cells):
+        where = f"cells[{index}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for field in _CELL_REQUIRED:
+            if field not in cell:
+                problems.append(f"{where} missing {field!r}")
+        result = cell.get("result")
+        if not isinstance(result, dict):
+            problems.append(f"{where}.result must be an object")
+            continue
+        for field in _RESULT_REQUIRED:
+            if field not in result:
+                problems.append(f"{where}.result missing {field!r}")
+        if isinstance(result.get("cycles"), (int, float)) and result["cycles"] <= 0:
+            problems.append(f"{where}.result.cycles must be positive")
+    if problems:
+        raise ReproError(
+            "invalid bench document:\n  " + "\n  ".join(problems)
+        )
+
+
+def load_document(path: str | os.PathLike) -> dict:
+    """Read and parse a BENCH JSON file (no validation)."""
+    try:
+        with open(Path(path), encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read bench document {path}: {exc}") from None
+
+
+def save_document(doc: dict, path: str | os.PathLike) -> None:
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

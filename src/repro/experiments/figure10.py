@@ -25,9 +25,22 @@ PAPER_FIGURE10 = {
 WIDTH = 8
 
 
-def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[SpeedupRow]:
+def run(
+    benchmarks: list[str] | None = None,
+    scale: int | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> list[SpeedupRow]:
     """Regenerate Figure 10 (8-way machine)."""
-    return _run(benchmarks, scale=scale, width=WIDTH, paper_values=PAPER_FIGURE10)
+    return _run(
+        benchmarks,
+        scale=scale,
+        width=WIDTH,
+        paper_values=PAPER_FIGURE10,
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def format_table(rows: list[SpeedupRow]) -> str:

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.bench.harness import results_by_cell, run_cells
+from repro.bench.matrix import Cell
 from repro.workloads import INT_BENCHMARKS
 
 #: The paper's approximate Figure 8 values (percent of dynamic
@@ -38,12 +39,29 @@ class Figure8Row:
     paper_advanced: float
 
 
-def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[Figure8Row]:
-    """Regenerate Figure 8; returns one row per benchmark."""
+def run(
+    benchmarks: list[str] | None = None,
+    scale: int | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> list[Figure8Row]:
+    """Regenerate Figure 8; returns one row per benchmark.
+
+    ``jobs``/``cache`` fan the cells out over the bench harness
+    (:func:`repro.bench.harness.run_cells`).
+    """
+    names = list(benchmarks or INT_BENCHMARKS)
+    cells = [
+        Cell(name, scheme, 4, scale)
+        for name in names
+        for scheme in ("basic", "advanced")
+    ]
+    results = results_by_cell(run_cells(cells, jobs=jobs, cache=cache))
     rows = []
-    for name in benchmarks or INT_BENCHMARKS:
-        basic = run_benchmark(name, "basic", width=4, scale=scale)
-        advanced = run_benchmark(name, "advanced", width=4, scale=scale)
+    for name in names:
+        basic = results[Cell(name, "basic", 4, scale)]
+        advanced = results[Cell(name, "advanced", 4, scale)]
         paper = PAPER_FIGURE8.get(name, {"basic": float("nan"), "advanced": float("nan")})
         rows.append(
             Figure8Row(

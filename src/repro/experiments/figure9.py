@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.bench.harness import results_by_cell, run_cells
+from repro.bench.matrix import Cell
 from repro.workloads import INT_BENCHMARKS
 
 #: Approximate Figure 9 values (percent speedup on the 4-way machine).
@@ -46,15 +47,28 @@ def run(
     scale: int | None = None,
     width: int = WIDTH,
     paper_values: dict | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> list[SpeedupRow]:
-    """Regenerate the speedup figure at the given machine width."""
+    """Regenerate the speedup figure at the given machine width.
+
+    ``jobs``/``cache`` fan the cells out over the bench harness.
+    """
     if paper_values is None:
         paper_values = PAPER_FIGURE9
+    names = list(benchmarks or INT_BENCHMARKS)
+    cells = [
+        Cell(name, scheme, width, scale)
+        for name in names
+        for scheme in ("conventional", "basic", "advanced")
+    ]
+    results = results_by_cell(run_cells(cells, jobs=jobs, cache=cache))
     rows = []
-    for name in benchmarks or INT_BENCHMARKS:
-        baseline = run_benchmark(name, "conventional", width=width, scale=scale)
-        basic = run_benchmark(name, "basic", width=width, scale=scale)
-        advanced = run_benchmark(name, "advanced", width=width, scale=scale)
+    for name in names:
+        baseline = results[Cell(name, "conventional", width, scale)]
+        basic = results[Cell(name, "basic", width, scale)]
+        advanced = results[Cell(name, "advanced", width, scale)]
         paper = paper_values.get(name, {"basic": float("nan"), "advanced": float("nan")})
         rows.append(
             SpeedupRow(

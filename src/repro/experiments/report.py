@@ -2,8 +2,12 @@
 
 Run as a module::
 
-    python -m repro.experiments.report            # everything
-    python -m repro.experiments.report fig8 fig9  # selected experiments
+    python -m repro.experiments.report              # everything
+    python -m repro.experiments.report fig8 fig9    # selected experiments
+    python -m repro.experiments.report --jobs 4     # parallel pipeline runs
+
+Pipeline cells fan out over the bench harness (``--jobs``) and replay
+from the on-disk cache when ``REPRO_BENCH_CACHE=<dir>`` is set.
 
 Table 1 (machine parameters) and Table 2 (benchmarks) are static
 configuration; they are printed from the live objects so the report
@@ -12,6 +16,8 @@ always reflects what the simulator actually uses.
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import time
 
@@ -73,8 +79,9 @@ def format_table2() -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
+def main(argv: list[str] | None = None, jobs: int | None = None) -> int:
     """Regenerate the requested experiments (all by default)."""
+    from repro.bench.cache import ResultCache
     from repro.experiments import (
         charts,
         figure8,
@@ -85,8 +92,20 @@ def main(argv: list[str] | None = None) -> int:
         table_overhead,
     )
 
+    parser = argparse.ArgumentParser(prog="repro.experiments.report")
+    parser.add_argument("experiments", nargs="*", default=[])
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for pipeline cells; 0 = one "
+                             "per CPU (default: 1)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if jobs is not None:
+        args.jobs = jobs
+    n_jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = ResultCache.from_env()
+    fanout = dict(jobs=n_jobs, cache=cache)
+
     def _fig8() -> str:
-        rows = figure8.run()
+        rows = figure8.run(**fanout)
         return (
             figure8.format_table(rows)
             + "\n\n"
@@ -108,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     def _fig9() -> str:
-        rows = figure9.run()
+        rows = figure9.run(**fanout)
         return (
             figure9.format_table(rows)
             + "\n\n"
@@ -116,14 +135,14 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     def _fig10() -> str:
-        rows = figure10.run()
+        rows = figure10.run(**fanout)
         return (
             figure10.format_table(rows)
             + "\n\n"
             + _speedup_chart(rows, "Figure 10 as bars (% speedup, 8-way)")
         )
 
-    wanted = set(argv if argv is not None else sys.argv[1:])
+    wanted = set(args.experiments)
     experiments = {
         "table1": lambda: format_table1(),
         "table2": lambda: format_table2(),
@@ -131,8 +150,10 @@ def main(argv: list[str] | None = None) -> int:
         "fig8": _fig8,
         "fig9": _fig9,
         "fig10": _fig10,
-        "overhead": lambda: table_overhead.format_table(table_overhead.run()),
-        "fp": lambda: table_fp.format_table(table_fp.run()),
+        "overhead": lambda: table_overhead.format_table(
+            table_overhead.run(**fanout)
+        ),
+        "fp": lambda: table_fp.format_table(table_fp.run(**fanout)),
     }
     if not wanted:
         wanted = set(experiments)

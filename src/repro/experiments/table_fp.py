@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.bench.harness import results_by_cell, run_cells
+from repro.bench.matrix import Cell
 from repro.workloads import FP_BENCHMARKS
 
 #: Paper §7.5: ear gains ~18 %; everything else is negligible.
@@ -28,13 +29,26 @@ class FpRow:
     extra_offload_percent: float  # advanced offload beyond the baseline's
 
 
-def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[FpRow]:
+def run(
+    benchmarks: list[str] | None = None,
+    scale: int | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> list[FpRow]:
     """Measure both schemes on the floating-point surrogates."""
+    names = list(benchmarks or FP_BENCHMARKS)
+    cells = [
+        Cell(name, scheme, 4, scale)
+        for name in names
+        for scheme in ("conventional", "basic", "advanced")
+    ]
+    results = results_by_cell(run_cells(cells, jobs=jobs, cache=cache))
     rows = []
-    for name in benchmarks or FP_BENCHMARKS:
-        baseline = run_benchmark(name, "conventional", width=4, scale=scale)
-        basic = run_benchmark(name, "basic", width=4, scale=scale)
-        advanced = run_benchmark(name, "advanced", width=4, scale=scale)
+    for name in names:
+        baseline = results[Cell(name, "conventional", 4, scale)]
+        basic = results[Cell(name, "basic", 4, scale)]
+        advanced = results[Cell(name, "advanced", 4, scale)]
         rows.append(
             FpRow(
                 benchmark=name,

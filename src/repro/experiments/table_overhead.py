@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import cached_run_benchmark as run_benchmark
+from repro.bench.harness import results_by_cell, run_cells
+from repro.bench.matrix import Cell
 from repro.workloads import INT_BENCHMARKS
 
 #: The paper's §7.2 prose numbers for the worst benchmark (compress).
@@ -31,12 +32,25 @@ class OverheadRow:
     static_dups: int
 
 
-def run(benchmarks: list[str] | None = None, scale: int | None = None) -> list[OverheadRow]:
+def run(
+    benchmarks: list[str] | None = None,
+    scale: int | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> list[OverheadRow]:
     """Measure the advanced scheme's overheads per benchmark."""
+    names = list(benchmarks or INT_BENCHMARKS)
+    cells = [
+        Cell(name, scheme, 4, scale)
+        for name in names
+        for scheme in ("conventional", "advanced")
+    ]
+    results = results_by_cell(run_cells(cells, jobs=jobs, cache=cache))
     rows = []
-    for name in benchmarks or INT_BENCHMARKS:
-        baseline = run_benchmark(name, "conventional", width=4, scale=scale)
-        advanced = run_benchmark(name, "advanced", width=4, scale=scale)
+    for name in names:
+        baseline = results[Cell(name, "conventional", 4, scale)]
+        advanced = results[Cell(name, "advanced", 4, scale)]
         base_dyn = baseline.dynamic_instructions
         extra = advanced.dynamic_instructions - base_dyn
         # frontend conversion copies exist in the baseline too; only the

@@ -51,6 +51,10 @@ class CostParams:
                 "otherwise no node is ever duplicated (§6.2)"
             )
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-able form, part of the benchmark cache key."""
+        return {"o_copy": self.o_copy, "o_dupl": self.o_dupl}
+
 
 @dataclass(eq=False, slots=True)
 class ExecutionProfile:

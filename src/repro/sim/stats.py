@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass(eq=False, slots=True)
@@ -65,6 +65,19 @@ class SimStats:
         if not self.fp_busy_cycles:
             return 0.0
         return self.int_idle_fp_busy_cycles / self.fp_busy_cycles
+
+    def to_counters(self) -> dict[str, int]:
+        """Raw counters only — a lossless, JSON-able round trip for the
+        benchmark cache (unlike :meth:`as_dict`, which mixes in derived
+        ratios)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_counters(cls, counters: dict[str, int]) -> "SimStats":
+        """Rebuild stats from :meth:`to_counters` output.  Unknown keys
+        (from a newer schema) are ignored; missing ones default to 0."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in counters.items() if k in known})
 
     def as_dict(self) -> dict[str, float]:
         """Flat dictionary (counters + derived) for reports."""

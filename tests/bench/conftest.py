@@ -1,0 +1,22 @@
+"""Shared fixtures for the bench-harness tests.
+
+Every test starts with an empty in-process memo so cache/memo hit
+assertions are about *this* test's actions, not a previous test's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import clear_memo
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+#: Small, fast cells used throughout these tests (sub-second each).
+SMALL = {"compress": 150, "m88ksim": 2}

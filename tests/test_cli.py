@@ -95,3 +95,20 @@ class TestCli:
         monkeypatch.setattr("sys.stdin", io.StringIO("int main() { return 9; }"))
         assert main(["run", "-"]) == 0
         assert "result: 9" in capsys.readouterr().out
+
+    def test_workload_source_spec(self, capsys):
+        """``workload:<name>`` compiles a registered workload's generated
+        source — the spelling CI uses to lint every benchmark input."""
+        assert main(["compile", "workload:perl"]) == 0
+        assert "func main" in capsys.readouterr().out
+
+    def test_workload_source_spec_lints(self, capsys):
+        assert (
+            main(["lint", "workload:perl", "--scheme", "basic", "--fail-on", "warning"])
+            == 0
+        )
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_unknown_workload_spec(self, capsys):
+        assert main(["compile", "workload:doom"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
