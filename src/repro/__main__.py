@@ -14,6 +14,10 @@ Usage::
 the language).  ``-`` reads from stdin, and ``workload:<name>`` uses the
 generated source of a registered benchmark workload (e.g.
 ``workload:compress``) so CI can lint exactly what the harness runs.
+
+Exit codes are documented per error class — 0 success, 1 generic
+failure, 2 usage, 3 unreadable input file, 4 the bench failure gate,
+10-20 the :mod:`repro.errors` hierarchy (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import EXIT_IO, ReproError, exit_code_for
 
 
 def _read_source(path: str) -> str:
@@ -342,10 +346,12 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as exc:
+        return exit_code_for(exc)
+    except OSError as exc:
+        # covers FileNotFoundError, IsADirectoryError, PermissionError
+        # on the input path — a clean message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_IO
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
+from repro.faults import corrupt_point
 from repro.partition.cost import CostParams
 from repro.sim.config import MachineConfig, eight_way, four_way
 
@@ -156,7 +157,9 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return entry
+        # chaos hook: REPRO_FAULTS can hand back a scrambled entry here,
+        # proving readers treat cache contents as untrusted input
+        return corrupt_point("cache.get", entry, label=key)
 
     def put(self, key: str, entry: dict) -> None:
         """Atomically publish ``entry`` under ``key``."""

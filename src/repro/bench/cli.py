@@ -4,8 +4,16 @@ Examples::
 
     repro bench --suite fig8 --jobs 4
     repro bench --suite fig8 --jobs 4 --baseline benchmarks/baseline.json
+    repro bench --suite all --jobs 8 --timeout 300 --retries 2
+    repro bench --suite all --resume          # continue a killed sweep
     repro bench --validate BENCH_fig8.json
     repro bench --list
+
+A failing or hung cell no longer aborts the sweep: it is recorded in
+the document's ``failures`` section and the run exits 4 when the count
+exceeds ``--max-failures`` (default 0, so CI still fails loudly).  The
+run journal (``<output>.journal``) makes an interrupted sweep resumable
+with ``--resume``; it is deleted after a fully clean run.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ import os
 import sys
 import time
 
-from repro.errors import ReproError
+from repro.errors import EXIT_BENCH_FAILURES, ReproError, exit_code_for
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -63,6 +71,43 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="recompute every cell even on cache hits (cache is rewritten)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-cell wall-clock limit; a hung cell is killed and "
+        "recorded as a failure (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per failing cell before recording the "
+        "failure (default: 1)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="SECS",
+        help="base of the exponential retry delay (default: 0.5)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help="tolerate up to N failed cells before exiting non-zero "
+        "(default: 0 — any failure fails the run)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay finished cells from the run journal of an "
+        "interrupted sweep, recomputing only the rest",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
@@ -97,13 +142,16 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def run(args: argparse.Namespace) -> int:
-    from repro.bench.cache import ResultCache
+    from repro.bench.cache import ResultCache, cell_key, code_fingerprint
     from repro.bench.compare import compare_documents, format_report
-    from repro.bench.harness import run_cells
-    from repro.bench.matrix import SUITES, suite_cells
+    from repro.bench.harness import CellError, CellOutcome, run_cells
+    from repro.bench.journal import RunJournal
+    from repro.bench.matrix import Cell, SUITES, suite_cells
     from repro.bench.results import (
         build_document,
         load_document,
+        outcome_cell_doc,
+        result_from_dict,
         save_document,
         validate_document,
     )
@@ -128,9 +176,62 @@ def run(args: argparse.Namespace) -> int:
     cells = suite_cells(args.suite, scale=args.scale)
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    code_version = code_fingerprint()
+
+    output = args.output
+    if output is None:
+        output = f"BENCH_{args.suite}.json"
+    journal_name = output if output != "-" else f"BENCH_{args.suite}.json"
+    journal = RunJournal(f"{journal_name}.journal")
+
+    # -- resume: replay finished cells from an interrupted sweep -------
+    resumed: list[CellOutcome] = []
+    if args.resume and journal.matches(args.suite, code_version):
+        _, entries = journal.load()
+        replayable: dict[str, dict] = {}
+        for entry in entries:
+            if entry.get("status") == "ok" and entry.get("key"):
+                replayable[entry["key"]] = entry  # last write wins
+        for entry in replayable.values():
+            try:
+                result = result_from_dict(entry["result"])
+                cell = Cell.from_dict(entry)
+            except (ReproError, KeyError, TypeError):
+                continue  # damaged line: just recompute that cell
+            resumed.append(
+                CellOutcome(
+                    cell, result, entry["key"], True, "journal", 0.0,
+                    float(entry.get("compute_seconds", 0.0)),
+                )
+            )
+        if resumed and not args.quiet:
+            print(
+                f"resuming from {journal.path}: {len(resumed)} finished "
+                "cells replayed",
+                file=sys.stderr,
+            )
+    elif args.resume:
+        print(
+            f"note: no matching run journal at {journal.path}; "
+            "running the full suite",
+            file=sys.stderr,
+        )
+    resumed_keys = {o.key for o in resumed}
+    todo = [c for c in cells if cell_key(c) not in resumed_keys]
+
+    journal.start(args.suite, code_version, fresh=not resumed)
 
     def progress(outcome) -> None:
+        journal.record(outcome_cell_doc(outcome))
         if args.quiet:
+            return
+        if not outcome.ok:
+            error = outcome.error or CellError("Unknown", "unknown", "")
+            print(
+                f"  [{outcome.status.upper():>8s}] {outcome.cell.label:32s} "
+                f"{error.type} at {error.stage}: {error.message}",
+                file=sys.stderr,
+            )
             return
         tag = outcome.source if outcome.cached else f"{outcome.seconds:6.2f}s"
         print(
@@ -145,10 +246,23 @@ def run(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     start = time.perf_counter()
-    outcomes = run_cells(
-        cells, jobs=jobs, cache=cache, force=args.force, progress=progress
-    )
+    try:
+        outcomes = resumed + run_cells(
+            todo,
+            jobs=jobs,
+            cache=cache,
+            force=args.force,
+            progress=progress,
+            timeout=args.timeout,
+            retries=max(0, args.retries),
+            backoff=max(0.0, args.backoff),
+        )
+    finally:
+        journal.close()
     total_seconds = time.perf_counter() - start
+    # report in suite order, regardless of resume/completion order
+    by_key = {o.key: o for o in outcomes}
+    outcomes = [by_key[k] for k in dict.fromkeys(cell_key(c) for c in cells)]
 
     hits = sum(1 for o in outcomes if o.cached)
     doc = build_document(
@@ -163,12 +277,10 @@ def run(args: argparse.Namespace) -> int:
             "misses": len(outcomes) - hits,
             "hit_rate": hits / len(outcomes) if outcomes else 0.0,
         },
+        code_version=code_version,
     )
     validate_document(doc)
 
-    output = args.output
-    if output is None:
-        output = f"BENCH_{args.suite}.json"
     if output == "-":
         import json
 
@@ -176,14 +288,36 @@ def run(args: argparse.Namespace) -> int:
     else:
         save_document(doc, output)
 
+    failures = doc["failures"]
+    if not failures:
+        journal.remove()  # clean run: nothing left to resume
+
     compute_total = sum(o.compute_seconds for o in outcomes)
     print(
         f"{len(outcomes)} cells in {total_seconds:.1f}s wall "
         f"({compute_total:.1f}s of pipeline work; {hits} replayed from "
-        f"cache, hit rate {hits / len(outcomes):.0%})"
+        f"cache, hit rate {hits / len(outcomes):.0%}"
+        f"{f', {len(failures)} FAILED' if failures else ''})"
         + (f"; wrote {output}" if output != "-" else ""),
         file=sys.stderr,
     )
+    for failure in failures:
+        error = failure.get("error", {})
+        print(
+            f"  failure: {failure['workload']}/{failure['scheme']}/"
+            f"{failure['width']}-way [{failure['status']}] "
+            f"{error.get('type')} at {error.get('stage')}: "
+            f"{error.get('message')}",
+            file=sys.stderr,
+        )
+    if len(failures) > args.max_failures:
+        print(
+            f"error: {len(failures)} failed cell(s) exceed "
+            f"--max-failures {args.max_failures} "
+            f"(journal kept at {journal.path} for --resume)",
+            file=sys.stderr,
+        )
+        return EXIT_BENCH_FAILURES
 
     if args.baseline is not None:
         baseline = load_document(args.baseline)
@@ -205,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         return run(parser.parse_args(argv))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

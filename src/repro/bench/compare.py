@@ -48,6 +48,11 @@ class ComparisonReport:
     checksum_mismatches: list[str] = field(default_factory=list)
     missing_in_current: list[str] = field(default_factory=list)
     missing_in_baseline: list[str] = field(default_factory=list)
+    #: Labels of cells the current run recorded in ``failures``.
+    #: Informational here: failed cells that the baseline also has are
+    #: already gated via ``missing_in_current``, and the bench CLI gates
+    #: the total count via ``--max-failures``.
+    failed_in_current: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -68,6 +73,10 @@ def compare_documents(
     report = ComparisonReport(tolerance=tolerance)
     current_cells = {_identity(c): c for c in current.get("cells", [])}
     baseline_cells = {_identity(c): c for c in baseline.get("cells", [])}
+    for failure in current.get("failures", []):
+        report.failed_in_current.append(
+            f"{_label(_identity(failure))} ({failure.get('status', 'failed')})"
+        )
 
     for identity in sorted(set(baseline_cells) - set(current_cells)):
         report.missing_in_current.append(_label(identity))
@@ -107,6 +116,8 @@ def format_report(report: ComparisonReport) -> str:
         lines.append(f"  CHECKSUM      : {mismatch}")
     for label in report.missing_in_current:
         lines.append(f"  MISSING       : {label} (in baseline, not in this run)")
+    for label in report.failed_in_current:
+        lines.append(f"  failed        : {label} (recorded in failures)")
     for delta in report.improvements:
         lines.append(
             f"  improvement   : {delta.label}: {delta.baseline_cycles} -> "

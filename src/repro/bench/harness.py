@@ -1,4 +1,4 @@
-"""Parallel, cached execution of experiment-matrix cells.
+"""Parallel, cached, fault-tolerant execution of experiment-matrix cells.
 
 Resolution order for each cell:
 
@@ -12,27 +12,115 @@ Workers return plain dicts (the same serialization the cache stores),
 so a parallel run, a serial run and a cache replay all yield
 bit-identical result documents — the property the harness tests and
 the CI baseline gate rely on.
+
+Fault tolerance (``docs/robustness.md``): one misbehaving cell never
+discards its siblings' work.  Every cell resolves to a
+:class:`CellOutcome` whose ``status`` is ``ok``, ``failed`` or
+``timeout``; pipeline exceptions are captured as a :class:`CellError`
+(type/stage/message) instead of propagating out of ``run_cells``.
+Failures retry up to ``retries`` times with exponential backoff; a
+cell that exceeds its wall-clock ``timeout`` has its (possibly hung)
+worker pool killed and respawned; a worker that dies outright
+(``BrokenProcessPool``) triggers a pool respawn, with every in-flight
+cell requeued, and after repeated breakages the harness drops to
+single-worker isolation so the poisoned cell is identified, charged
+and excluded without taking innocents with it.
+Callers that need the old raise-on-failure behaviour use
+:meth:`CellOutcome.unwrap`.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.bench.cache import ResultCache, cell_key
 from repro.bench.matrix import Cell
 from repro.bench.results import result_from_dict, result_to_dict
+from repro.errors import ReproError, error_stage
 from repro.experiments.runner import BenchmarkResult, run_benchmark
 
-#: key -> (result, fresh compute seconds); one process-wide memo.
-_MEMO: dict[str, tuple[BenchmarkResult, float]] = {}
+#: key -> (result, fresh compute seconds); one process-wide memo in LRU
+#: order, bounded by :func:`_memo_cap` so long-lived processes using
+#: ``cached_run_benchmark`` cannot grow without limit.
+_MEMO: OrderedDict[str, tuple[BenchmarkResult, float]] = OrderedDict()
+
+#: Default memo bound; override with ``REPRO_BENCH_MEMO_CAP=<n>``.
+DEFAULT_MEMO_CAP = 512
+
+#: After this many pool breakages, fall back to one worker at a time so
+#: a crash attributes to exactly one cell.
+_ISOLATE_AFTER_BREAKS = 2
+
+#: Cap on one exponential-backoff sleep, seconds.
+_MAX_BACKOFF = 30.0
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+def _memo_cap() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_MEMO_CAP", DEFAULT_MEMO_CAP)))
+    except (TypeError, ValueError):
+        return DEFAULT_MEMO_CAP
+
+
+def _memo_get(key: str) -> tuple[BenchmarkResult, float] | None:
+    value = _MEMO.get(key)
+    if value is not None:
+        _MEMO.move_to_end(key)
+    return value
+
+
+def _memo_put(key: str, value: tuple[BenchmarkResult, float]) -> None:
+    _MEMO[key] = value
+    _MEMO.move_to_end(key)
+    cap = _memo_cap()
+    while len(_MEMO) > cap:
+        _MEMO.popitem(last=False)
 
 
 def clear_memo() -> None:
     """Drop the in-process memo (tests and long-lived processes)."""
     _MEMO.clear()
+
+
+@dataclass(frozen=True, slots=True)
+class CellError:
+    """What failed inside one cell, reduced to picklable strings.
+
+    Attributes:
+        type: Exception class name (or ``BrokenProcessPool``/``Timeout``
+            for process-level failures the cell never got to raise).
+        stage: Pipeline stage the failure is attributed to.
+        message: The exception text.
+    """
+
+    type: str
+    stage: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "CellError":
+        return cls(type(exc).__name__, error_stage(exc), str(exc))
+
+    def as_dict(self) -> dict:
+        return {"type": self.type, "stage": self.stage, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CellError":
+        return cls(
+            str(doc.get("type", "Exception")),
+            str(doc.get("stage", "unknown")),
+            str(doc.get("message", "")),
+        )
 
 
 @dataclass(eq=False, slots=True)
@@ -41,22 +129,45 @@ class CellOutcome:
 
     Attributes:
         cell: The matrix cell.
-        result: The (possibly replayed) benchmark result.
+        result: The (possibly replayed) benchmark result; ``None`` when
+            the cell did not resolve cleanly (``status != "ok"``).
         key: Content-address of the cell (cache key).
         cached: True when the result was replayed, not computed.
-        source: ``"memo"``, ``"disk"`` or ``"computed"``.
+        source: ``"memo"``, ``"disk"``, ``"computed"``, ``"journal"``
+            (resumed from a run journal) or ``"none"`` (failed).
         seconds: Wall-clock this invocation spent obtaining the cell
             (≈0 for replays).
         compute_seconds: Wall-clock of the original fresh computation.
+        status: ``"ok"``, ``"failed"`` or ``"timeout"``.
+        error: Captured failure details when ``status != "ok"``.
+        attempts: Number of attempts spent on the cell (1 = first try).
     """
 
     cell: Cell
-    result: BenchmarkResult
+    result: BenchmarkResult | None
     key: str
     cached: bool
     source: str
     seconds: float
     compute_seconds: float
+    status: str = STATUS_OK
+    error: CellError | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def unwrap(self) -> BenchmarkResult:
+        """The result, or a :class:`ReproError` re-raising the failure."""
+        if self.ok and self.result is not None:
+            return self.result
+        error = self.error or CellError("Unknown", "unknown", "no result")
+        raise ReproError(
+            f"cell {self.cell.label} {self.status} after "
+            f"{self.attempts} attempt(s): [{error.type} at {error.stage}] "
+            f"{error.message}"
+        )
 
 
 def compute_cell(cell: Cell) -> tuple[BenchmarkResult, float]:
@@ -68,11 +179,53 @@ def compute_cell(cell: Cell) -> tuple[BenchmarkResult, float]:
     return result, time.perf_counter() - start
 
 
-def _pool_worker(payload: tuple[str, dict]) -> tuple[str, dict, float]:
-    """Process-pool entry point (must stay module-level picklable)."""
+def _pool_worker(payload: tuple[str, dict]) -> tuple[str, dict]:
+    """Process-pool entry point (must stay module-level picklable).
+
+    Exceptions are captured into the returned payload rather than
+    raised: a raised exception would have to survive pickling back to
+    the parent, and the parent wants type/stage strings anyway.
+    """
     key, cell_doc = payload
-    result, seconds = compute_cell(Cell.from_dict(cell_doc))
-    return key, result_to_dict(result), seconds
+    try:
+        result, seconds = compute_cell(Cell.from_dict(cell_doc))
+    except Exception as exc:
+        return key, {
+            "ok": False,
+            "error": CellError.from_exception(exc).as_dict(),
+        }
+    return key, {"ok": True, "result": result_to_dict(result), "seconds": seconds}
+
+
+def _decode_cache_entry(entry: dict) -> tuple[BenchmarkResult, float] | None:
+    """Decode a disk entry defensively; ``None`` = treat as a miss.
+
+    A corrupted entry (torn write survived the JSON parse, bit rot, a
+    stale schema) must cost a recomputation, never a crash.
+    """
+    try:
+        result = result_from_dict(entry["result"])
+        compute_seconds = float(entry.get("compute_seconds", 0.0))
+    except (ReproError, KeyError, TypeError, ValueError):
+        return None
+    return result, compute_seconds
+
+
+def _backoff_delay(attempt: int, backoff: float) -> float:
+    if backoff <= 0:
+        return 0.0
+    return min(backoff * (2 ** (attempt - 1)), _MAX_BACKOFF)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, terminating hung or wedged workers."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_cells(
@@ -82,17 +235,29 @@ def run_cells(
     cache: ResultCache | None = None,
     force: bool = False,
     progress: Callable[[CellOutcome], None] | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
 ) -> list[CellOutcome]:
     """Resolve every cell; returns outcomes in input order (deduplicated).
 
+    Never raises for a cell's failure — inspect ``CellOutcome.status``
+    (or call ``unwrap()``) instead.
+
     Args:
         cells: Cells to run; duplicates are resolved once.
-        jobs: Worker processes (<=1 runs inline in this process).
+        jobs: Worker processes (<=1 runs inline in this process, unless
+            ``timeout`` is set, which requires the pool for isolation).
         cache: Optional on-disk cache consulted before computing and
             updated (atomically) after.
         force: Recompute even on a cache hit (the cache is rewritten).
         progress: Callback invoked as each cell resolves, in completion
             order.
+        timeout: Per-cell wall-clock limit in seconds; a cell past it is
+            killed (pool respawn) and retried or marked ``timeout``.
+        retries: Extra attempts per cell after the first failure.
+        backoff: Base of the exponential retry delay
+            (``backoff * 2**(attempt-1)`` seconds, capped).
     """
     ordered: list[tuple[Cell, str]] = []
     seen: set[str] = set()
@@ -104,6 +269,7 @@ def run_cells(
 
     outcomes: dict[str, CellOutcome] = {}
     pending: list[tuple[Cell, str]] = []
+    max_attempts = max(1, retries + 1)
 
     def _resolved(outcome: CellOutcome) -> None:
         outcomes[outcome.key] = outcome
@@ -111,19 +277,21 @@ def run_cells(
             progress(outcome)
 
     for cell, key in ordered:
-        if not force and key in _MEMO:
-            result, compute_seconds = _MEMO[key]
-            _resolved(
-                CellOutcome(cell, result, key, True, "memo", 0.0, compute_seconds)
-            )
-            continue
+        if not force:
+            memoized = _memo_get(key)
+            if memoized is not None:
+                result, compute_seconds = memoized
+                _resolved(
+                    CellOutcome(cell, result, key, True, "memo", 0.0, compute_seconds)
+                )
+                continue
         if not force and cache is not None:
             start = time.perf_counter()
             entry = cache.get(key)
-            if entry is not None:
-                result = result_from_dict(entry["result"])
-                compute_seconds = entry.get("compute_seconds", 0.0)
-                _MEMO[key] = (result, compute_seconds)
+            decoded = _decode_cache_entry(entry) if entry is not None else None
+            if decoded is not None:
+                result, compute_seconds = decoded
+                _memo_put(key, (result, compute_seconds))
                 _resolved(
                     CellOutcome(
                         cell,
@@ -138,8 +306,14 @@ def run_cells(
                 continue
         pending.append((cell, key))
 
-    def _computed(cell: Cell, key: str, result: BenchmarkResult, seconds: float) -> None:
-        _MEMO[key] = (result, seconds)
+    def _computed(
+        cell: Cell,
+        key: str,
+        result: BenchmarkResult,
+        seconds: float,
+        attempts: int = 1,
+    ) -> None:
+        _memo_put(key, (result, seconds))
         if cache is not None:
             cache.put(
                 key,
@@ -149,31 +323,251 @@ def run_cells(
                     "compute_seconds": seconds,
                 },
             )
-        _resolved(CellOutcome(cell, result, key, False, "computed", seconds, seconds))
+        _resolved(
+            CellOutcome(
+                cell, result, key, False, "computed", seconds, seconds,
+                STATUS_OK, None, attempts,
+            )
+        )
 
-    if pending and (jobs <= 1 or len(pending) == 1):
-        for cell, key in pending:
-            result, seconds = compute_cell(cell)
-            # normalize through the dict round trip so serial results are
-            # representationally identical to pooled/cached ones
-            _computed(cell, key, result_from_dict(result_to_dict(result)), seconds)
+    def _failed(
+        cell: Cell, key: str, status: str, error: CellError, attempts: int
+    ) -> None:
+        _resolved(
+            CellOutcome(
+                cell, None, key, False, "none", 0.0, 0.0, status, error, attempts
+            )
+        )
+
+    if pending and timeout is None and (jobs <= 1 or len(pending) == 1):
+        _run_serial(pending, max_attempts, backoff, _computed, _failed)
     elif pending:
-        by_key = {key: cell for cell, key in pending}
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_pool_worker, (key, cell.as_dict())): key
-                for cell, key in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key, result_doc, seconds = future.result()
-                    _computed(by_key[key], key, result_from_dict(result_doc), seconds)
+        _run_pool(
+            pending, jobs, timeout, max_attempts, backoff, _computed, _failed
+        )
 
     return [outcomes[key] for _, key in ordered]
 
 
+def _run_serial(
+    pending: list[tuple[Cell, str]],
+    max_attempts: int,
+    backoff: float,
+    _computed: Callable,
+    _failed: Callable,
+) -> None:
+    """Inline execution with the same retry/error-capture semantics.
+
+    In-process execution cannot survive a worker crash or enforce a
+    wall-clock timeout — callers needing those guarantees set
+    ``timeout`` or ``jobs > 1`` to get process isolation.
+    """
+    for cell, key in pending:
+        for attempt in range(1, max_attempts + 1):
+            try:
+                result, seconds = compute_cell(cell)
+            except Exception as exc:
+                if attempt < max_attempts:
+                    time.sleep(_backoff_delay(attempt, backoff))
+                    continue
+                _failed(
+                    cell, key, STATUS_FAILED,
+                    CellError.from_exception(exc), attempt,
+                )
+            else:
+                # normalize through the dict round trip so serial results
+                # are representationally identical to pooled/cached ones
+                _computed(
+                    cell, key,
+                    result_from_dict(result_to_dict(result)),
+                    seconds, attempt,
+                )
+            break
+
+
+def _run_pool(
+    pending: list[tuple[Cell, str]],
+    jobs: int,
+    timeout: float | None,
+    max_attempts: int,
+    backoff: float,
+    _computed: Callable,
+    _failed: Callable,
+) -> None:
+    """Fan out over a worker pool, surviving crashes, hangs and errors.
+
+    Submission is throttled to the worker count so a task's submit time
+    approximates its start time, making per-cell deadlines meaningful.
+    """
+    # (cell, key, attempt, not_before): ready-to-run work items
+    queue: deque[tuple[Cell, str, int, float]] = deque(
+        (cell, key, 1, 0.0) for cell, key in pending
+    )
+    workers_limit = max(1, min(jobs, len(pending)))
+    pool: ProcessPoolExecutor | None = None
+    pool_breaks = 0
+    # future -> (cell, key, attempt, deadline)
+    inflight: dict = {}
+
+    def _requeue(cell: Cell, key: str, attempt: int, error: CellError, status: str) -> None:
+        """Retry a failed attempt or record the final failure."""
+        if attempt < max_attempts:
+            queue.append(
+                (cell, key, attempt + 1,
+                 time.monotonic() + _backoff_delay(attempt, backoff))
+            )
+        else:
+            _failed(cell, key, status, error, attempt)
+
+    def _handle_break() -> None:
+        """The pool died under us: every in-flight cell is a suspect.
+
+        A ``BrokenProcessPool`` carries no attribution, so a cell is
+        only *charged* an attempt when it was the lone in-flight cell
+        (then the dead worker must have been running it).  Ambiguous
+        breaks requeue every suspect uncharged; repeated breaks drop to
+        single-worker isolation, where the next break attributes — and
+        charges — exactly one cell.  Innocent siblings of a crashing
+        cell therefore never exhaust their attempts by association.
+        """
+        nonlocal pool, pool_breaks
+        pool_breaks += 1
+        suspects = list(inflight.values())
+        inflight.clear()
+        if pool is not None:
+            _kill_pool(pool)
+            pool = None
+        if len(suspects) == 1:
+            cell, key, attempt, _deadline = suspects[0]
+            _requeue(
+                cell, key, attempt,
+                CellError(
+                    "BrokenProcessPool", "worker",
+                    "worker process died before returning a result",
+                ),
+                STATUS_FAILED,
+            )
+        else:
+            for cell, key, attempt, _deadline in suspects:
+                queue.append(
+                    (cell, key, attempt,
+                     time.monotonic() + _backoff_delay(1, backoff))
+                )
+
+    try:
+        while queue or inflight:
+            # isolation mode: after repeated breakages, run one cell at a
+            # time so the next crash attributes to exactly one cell
+            workers = 1 if pool_breaks >= _ISOLATE_AFTER_BREAKS else workers_limit
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=workers)
+
+            now = time.monotonic()
+            while queue and len(inflight) < workers:
+                for _ in range(len(queue)):
+                    if queue[0][3] <= now:
+                        break
+                    queue.rotate(-1)
+                else:
+                    break  # everything queued is still backing off
+                cell, key, attempt, _not_before = queue.popleft()
+                try:
+                    future = pool.submit(_pool_worker, (key, cell.as_dict()))
+                except BrokenProcessPool:
+                    queue.appendleft((cell, key, attempt, 0.0))
+                    _handle_break()
+                    break
+                deadline = None if timeout is None else now + timeout
+                inflight[future] = (cell, key, attempt, deadline)
+            if pool is None:
+                continue  # pool broke during submission; respawn and retry
+
+            if not inflight:
+                soonest = min(item[3] for item in queue)
+                time.sleep(max(0.0, soonest - time.monotonic()) + 0.005)
+                continue
+
+            now = time.monotonic()
+            wakeups = [
+                deadline
+                for *_rest, deadline in inflight.values()
+                if deadline is not None
+            ]
+            wakeups.extend(item[3] for item in queue if item[3] > now)
+            wait_timeout = (
+                max(0.0, min(wakeups) - now) + 0.01 if wakeups else None
+            )
+            done, _ = wait(
+                set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+
+            broken = False
+            for future in done:
+                cell, key, attempt, _deadline = inflight.pop(future)
+                try:
+                    _, payload = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    inflight[future] = (cell, key, attempt, _deadline)
+                    continue
+                except Exception as exc:
+                    # e.g. the payload failed to unpickle; a cell-level
+                    # failure, not a pool-level one
+                    payload = {
+                        "ok": False,
+                        "error": CellError.from_exception(exc).as_dict(),
+                    }
+                if payload["ok"]:
+                    _computed(
+                        cell, key,
+                        result_from_dict(payload["result"]),
+                        payload["seconds"], attempt,
+                    )
+                else:
+                    _requeue(
+                        cell, key, attempt,
+                        CellError.from_dict(payload["error"]), STATUS_FAILED,
+                    )
+            if broken:
+                _handle_break()
+                continue
+
+            if timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_c, _k, _a, deadline) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if expired:
+                    for future in expired:
+                        cell, key, attempt, _deadline = inflight.pop(future)
+                        _requeue(
+                            cell, key, attempt,
+                            CellError(
+                                "Timeout", "unknown",
+                                f"cell exceeded {timeout:g}s wall clock",
+                            ),
+                            STATUS_TIMEOUT,
+                        )
+                    # the hung workers still occupy pool slots: kill the
+                    # pool and restart the interrupted (innocent) cells
+                    # without charging them an attempt
+                    for cell, key, attempt, _deadline in inflight.values():
+                        queue.appendleft((cell, key, attempt, 0.0))
+                    inflight.clear()
+                    _kill_pool(pool)
+                    pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
 def results_by_cell(outcomes: list[CellOutcome]) -> dict[Cell, BenchmarkResult]:
-    """Convenience lookup table for the figure/table drivers."""
-    return {outcome.cell: outcome.result for outcome in outcomes}
+    """Convenience lookup table for the figure/table drivers.
+
+    Raises on any failed outcome: the drivers need every cell, and a
+    silent hole in the table would surface as a confusing ``KeyError``
+    far from the cause.
+    """
+    return {outcome.cell: outcome.unwrap() for outcome in outcomes}

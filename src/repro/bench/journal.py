@@ -1,0 +1,111 @@
+"""Crash-safe run journal backing ``repro bench --resume``.
+
+The journal is a JSON-lines file next to the BENCH output
+(``<output>.journal``): a header line identifying the run (schema,
+suite, code version), then one line per resolved cell, appended and
+fsynced as the sweep progresses.  Killing the sweep at any instant
+loses at most the line being written; on load, a torn trailing line is
+ignored, so resume recovers every cell that fully resolved.
+
+Resume only trusts a journal whose suite **and code version** match the
+current run — a code change invalidates recorded results exactly like
+it invalidates the on-disk cache.  Only ``ok`` entries are replayed;
+failed or timed-out cells are recomputed, which is what a retry after
+fixing the cause wants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Bump on incompatible journal layout changes.
+JOURNAL_SCHEMA = "repro-bench-journal/1"
+
+
+class RunJournal:
+    """Append-only journal of one benchmark sweep."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------
+    def start(self, suite: str, code_version: str, *, fresh: bool = True) -> None:
+        """Open for writing; ``fresh`` truncates, else appends (resume)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "w" if fresh else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if fresh or self.path.stat().st_size == 0:
+            self._write_line(
+                {
+                    "schema": JOURNAL_SCHEMA,
+                    "suite": suite,
+                    "code_version": code_version,
+                }
+            )
+
+    def record(self, cell_doc: dict) -> None:
+        """Append one resolved cell (see ``results.outcome_cell_doc``)."""
+        if self._handle is None:
+            raise RuntimeError("journal not started")
+        self._write_line(cell_doc)
+
+    def _write_line(self, doc: dict) -> None:
+        self._handle.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def remove(self) -> None:
+        """Close and delete — the run completed, nothing to resume."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> tuple[dict | None, list[dict]]:
+        """Parse ``(header, entries)``, tolerating a torn trailing line.
+
+        Returns ``(None, [])`` when the file is missing or its first
+        line is not a valid header.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None, []
+        header: dict | None = None
+        entries: list[dict] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crash mid-append
+            if not isinstance(doc, dict):
+                continue
+            if header is None:
+                if doc.get("schema") != JOURNAL_SCHEMA:
+                    return None, []
+                header = doc
+            else:
+                entries.append(doc)
+        return header, entries
+
+    def matches(self, suite: str, code_version: str) -> bool:
+        """True when the journal on disk belongs to this exact run."""
+        header, _ = self.load()
+        return (
+            header is not None
+            and header.get("suite") == suite
+            and header.get("code_version") == code_version
+        )

@@ -17,17 +17,33 @@ uploads and gates on.  Layout (schema ``repro-bench/1``)::
           "workload": "compress", "scheme": "advanced",
           "width": 4, "scale": null,
           "key": "<cache key>", "cached": false, "source": "computed",
+          "status": "ok", "attempts": 1,
           "seconds": 1.9,            # time this run spent on the cell
           "compute_seconds": 1.9,    # fresh pipeline time (from cache)
           "throughput_ips": 130000.0,  # simulated instructions / compute s
           "result": { ...BenchmarkResult... }
+        }, ...
+      ],
+      "failures": [                  # cells that did not resolve cleanly
+        {
+          "workload": "m88ksim", "scheme": "advanced",
+          "width": 4, "scale": null,
+          "key": "<cache key>", "cached": false, "source": "none",
+          "status": "failed",        # or "timeout"
+          "attempts": 2,
+          "seconds": 0.0, "compute_seconds": 0.0,
+          "error": {"type": "PartitionError", "stage": "partition",
+                    "message": "..."}
         }, ...
       ]
     }
 
 Every numeric field of ``result`` is produced by the deterministic
 pipeline, so two documents for the same code version must agree cell
-for cell — that is what the CI baseline gate checks.
+for cell — that is what the CI baseline gate checks.  ``cells`` holds
+only clean results; a failed cell moves to ``failures`` (with the
+captured error instead of a result) so a partial run still yields a
+valid, gateable document.
 """
 
 from __future__ import annotations
@@ -64,16 +80,22 @@ def result_to_dict(result: BenchmarkResult) -> dict:
     doc["partition_summary"] = dict(result.partition_summary)
     doc["mix"] = dict(result.mix)
     doc["stats"] = result.stats.to_counters()
+    doc["degraded"] = result.degraded
     return doc
 
 
 def result_from_dict(doc: dict) -> BenchmarkResult:
-    """Inverse of :func:`result_to_dict`."""
+    """Inverse of :func:`result_to_dict`.
+
+    ``degraded`` is optional so documents written before graceful
+    degradation existed still load.
+    """
     try:
         return BenchmarkResult(
             stats=SimStats.from_counters(doc["stats"]),
             partition_summary=dict(doc["partition_summary"]),
             mix=dict(doc["mix"]),
+            degraded=bool(doc.get("degraded", False)),
             **{field: doc[field] for field in _RESULT_FIELDS},
         )
     except KeyError as exc:
@@ -89,6 +111,36 @@ def host_info() -> dict:
     }
 
 
+def outcome_cell_doc(outcome) -> dict:
+    """JSON form of one :class:`~repro.bench.harness.CellOutcome` —
+    the ``cells``/``failures`` entry layout, also used by the run
+    journal so a resumed cell round-trips losslessly."""
+    doc = {
+        **outcome.cell.as_dict(),
+        "key": outcome.key,
+        "cached": outcome.cached,
+        "source": outcome.source,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "seconds": outcome.seconds,
+        "compute_seconds": outcome.compute_seconds,
+    }
+    if outcome.ok and outcome.result is not None:
+        compute = outcome.compute_seconds
+        doc["throughput_ips"] = (
+            outcome.result.dynamic_instructions / compute if compute > 0 else 0.0
+        )
+        doc["result"] = result_to_dict(outcome.result)
+    else:
+        error = outcome.error
+        doc["error"] = (
+            error.as_dict()
+            if error is not None
+            else {"type": "Unknown", "stage": "unknown", "message": ""}
+        )
+    return doc
+
+
 def build_document(
     suite: str,
     outcomes,
@@ -98,29 +150,18 @@ def build_document(
     cache_stats: dict | None = None,
     code_version: str | None = None,
 ) -> dict:
-    """Assemble the BENCH document from harness outcomes."""
+    """Assemble the BENCH document from harness outcomes.
+
+    Failed outcomes land in ``failures`` instead of ``cells``, so every
+    surviving cell is byte-identical to what a fault-free run of the
+    same code version would have produced.
+    """
     from repro.bench.cache import code_fingerprint
 
-    cells = []
-    for outcome in outcomes:
-        compute = outcome.compute_seconds
-        cells.append(
-            {
-                **outcome.cell.as_dict(),
-                "key": outcome.key,
-                "cached": outcome.cached,
-                "source": outcome.source,
-                "seconds": outcome.seconds,
-                "compute_seconds": compute,
-                "throughput_ips": (
-                    outcome.result.dynamic_instructions / compute
-                    if compute > 0
-                    else 0.0
-                ),
-                "result": result_to_dict(outcome.result),
-            }
-        )
+    cells = [outcome_cell_doc(o) for o in outcomes if o.ok]
+    failures = [outcome_cell_doc(o) for o in outcomes if not o.ok]
     hits = sum(1 for o in outcomes if o.cached)
+    total = len(cells) + len(failures)
     return {
         "schema": BENCH_SCHEMA,
         "suite": suite,
@@ -135,10 +176,11 @@ def build_document(
         or {
             "dir": None,
             "hits": hits,
-            "misses": len(cells) - hits,
-            "hit_rate": hits / len(cells) if cells else 0.0,
+            "misses": total - hits,
+            "hit_rate": hits / total if total else 0.0,
         },
         "cells": cells,
+        "failures": failures,
     }
 
 
@@ -168,9 +210,18 @@ _CELL_REQUIRED = (
 
 _RESULT_REQUIRED = _RESULT_FIELDS + ("partition_summary", "mix", "stats")
 
+_FAILURE_REQUIRED = ("workload", "scheme", "width", "key", "status", "error")
+
+_FAILURE_STATUSES = ("failed", "timeout")
+
 
 def validate_document(doc: dict) -> None:
-    """Raise :class:`ReproError` listing every schema violation."""
+    """Raise :class:`ReproError` listing every schema violation.
+
+    ``failures`` is optional (documents predating fault tolerance lack
+    it) but validated when present; ``cells`` may be empty only when
+    every cell of the run failed.
+    """
     problems: list[str] = []
     if not isinstance(doc, dict):
         raise ReproError("bench document must be a JSON object")
@@ -181,10 +232,14 @@ def validate_document(doc: dict) -> None:
     for field in _TOP_LEVEL_REQUIRED:
         if field not in doc:
             problems.append(f"missing top-level field {field!r}")
+    failures = doc.get("failures", [])
+    if not isinstance(failures, list):
+        problems.append("failures must be a list")
+        failures = []
     cells = doc.get("cells")
-    if not isinstance(cells, list) or not cells:
+    if not isinstance(cells, list) or (not cells and not failures):
         problems.append("cells must be a non-empty list")
-        cells = []
+        cells = cells if isinstance(cells, list) else []
     for index, cell in enumerate(cells):
         where = f"cells[{index}]"
         if not isinstance(cell, dict):
@@ -193,6 +248,8 @@ def validate_document(doc: dict) -> None:
         for field in _CELL_REQUIRED:
             if field not in cell:
                 problems.append(f"{where} missing {field!r}")
+        if cell.get("status", "ok") != "ok":
+            problems.append(f"{where}.status must be 'ok', not {cell.get('status')!r}")
         result = cell.get("result")
         if not isinstance(result, dict):
             problems.append(f"{where}.result must be an object")
@@ -202,6 +259,22 @@ def validate_document(doc: dict) -> None:
                 problems.append(f"{where}.result missing {field!r}")
         if isinstance(result.get("cycles"), (int, float)) and result["cycles"] <= 0:
             problems.append(f"{where}.result.cycles must be positive")
+    for index, failure in enumerate(failures):
+        where = f"failures[{index}]"
+        if not isinstance(failure, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for field in _FAILURE_REQUIRED:
+            if field not in failure:
+                problems.append(f"{where} missing {field!r}")
+        if failure.get("status") not in _FAILURE_STATUSES:
+            problems.append(
+                f"{where}.status must be one of {_FAILURE_STATUSES}, "
+                f"not {failure.get('status')!r}"
+            )
+        error = failure.get("error")
+        if error is not None and not isinstance(error, dict):
+            problems.append(f"{where}.error must be an object")
     if problems:
         raise ReproError(
             "invalid bench document:\n  " + "\n  ".join(problems)

@@ -3,6 +3,13 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still distinguishing the pipeline stage that failed.
+
+Each class additionally carries
+
+* an ``exit_code`` — the distinct, documented status the CLI exits with
+  when the error escapes (see ``docs/robustness.md`` for the table), and
+* a pipeline ``stage`` name — used by the fault-tolerant bench harness
+  to record *where* a cell failed without keeping the exception object.
 """
 
 from __future__ import annotations
@@ -11,10 +18,18 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: CLI exit status when this error escapes ``python -m repro``.
+    exit_code = 1
+    #: Pipeline stage this error class is attributed to.
+    stage = "unknown"
+
 
 class IRError(ReproError):
     """Malformed intermediate representation (verifier failures, bad
     operands, unknown opcodes, duplicate labels, ...)."""
+
+    exit_code = 12
+    stage = "verify"
 
 
 class ParseError(ReproError):
@@ -24,6 +39,9 @@ class ParseError(ReproError):
         line: 1-based source line of the offending token, when known.
         column: 1-based source column, when known.
     """
+
+    exit_code = 10
+    stage = "compile"
 
     def __init__(self, message: str, line: int | None = None, column: int | None = None):
         location = ""
@@ -40,10 +58,16 @@ class SemanticError(ReproError):
     """MiniC semantic-analysis failure (type errors, undeclared names,
     arity mismatches, ...)."""
 
+    exit_code = 11
+    stage = "compile"
+
 
 class AnalysisError(ReproError):
     """A dataflow or graph analysis was asked something it cannot answer
     (e.g. dominators of an unreachable block)."""
+
+    exit_code = 13
+    stage = "analysis"
 
 
 class PartitionError(ReproError):
@@ -51,15 +75,24 @@ class PartitionError(ReproError):
     (e.g. an FPa node with an integer multiply, a violated partition
     condition)."""
 
+    exit_code = 14
+    stage = "partition"
+
 
 class RegAllocError(ReproError):
     """Register allocation could not complete (e.g. more simultaneously
     live spill temporaries than reserved scratch registers)."""
 
+    exit_code = 15
+    stage = "regalloc"
+
 
 class ExecutionError(ReproError):
     """Runtime failure inside the functional interpreter (unmapped memory,
     division by zero in the guest, fuel exhaustion, ...)."""
+
+    exit_code = 16
+    stage = "execute"
 
 
 class FuelExhausted(ExecutionError):
@@ -69,11 +102,79 @@ class FuelExhausted(ExecutionError):
     by some experiments, to cap simulated trace length deliberately.
     """
 
+    exit_code = 17
+
 
 class SimulationError(ReproError):
     """The timing simulator was misconfigured or reached an impossible
     microarchitectural state."""
 
+    exit_code = 18
+    stage = "simulate"
+
 
 class WorkloadError(ReproError):
     """Unknown workload name or invalid workload scale parameters."""
+
+    exit_code = 19
+    stage = "compile"
+
+
+class FaultInjected(ReproError):
+    """A fault deliberately injected by :mod:`repro.faults`.
+
+    Attributes:
+        site: The fault-point name the injection fired at, when known.
+    """
+
+    exit_code = 20
+
+    def __init__(self, message: str, site: str | None = None):
+        super().__init__(message)
+        self.site = site
+
+    @property
+    def stage(self) -> str:  # type: ignore[override]
+        return self.site or "inject"
+
+
+#: Documented CLI exit codes (``docs/robustness.md``).  Codes 0-2 are
+#: conventional (success / generic error / argparse usage); 3 is reserved
+#: for OS-level input failures and 4 for the ``repro bench``
+#: ``--max-failures`` gate, both assigned by the CLI itself.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_IO = 3
+EXIT_BENCH_FAILURES = 4
+
+EXIT_CODES: dict[str, int] = {
+    "ReproError": ReproError.exit_code,
+    "ParseError": ParseError.exit_code,
+    "SemanticError": SemanticError.exit_code,
+    "IRError": IRError.exit_code,
+    "AnalysisError": AnalysisError.exit_code,
+    "PartitionError": PartitionError.exit_code,
+    "RegAllocError": RegAllocError.exit_code,
+    "ExecutionError": ExecutionError.exit_code,
+    "FuelExhausted": FuelExhausted.exit_code,
+    "SimulationError": SimulationError.exit_code,
+    "WorkloadError": WorkloadError.exit_code,
+    "FaultInjected": FaultInjected.exit_code,
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The documented CLI exit status for ``exc`` (1 for non-repro errors)."""
+    if isinstance(exc, ReproError):
+        return type(exc).exit_code
+    return EXIT_ERROR
+
+
+def error_stage(exc: BaseException) -> str:
+    """Best-effort pipeline stage attribution for a captured exception."""
+    if isinstance(exc, FaultInjected):
+        return exc.stage
+    if isinstance(exc, ReproError):
+        return type(exc).stage
+    return "unknown"

@@ -16,9 +16,11 @@ produce a "speedup".
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import PartitionError, ReproError
+from repro.faults import fault_point
 from repro.ir.program import Program
 from repro.ir.verify import verify_program
 from repro.partition.cost import CostParams, ExecutionProfile
@@ -33,6 +35,15 @@ from repro.workloads import compile_workload
 
 SCHEMES = ("conventional", "basic", "advanced")
 
+#: Environment opt-in for graceful degradation (advanced -> basic on
+#: PartitionError); truthy values enable it wherever callers did not
+#: pass ``degrade`` explicitly.
+DEGRADE_ENV = "REPRO_DEGRADE"
+
+
+def _degrade_from_env() -> bool:
+    return os.environ.get(DEGRADE_ENV, "").strip() not in ("", "0")
+
 
 @dataclass(eq=False, slots=True)
 class PipelineArtifacts:
@@ -43,6 +54,8 @@ class PipelineArtifacts:
     profile: ExecutionProfile | None = None
     partition_summary: dict[str, int] = field(default_factory=dict)
     static_instructions: int = 0
+    #: The advanced scheme failed and the basic scheme was substituted.
+    degraded: bool = False
 
 
 @dataclass(eq=False, slots=True)
@@ -61,6 +74,9 @@ class BenchmarkResult:
     partition_summary: dict[str, int]
     static_instructions: int
     mix: dict[str, int]
+    #: True when the advanced scheme fell back to basic (graceful
+    #: degradation; ``scheme`` still records what was requested).
+    degraded: bool = False
 
     def speedup_over(self, baseline: "BenchmarkResult") -> float:
         """Relative speedup of this run over ``baseline`` (1.0 = equal)."""
@@ -72,6 +88,15 @@ class BenchmarkResult:
         return baseline.cycles / self.cycles
 
 
+def _summarize_partition(result) -> dict[str, int]:
+    summary: dict[str, int] = {}
+    for stats in result.stats.values():
+        for key, value in stats.items():
+            summary[key] = summary.get(key, 0) + value
+    summary["copies_eliminated"] = result.copies_eliminated
+    return summary
+
+
 def prepare_program(
     name: str,
     scheme: str,
@@ -81,6 +106,7 @@ def prepare_program(
     regalloc: bool = True,
     balance_limit: float | None = None,
     interprocedural: bool = False,
+    degrade: bool | None = None,
 ) -> PipelineArtifacts:
     """Compile (and for non-conventional schemes, partition) a workload.
 
@@ -94,33 +120,61 @@ def prepare_program(
             estimate, an ablation of §6.1).
         regalloc: Run register allocation (paper order: after
             partitioning).
+        degrade: Graceful degradation — when the *advanced* scheme
+            raises :class:`PartitionError`, recompile and substitute the
+            basic scheme, flagging the artifacts ``degraded`` instead of
+            failing the run.  ``None`` reads the ``REPRO_DEGRADE``
+            environment opt-in.
     """
     if scheme not in SCHEMES:
         raise ReproError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    if degrade is None:
+        degrade = _degrade_from_env()
+    # fault-point labels carry the scheme so a REPRO_FAULTS ``match=``
+    # can target e.g. only the advanced partition attempt
+    where = f"{name}/{scheme}"
+    fault_point("compile", where)
     program = compile_workload(name, scale)
     artifacts = PipelineArtifacts(program=program, scheme=scheme)
 
     if scheme != "conventional":
         profile: ExecutionProfile | None = None
-        if use_profile:
-            profile = run_program(program).profile
+        try:
+            if use_profile:
+                fault_point("profile", where)
+                profile = run_program(program).profile
+                artifacts.profile = profile
+            fault_point("partition", where)
+            result = partition_program(
+                program,
+                scheme,
+                profile=profile,
+                params=cost_params,
+                balance_limit=balance_limit,
+                interprocedural=interprocedural,
+            )
+        except PartitionError:
+            if not degrade or scheme != "advanced":
+                raise
+            # the failed attempt may have partially rewritten the IR, so
+            # rebuild from source before substituting the basic scheme
+            program = compile_workload(name, scale)
+            artifacts.program = program
+            profile = run_program(program).profile if use_profile else None
             artifacts.profile = profile
-        result = partition_program(
-            program,
-            scheme,
-            profile=profile,
-            params=cost_params,
-            balance_limit=balance_limit,
-            interprocedural=interprocedural,
-        )
-        summary: dict[str, int] = {}
-        for stats in result.stats.values():
-            for key, value in stats.items():
-                summary[key] = summary.get(key, 0) + value
-        summary["copies_eliminated"] = result.copies_eliminated
-        artifacts.partition_summary = summary
+            result = partition_program(
+                program,
+                "basic",
+                profile=profile,
+                params=cost_params,
+                balance_limit=balance_limit,
+                interprocedural=interprocedural,
+            )
+            artifacts.degraded = True
+        artifacts.partition_summary = _summarize_partition(result)
 
     if regalloc:
+        fault_point("regalloc", where)
         allocate_program(program)
         verify_program(program)
     artifacts.static_instructions = program.instruction_count()
@@ -138,6 +192,7 @@ def run_benchmark(
     config: MachineConfig | None = None,
     balance_limit: float | None = None,
     interprocedural: bool = False,
+    degrade: bool | None = None,
 ) -> BenchmarkResult:
     """Run the full pipeline for one benchmark configuration."""
     if config is None:
@@ -156,9 +211,12 @@ def run_benchmark(
         regalloc=regalloc,
         balance_limit=balance_limit,
         interprocedural=interprocedural,
+        degrade=degrade,
     )
+    fault_point("execute", f"{name}/{scheme}")
     run = run_program(artifacts.program, collect_trace=True)
     mix = dynamic_mix(run.trace)
+    fault_point("simulate", f"{name}/{scheme}")
     stats = simulate_trace(run.trace, config)
     offload = mix["fp_executed"] / mix["total"] if mix["total"] else 0.0
     return BenchmarkResult(
@@ -174,6 +232,7 @@ def run_benchmark(
         partition_summary=dict(artifacts.partition_summary),
         static_instructions=artifacts.static_instructions,
         mix=mix,
+        degraded=artifacts.degraded,
     )
 
 
@@ -195,7 +254,7 @@ def cached_run_benchmark(
 
     cell = Cell(name, scheme, width, scale)
     [outcome] = run_cells([cell], cache=ResultCache.from_env())
-    return outcome.result
+    return outcome.unwrap()
 
 
 def run_pair(

@@ -1,0 +1,124 @@
+"""The injector: fault points, firing decisions, and fault actions.
+
+Pipeline code calls :func:`fault_point` at stage boundaries and
+:func:`corrupt_point` where data crosses a trust boundary (e.g. a disk
+cache read).  Both are no-ops unless ``REPRO_FAULTS`` is set.
+
+The active injector is built lazily from the environment and cached on
+the spec text, so tests can flip ``REPRO_FAULTS`` with ``monkeypatch``
+and get a fresh, deterministically seeded injector each time.  Firing
+decisions (``p=``) come from one ``random.Random(seed)`` stream per
+process; ``times=`` budgets are likewise per process.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.errors import FaultInjected
+from repro.faults.spec import FaultClause, FaultPlan, parse_spec, resolve_error_type
+
+#: Environment variable holding the fault spec.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exit status used by ``crash`` faults (distinctive in worker logs).
+CRASH_EXIT_CODE = 13
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at fault points, statefully."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.fired: list[int] = [0] * len(plan.clauses)
+
+    def select(
+        self, site: str, label: str = "", *, corrupt: bool = False
+    ) -> FaultClause | None:
+        """The first clause that fires at ``site`` for ``label``, if any.
+
+        Consumes the clause's ``times`` budget and (for ``p < 1``) one
+        RNG draw per eligible visit.  ``corrupt`` selects between data
+        corruption clauses and the error/hang/crash kinds, so a clause
+        never burns its budget at a point that would ignore it.
+        """
+        for index, clause in enumerate(self.plan.clauses):
+            if clause.site != site or (clause.kind == "corrupt") != corrupt:
+                continue
+            if clause.match is not None and clause.match not in label:
+                continue
+            if clause.times is not None and self.fired[index] >= clause.times:
+                continue
+            if clause.probability < 1.0 and self.rng.random() >= clause.probability:
+                continue
+            self.fired[index] += 1
+            return clause
+        return None
+
+
+#: (spec text, injector) — rebuilt whenever the env var's value changes.
+_cached: tuple[str, FaultInjector] | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    """The injector for the current ``REPRO_FAULTS`` value, or ``None``."""
+    global _cached
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text or text == "0":
+        _cached = None
+        return None
+    if _cached is None or _cached[0] != text:
+        _cached = (text, FaultInjector(parse_spec(text)))
+    return _cached[1]
+
+
+def reset_faults() -> None:
+    """Drop injector state (RNG stream, ``times`` budgets); tests."""
+    global _cached
+    _cached = None
+
+
+def fault_point(site: str, label: str = "") -> None:
+    """Execute any fault configured for ``site`` (error/hang/crash).
+
+    ``corrupt`` clauses are ignored here — they only make sense where a
+    value flows through :func:`corrupt_point`.
+    """
+    injector = active_injector()
+    if injector is None:
+        return
+    clause = injector.select(site, label)
+    if clause is None:
+        return
+    where = f"{site} ({label})" if label else site
+    if clause.kind == "hang":
+        time.sleep(clause.secs)
+        return
+    if clause.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    error_cls = resolve_error_type(clause.error_type)
+    message = f"injected {clause.error_type} at {where}"
+    if error_cls is FaultInjected:
+        raise FaultInjected(message, site=site)
+    raise error_cls(message)
+
+
+def corrupt_point(site: str, entry: dict, label: str = "") -> dict:
+    """Return ``entry``, scrambled if a ``corrupt`` clause fires here.
+
+    The corruption keeps the envelope (so cheap integrity checks pass)
+    but destroys the payload — modelling a torn or bit-rotted cache
+    entry that decodes as JSON yet no longer holds a usable result.
+    """
+    injector = active_injector()
+    if injector is None:
+        return entry
+    clause = injector.select(site, label, corrupt=True)
+    if clause is None:
+        return entry
+    corrupted = dict(entry)
+    corrupted["result"] = {"__corrupted__": True}
+    return corrupted

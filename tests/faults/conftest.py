@@ -1,0 +1,30 @@
+"""Shared fixtures for the chaos (fault-injection) tests.
+
+Every test starts with no fault spec, no degradation opt-in, an empty
+in-process memo and a fresh injector, so firing budgets and RNG streams
+never leak between tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import clear_memo
+from repro.experiments.runner import DEGRADE_ENV
+from repro.faults import reset_faults
+from repro.faults.inject import FAULTS_ENV
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(DEGRADE_ENV, raising=False)
+    clear_memo()
+    reset_faults()
+    yield
+    clear_memo()
+    reset_faults()
+
+
+#: Small, fast workloads (sub-second cells) used throughout.
+SMALL = {"compress": 150, "m88ksim": 2}

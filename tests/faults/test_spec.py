@@ -1,0 +1,90 @@
+"""Parsing of the ``REPRO_FAULTS`` specification grammar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjected, PartitionError, ReproError
+from repro.faults import FAULT_KINDS, FAULT_SITES, parse_spec
+from repro.faults.spec import resolve_error_type
+
+
+class TestParseSpec:
+    def test_minimal_clause(self):
+        plan = parse_spec("execute:error")
+        assert plan.seed == 0
+        assert len(plan.clauses) == 1
+        clause = plan.clauses[0]
+        assert clause.site == "execute"
+        assert clause.kind == "error"
+        assert clause.probability == 1.0
+        assert clause.times is None
+        assert clause.match is None
+        assert clause.error_type == "FaultInjected"
+
+    def test_seed_and_multiple_clauses(self):
+        plan = parse_spec("seed=42;execute:crash:match=m88ksim;cache.get:corrupt")
+        assert plan.seed == 42
+        assert [c.site for c in plan.clauses] == ["execute", "cache.get"]
+        assert [c.kind for c in plan.clauses] == ["crash", "corrupt"]
+
+    def test_all_parameters(self):
+        plan = parse_spec(
+            "simulate:hang:p=0.5:times=3:match=compress:secs=1.5"
+        )
+        clause = plan.clauses[0]
+        assert clause.probability == 0.5
+        assert clause.times == 3
+        assert clause.match == "compress"
+        assert clause.secs == 1.5
+
+    def test_error_type_parameter(self):
+        plan = parse_spec("partition:error:type=PartitionError")
+        assert plan.clauses[0].error_type == "PartitionError"
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        plan = parse_spec(" seed=7 ; execute:error ;; ")
+        assert plan.seed == 7
+        assert len(plan.clauses) == 1
+
+    def test_describe_round_trips_the_interesting_fields(self):
+        clause = parse_spec("execute:error:p=0.25:times=2:match=go").clauses[0]
+        assert clause.describe() == "execute:error:p=0.25:times=2:match=go"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # no clauses at all
+            "seed=12",  # seed but no clauses
+            "seed=abc;execute:error",  # bad seed
+            "execute",  # missing kind
+            "teleport:error",  # unknown site
+            "execute:meltdown",  # unknown kind
+            "execute:error:frobnicate=1",  # unknown parameter
+            "execute:error:p",  # parameter without value
+            "execute:error:p=2.0",  # probability out of range
+            "execute:error:times=0",  # times must be >= 1
+            "execute:error:times=soon",  # non-integer times
+            "simulate:hang:secs=-1",  # negative sleep
+            "execute:error:type=ValueError",  # not a ReproError subclass
+            "execute:error:type=NoSuchError",  # unknown class name
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ReproError):
+            parse_spec(bad)
+
+    def test_every_documented_site_and_kind_parses(self):
+        for site in FAULT_SITES:
+            for kind in FAULT_KINDS:
+                assert parse_spec(f"{site}:{kind}").clauses[0].site == site
+
+
+class TestResolveErrorType:
+    def test_resolves_repro_error_subclasses(self):
+        assert resolve_error_type("PartitionError") is PartitionError
+        assert resolve_error_type("FaultInjected") is FaultInjected
+
+    def test_rejects_non_repro_types(self):
+        with pytest.raises(ReproError):
+            resolve_error_type("Exception")

@@ -80,14 +80,43 @@ class TestCli:
         assert "Table 1" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["run", "/nonexistent/prog.mc"]) == 1
+        from repro.errors import EXIT_IO
+
+        assert main(["run", "/nonexistent/prog.mc"]) == EXIT_IO
         assert "error" in capsys.readouterr().err
 
+    def test_directory_input_prints_clean_error(self, tmp_path, capsys):
+        """IsADirectoryError (any OSError) gets a message, not a traceback."""
+        from repro.errors import EXIT_IO
+
+        assert main(["run", str(tmp_path)]) == EXIT_IO
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
     def test_semantic_error_reported(self, tmp_path, capsys):
+        from repro.errors import SemanticError
+
         path = tmp_path / "bad.mc"
         path.write_text("int main() { return ghost; }")
-        assert main(["run", str(path)]) == 1
+        assert main(["run", str(path)]) == SemanticError.exit_code
         assert "undeclared" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        from repro.errors import ParseError
+
+        path = tmp_path / "bad.mc"
+        path.write_text("int main( { return 1; }")
+        assert main(["run", str(path)]) == ParseError.exit_code
+        assert "error" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct_and_documented(self):
+        """Every error class maps to its own CLI exit status."""
+        from repro.errors import EXIT_CODES, EXIT_BENCH_FAILURES, EXIT_IO
+
+        codes = list(EXIT_CODES.values())
+        assert len(set(codes)) == len(codes)
+        reserved = {0, 2, EXIT_IO, EXIT_BENCH_FAILURES}
+        assert reserved.isdisjoint(set(codes))
 
     def test_stdin_input(self, monkeypatch, capsys):
         import io
@@ -110,5 +139,7 @@ class TestCli:
         assert "0 error(s)" in capsys.readouterr().out
 
     def test_unknown_workload_spec(self, capsys):
-        assert main(["compile", "workload:doom"]) == 1
+        from repro.errors import WorkloadError
+
+        assert main(["compile", "workload:doom"]) == WorkloadError.exit_code
         assert "unknown workload" in capsys.readouterr().err
