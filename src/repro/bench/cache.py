@@ -34,6 +34,7 @@ from pathlib import Path
 from repro.faults import corrupt_point
 from repro.partition.cost import CostParams
 from repro.sim.config import MachineConfig, eight_way, four_way
+from repro.trace.pack import TRACE_FORMAT_VERSION
 
 #: Bump when the entry layout or key derivation changes incompatibly.
 CACHE_SCHEMA = 1
@@ -96,6 +97,9 @@ def cell_key(
     params = cost_params if cost_params is not None else CostParams()
     payload = {
         "cache_schema": CACHE_SCHEMA,
+        # results are computed from packed traces, so an incompatible
+        # pack-format bump must also invalidate cached cell results
+        "trace_format": TRACE_FORMAT_VERSION,
         "workload": cell.workload,
         "scale": cell.scale,
         "source_sha256": sha256_text(workload_source(cell.workload, cell.scale)),

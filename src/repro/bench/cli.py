@@ -66,6 +66,14 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="neither read nor write the on-disk cache",
     )
     parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk packed-trace store: interpret each (workload, "
+        "scheme) once and replay the trace for every machine config "
+        "(equivalent to REPRO_TRACE_CACHE=DIR; default: env/off)",
+    )
+    parser.add_argument(
         "--force",
         action="store_true",
         help="recompute every cell even on cache hits (cache is rewritten)",
@@ -175,6 +183,11 @@ def run(args: argparse.Namespace) -> int:
 
     cells = suite_cells(args.suite, scale=args.scale)
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    if args.trace_cache is not None:
+        # via the environment so pool workers inherit the setting
+        from repro.trace.store import TRACE_CACHE_ENV
+
+        os.environ[TRACE_CACHE_ENV] = args.trace_cache
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     code_version = code_fingerprint()
 

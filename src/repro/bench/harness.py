@@ -306,6 +306,19 @@ def run_cells(
                 continue
         pending.append((cell, key))
 
+    # All machine configs of one (workload, scheme, scale) share a packed
+    # trace, so group them: the capture from the first config is still in
+    # the replay pool (or freshly on disk) when its siblings run.
+    # Outcomes are returned in input order regardless.
+    pending.sort(
+        key=lambda item: (
+            item[0].workload,
+            item[0].scheme,
+            -1 if item[0].scale is None else item[0].scale,
+            item[0].width,
+        )
+    )
+
     def _computed(
         cell: Cell,
         key: str,

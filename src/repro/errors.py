@@ -120,6 +120,19 @@ class WorkloadError(ReproError):
     stage = "compile"
 
 
+class TracePackError(ReproError):
+    """A packed trace could not be encoded or decoded (bad magic,
+    checksum mismatch, unsupported format version, structural damage).
+
+    The trace store treats this as a cache miss — the run falls back to
+    re-interpretation — so it only escapes when callers use the pack
+    codec directly.
+    """
+
+    exit_code = 21
+    stage = "trace_pack"
+
+
 class FaultInjected(ReproError):
     """A fault deliberately injected by :mod:`repro.faults`.
 
@@ -161,6 +174,7 @@ EXIT_CODES: dict[str, int] = {
     "SimulationError": SimulationError.exit_code,
     "WorkloadError": WorkloadError.exit_code,
     "FaultInjected": FaultInjected.exit_code,
+    "TracePackError": TracePackError.exit_code,
 }
 
 

@@ -27,10 +27,11 @@ from repro.partition.cost import CostParams, ExecutionProfile
 from repro.partition.program import partition_program
 from repro.regalloc.linear_scan import allocate_program
 from repro.runtime.interp import run_program
-from repro.runtime.trace import dynamic_mix
 from repro.sim.config import MachineConfig, eight_way, four_way
 from repro.sim.pipeline import simulate_trace
 from repro.sim.stats import SimStats
+from repro.trace.pack import PackedTrace, pack_entries, program_fingerprint
+from repro.trace.store import load_trace, store_trace, trace_key
 from repro.workloads import compile_workload
 
 SCHEMES = ("conventional", "basic", "advanced")
@@ -181,6 +182,60 @@ def prepare_program(
     return artifacts
 
 
+def _capture_or_replay(
+    name: str,
+    scheme: str,
+    artifacts: PipelineArtifacts,
+    *,
+    scale: int | None,
+    cost_params: CostParams | None,
+    use_profile: bool,
+    regalloc: bool,
+    balance_limit: float | None,
+    interprocedural: bool,
+    where: str,
+) -> PackedTrace:
+    """The packed dynamic trace for ``artifacts`` — replayed when possible.
+
+    The trace depends only on the program (workload + partition options
+    + code version), never on the machine config, so the in-process pool
+    and the opt-in ``REPRO_TRACE_CACHE`` store let a sweep over machine
+    configurations interpret each (workload, scheme) exactly once.  A
+    replayed pack is trusted only when its recorded program fingerprint
+    matches the freshly prepared program — a stale or foreign pack falls
+    back to interpretation.
+    """
+    key = trace_key(
+        name,
+        scheme,
+        scale=scale,
+        cost_params=cost_params,
+        use_profile=use_profile,
+        regalloc=regalloc,
+        balance_limit=balance_limit,
+        interprocedural=interprocedural,
+        degraded=artifacts.degraded,
+    )
+    fingerprint = program_fingerprint(artifacts.program)
+    packed = load_trace(key, label=where)
+    if packed is not None and packed.meta.get("program_sha256") == fingerprint:
+        return packed
+    run = run_program(artifacts.program, collect_trace=True)
+    packed = pack_entries(
+        run.trace,
+        value=run.value,
+        meta={
+            "program_sha256": fingerprint,
+            "workload": name,
+            "scheme": scheme,
+            "scale": scale,
+            "instructions": run.instructions,
+        },
+    )
+    store_trace(key, packed, label=where)
+    return packed
+
+
 def run_benchmark(
     name: str,
     scheme: str = "advanced",
@@ -213,18 +268,30 @@ def run_benchmark(
         interprocedural=interprocedural,
         degrade=degrade,
     )
-    fault_point("execute", f"{name}/{scheme}")
-    run = run_program(artifacts.program, collect_trace=True)
-    mix = dynamic_mix(run.trace)
-    fault_point("simulate", f"{name}/{scheme}")
-    stats = simulate_trace(run.trace, config)
+    where = f"{name}/{scheme}"
+    fault_point("execute", where)
+    packed = _capture_or_replay(
+        name,
+        scheme,
+        artifacts,
+        scale=scale,
+        cost_params=cost_params,
+        use_profile=use_profile,
+        regalloc=regalloc,
+        balance_limit=balance_limit,
+        interprocedural=interprocedural,
+        where=where,
+    )
+    mix = packed.dynamic_mix()
+    fault_point("simulate", where)
+    stats = simulate_trace(packed, config)
     offload = mix["fp_executed"] / mix["total"] if mix["total"] else 0.0
     return BenchmarkResult(
         name=name,
         scheme=scheme,
         machine=config.name,
-        checksum=run.value,
-        dynamic_instructions=run.instructions,
+        checksum=packed.value,
+        dynamic_instructions=packed.n,
         offload_fraction=offload,
         cycles=stats.cycles,
         ipc=stats.ipc,

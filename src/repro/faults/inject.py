@@ -106,12 +106,17 @@ def fault_point(site: str, label: str = "") -> None:
     raise error_cls(message)
 
 
-def corrupt_point(site: str, entry: dict, label: str = "") -> dict:
+def corrupt_point(site: str, entry, label: str = ""):
     """Return ``entry``, scrambled if a ``corrupt`` clause fires here.
 
-    The corruption keeps the envelope (so cheap integrity checks pass)
-    but destroys the payload — modelling a torn or bit-rotted cache
-    entry that decodes as JSON yet no longer holds a usable result.
+    Corruption is shaped to the value crossing the trust boundary:
+
+    * ``dict`` (a decoded cache entry) — the envelope is kept (so cheap
+      integrity checks pass) but the payload is destroyed, modelling a
+      torn entry that decodes as JSON yet holds no usable result;
+    * ``bytes`` (a raw trace pack) — deterministic bit flips spread
+      through the buffer, modelling on-disk rot that the decoder's
+      checksum must catch.
     """
     injector = active_injector()
     if injector is None:
@@ -119,6 +124,14 @@ def corrupt_point(site: str, entry: dict, label: str = "") -> dict:
     clause = injector.select(site, label, corrupt=True)
     if clause is None:
         return entry
+    if isinstance(entry, (bytes, bytearray)):
+        if not entry:
+            return entry
+        corrupted_bytes = bytearray(entry)
+        step = max(1, len(corrupted_bytes) // 8)
+        for index in range(0, len(corrupted_bytes), step):
+            corrupted_bytes[index] ^= 0xFF
+        return bytes(corrupted_bytes)
     corrupted = dict(entry)
     corrupted["result"] = {"__corrupted__": True}
     return corrupted

@@ -17,7 +17,8 @@ error     raise an exception (``type=<ReproError subclass>``,
 hang      ``time.sleep(secs)`` (default 30) — exercises timeouts
 crash     ``os._exit(13)`` — kills the worker process outright
 corrupt   scramble the value flowing through a ``corrupt_point``
-          (only honoured at data boundaries such as ``cache.get``)
+          (only honoured at data boundaries such as ``cache.get``
+          and ``trace_pack``)
 ========  ==========================================================
 
 Per-clause parameters:
@@ -33,7 +34,8 @@ Per-clause parameters:
     Only fire when the fault point's label contains the substring.
     Pipeline fault points use ``<workload>/<scheme>`` labels (so
     ``match=m88ksim`` hits every scheme and ``match=m88ksim/advanced``
-    just one); ``cache.get`` uses the cache key.
+    just one); ``cache.get`` uses the cache key and ``trace_pack``
+    the ``<workload>/<scheme>`` label of the trace being read.
 ``secs=<float>``
     Sleep duration for ``hang`` clauses.
 ``type=<name>``
@@ -63,6 +65,7 @@ FAULT_SITES = (
     "execute",
     "simulate",
     "cache.get",
+    "trace_pack",
 )
 
 #: What a firing clause does.

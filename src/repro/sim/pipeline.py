@@ -25,6 +25,13 @@ Per simulated cycle, in reverse pipeline order:
    predicted with gshare and a misprediction stalls fetch until the
    branch resolves (wrong-path work is not simulated, its cost is the
    fetch bubble — the standard trace-driven approximation).
+
+The loop consumes a :class:`~repro.trace.pack.PackedTrace` — latency
+and control classes pre-resolved per static row, dependence tokens as
+dense integers — so the per-dynamic-instruction work is array indexing
+and integer dict lookups.  A plain ``list[TraceEntry]`` is accepted too
+and packed on entry (the compatibility adapter the differential tests
+pin against).
 """
 
 from __future__ import annotations
@@ -32,16 +39,30 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import SimulationError
-from repro.ir.opcodes import OpKind
-from repro.runtime.trace import Subsystem, TraceEntry
+from repro.runtime.trace import TraceEntry
 from repro.sim.branch_pred import GSharePredictor, PerfectPredictor
 from repro.sim.cache import Cache
 from repro.sim.config import MachineConfig
 from repro.sim.stats import SimStats
+from repro.trace.pack import (
+    CTRL_BRANCH,
+    CTRL_JUMP,
+    LAT_DIV,
+    LAT_LOAD,
+    LAT_MUL,
+    LAT_STORE,
+    PackedTrace,
+    pack_entries,
+)
 
 
 class _Dyn:
-    """Pipeline bookkeeping for one dynamic instruction."""
+    """Pipeline bookkeeping for one dynamic instruction.
+
+    Static properties (subsystem side, latency class, rename-register
+    demand) arrive pre-resolved from the packed trace's static table —
+    the constructor only copies integers.
+    """
 
     __slots__ = (
         "entry",
@@ -49,22 +70,40 @@ class _Dyn:
         "producers",
         "complete",
         "issued",
-        "latency_class",
+        "lat_class",
         "is_load",
         "is_store",
         "is_mem",
         "fp_side",
         "int_defs",
         "fp_defs",
+        "mem_addr",
         "fetched_at",
         "dispatched_at",
         "issued_at",
         "retired_at",
     )
 
-    def __init__(self, entry: TraceEntry, seq: int):
-        self.entry = entry
+    def __init__(
+        self,
+        seq: int,
+        fp_side: bool,
+        lat_class: int,
+        int_defs: int,
+        fp_defs: int,
+        mem_addr: int,
+        entry: TraceEntry | None,
+    ):
         self.seq = seq
+        self.fp_side = fp_side
+        self.lat_class = lat_class
+        self.is_load = lat_class == LAT_LOAD
+        self.is_store = lat_class == LAT_STORE
+        self.is_mem = self.is_load or self.is_store
+        self.int_defs = int_defs
+        self.fp_defs = fp_defs
+        self.mem_addr = mem_addr
+        self.entry = entry
         self.producers: list[_Dyn] = []
         self.complete: int | None = None
         self.issued = False
@@ -72,19 +111,6 @@ class _Dyn:
         self.dispatched_at = -1
         self.issued_at = -1
         self.retired_at = -1
-        kind = entry.instr.kind
-        self.is_load = kind is OpKind.LOAD
-        self.is_store = kind is OpKind.STORE
-        self.is_mem = self.is_load or self.is_store
-        self.fp_side = entry.subsystem is Subsystem.FP
-        self.latency_class = kind
-        self.int_defs = 0
-        self.fp_defs = 0
-        for reg in entry.instr.defs:
-            if reg.rclass.value == "fp":
-                self.fp_defs += 1
-            else:
-                self.int_defs += 1
 
 
 class TimingSimulator:
@@ -110,13 +136,46 @@ class TimingSimulator:
         self.timeline: list[_Dyn] = []
 
     # ------------------------------------------------------------------
-    def run(self, trace: list[TraceEntry], max_cycles: int | None = None) -> SimStats:
-        """Replay ``trace``; returns the populated :class:`SimStats`."""
+    def run(
+        self,
+        trace: "list[TraceEntry] | PackedTrace",
+        max_cycles: int | None = None,
+    ) -> SimStats:
+        """Replay ``trace``; returns the populated :class:`SimStats`.
+
+        ``trace`` is either a :class:`~repro.trace.pack.PackedTrace`
+        (the fast path) or a list of :class:`TraceEntry` objects, which
+        is packed here; both produce bit-identical statistics.
+        """
+        if isinstance(trace, PackedTrace):
+            return self._run_packed(trace, None, max_cycles)
+        entries = trace if isinstance(trace, list) else list(trace)
+        return self._run_packed(pack_entries(entries), entries, max_cycles)
+
+    def _run_packed(
+        self,
+        packed: PackedTrace,
+        entries: list[TraceEntry] | None,
+        max_cycles: int | None,
+    ) -> SimStats:
         config = self.config
         stats = self.stats
-        n = len(trace)
+        n = packed.n
         if n == 0:
             return stats
+
+        # column handles: per-dynamic work is indexing into these
+        ids = packed.instr_ids
+        mem_col = packed.mem_addr
+        taken_col = packed.taken
+        roff, rtok = packed.read_offsets, packed.read_tokens
+        woff, wtok = packed.write_offsets, packed.write_tokens
+        row_pc = packed.pcs
+        row_fp = packed.fp_side
+        row_lat = packed.row_lat
+        row_ctrl = packed.row_ctrl
+        row_int_defs = packed.int_defs
+        row_fp_defs = packed.fp_defs
 
         fetch_index = 0
         fetch_buffer: deque[_Dyn] = deque()
@@ -127,13 +186,12 @@ class TimingSimulator:
         int_window: list[_Dyn] = []
         fp_window: list[_Dyn] = []
         rob: deque[_Dyn] = deque()
-        last_writer: dict[tuple[int, str], _Dyn] = {}
+        last_writer: dict[int, _Dyn] = {}
         inflight_stores: list[_Dyn] = []
 
         free_int = config.rename_int
         free_fp = config.rename_fp
         retired = 0
-        seq = 0
         now = 0
         hit_cycles = config.icache.hit_cycles
         limit = max_cycles if max_cycles is not None else 200 * n + 10_000
@@ -194,14 +252,15 @@ class TimingSimulator:
                 dyn.dispatched_at = now
                 free_int -= dyn.int_defs
                 free_fp -= dyn.fp_defs
-                for token in dyn.entry.reads:
-                    producer = last_writer.get(token)
-                    if producer is not None and producer.complete is None:
+                s = dyn.seq
+                for ti in range(roff[s], roff[s + 1]):
+                    producer = last_writer.get(rtok[ti])
+                    if producer is not None and (
+                        producer.complete is None or producer.complete > now
+                    ):
                         dyn.producers.append(producer)
-                    elif producer is not None and producer.complete > now:
-                        dyn.producers.append(producer)
-                for token in dyn.entry.writes:
-                    last_writer[token] = dyn
+                for ti in range(woff[s], woff[s + 1]):
+                    last_writer[wtok[ti]] = dyn
                 window.append(dyn)
                 rob.append(dyn)
                 if dyn.is_store:
@@ -218,30 +277,40 @@ class TimingSimulator:
                 continue
             width = config.fetch_width
             while width and fetch_index < n and len(fetch_buffer) < fetch_buffer_cap:
-                entry = trace[fetch_index]
-                latency = self.icache.access(entry.pc)
+                sid = ids[fetch_index]
+                pc = row_pc[sid]
+                latency = self.icache.access(pc)
                 if latency > hit_cycles:
                     fetch_stall_until = now + (latency - hit_cycles)
                     break
-                dyn = _Dyn(entry, seq)
+                dyn = _Dyn(
+                    fetch_index,
+                    row_fp[sid] == 1,
+                    row_lat[sid],
+                    row_int_defs[sid],
+                    row_fp_defs[sid],
+                    mem_col[fetch_index],
+                    entries[fetch_index] if entries is not None else None,
+                )
                 dyn.fetched_at = now
                 if self.record_timeline:
                     self.timeline.append(dyn)
-                seq += 1
                 fetch_index += 1
                 fetch_buffer.append(dyn)
                 width -= 1
-                kind = entry.instr.kind
-                if kind is OpKind.BRANCH:
-                    correct = self.predictor.update(entry.pc, entry.taken)
+                ctrl = row_ctrl[sid]
+                if ctrl == CTRL_BRANCH:
+                    raw = taken_col[dyn.seq]
+                    taken = None if raw < 0 else raw == 1
+                    correct = self.predictor.update(pc, taken)
                     stats.branches += 1
                     if not correct:
                         stats.branch_mispredicts += 1
                         blocking_branch = dyn
                         break
-                    if entry.taken:
+                    if taken:
                         break  # cannot fetch past a taken branch this cycle
-                elif kind in (OpKind.JUMP, OpKind.CALL, OpKind.RET):
+                elif ctrl == CTRL_JUMP:
                     break  # taken control flow, perfectly predicted
 
         stats.cycles = now
@@ -254,15 +323,15 @@ class TimingSimulator:
 
     # ------------------------------------------------------------------
     def _latency(self, dyn: _Dyn) -> int:
-        kind = dyn.latency_class
-        if dyn.is_load:
-            return self.dcache.access(dyn.entry.mem_addr)
-        if dyn.is_store:
-            self.dcache.access(dyn.entry.mem_addr)
+        lat = dyn.lat_class
+        if lat == LAT_LOAD:
+            return self.dcache.access(dyn.mem_addr)
+        if lat == LAT_STORE:
+            self.dcache.access(dyn.mem_addr)
             return 1
-        if kind is OpKind.MUL:
+        if lat == LAT_MUL:
             return self.config.mul_latency
-        if kind is OpKind.DIV:
+        if lat == LAT_DIV:
             return self.config.div_latency
         return 1
 
@@ -307,12 +376,12 @@ class TimingSimulator:
                     remaining.append(dyn)
                     continue
                 conflict = False
-                word = dyn.entry.mem_addr >> 2
+                word = dyn.mem_addr >> 2
                 for store in inflight_stores:
                     if store.seq > dyn.seq:
                         break
                     if (
-                        store.entry.mem_addr >> 2 == word
+                        store.mem_addr >> 2 == word
                         and (store.complete is None or store.complete > now)
                     ):
                         conflict = True
@@ -365,7 +434,7 @@ class TimingSimulator:
 
 
 def simulate_trace(
-    trace: list[TraceEntry],
+    trace: "list[TraceEntry] | PackedTrace",
     config: MachineConfig,
     perfect_branches: bool = False,
 ) -> SimStats:

@@ -9,13 +9,16 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import clear_memo
+from repro.trace.store import clear_trace_pool
 
 
 @pytest.fixture(autouse=True)
 def fresh_memo():
     clear_memo()
+    clear_trace_pool()
     yield
     clear_memo()
+    clear_trace_pool()
 
 
 #: Small, fast cells used throughout these tests (sub-second each).

@@ -34,6 +34,13 @@ class TestKeys:
         assert current != other
         assert cell_key(CELL, code_version=code_fingerprint()) == current
 
+    def test_trace_format_version_invalidates(self, monkeypatch):
+        """A trace-pack format bump must cold the result cache too:
+        cached cells were computed from packed traces of that format."""
+        current = cell_key(CELL)
+        monkeypatch.setattr("repro.bench.cache.TRACE_FORMAT_VERSION", 999)
+        assert cell_key(CELL) != current
+
     def test_partition_options_invalidate(self):
         assert cell_key(CELL) != cell_key(
             CELL, cost_params=CostParams(o_copy=4.0, o_dupl=2.0)

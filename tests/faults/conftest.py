@@ -13,16 +13,20 @@ from repro.bench.harness import clear_memo
 from repro.experiments.runner import DEGRADE_ENV
 from repro.faults import reset_faults
 from repro.faults.inject import FAULTS_ENV
+from repro.trace.store import TRACE_CACHE_ENV, clear_trace_pool
 
 
 @pytest.fixture(autouse=True)
 def clean_fault_state(monkeypatch):
     monkeypatch.delenv(FAULTS_ENV, raising=False)
     monkeypatch.delenv(DEGRADE_ENV, raising=False)
+    monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
     clear_memo()
+    clear_trace_pool()
     reset_faults()
     yield
     clear_memo()
+    clear_trace_pool()
     reset_faults()
 
 

@@ -1,0 +1,23 @@
+"""Shared fixtures for the trace capture/replay tests.
+
+Every test starts with an empty in-process replay pool and no
+``REPRO_TRACE_CACHE`` opt-in, so pool/store hit assertions are about
+*this* test's actions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import clear_memo
+from repro.trace.store import TRACE_CACHE_ENV, clear_trace_pool
+
+
+@pytest.fixture(autouse=True)
+def fresh_trace_state(monkeypatch):
+    monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+    clear_memo()
+    clear_trace_pool()
+    yield
+    clear_memo()
+    clear_trace_pool()

@@ -1,0 +1,150 @@
+"""The differential net over the interpret→simulate hot path.
+
+For every (workload, scheme) cell of the smoke matrix, simulating the
+packed columnar trace must be **bit-identical** — every ``SimStats``
+counter, compared field by field — to simulating the original
+``TraceEntry`` stream, on both Table 1 machine widths; and the on-disk
+encoding must round-trip byte-stably.  This is the suite CI runs as the
+``trace-equivalence`` step: it is what licenses the fast replay path to
+substitute for fresh interpretation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SCHEMES, prepare_program
+from repro.runtime.interp import run_program
+from repro.runtime.trace import dynamic_mix
+from repro.sim.config import eight_way, four_way
+from repro.sim.pipeline import simulate_trace
+from repro.trace.pack import PackedTrace, pack_entries
+from repro.trace.store import TRACE_CACHE_ENV, clear_trace_pool
+
+#: The smoke matrix (mirrors ``repro.bench.matrix``'s smoke suite).
+SMOKE = {"compress": 150, "m88ksim": 2}
+
+CELLS = [
+    (workload, scale, scheme)
+    for workload, scale in sorted(SMOKE.items())
+    for scheme in SCHEMES
+]
+IDS = [f"{w}@{s}/{scheme}" for w, s, scheme in CELLS]
+
+
+@pytest.fixture(scope="module")
+def captured():
+    """(workload, scheme) -> (program, entries, pack); interpreted once."""
+    runs = {}
+    for workload, scale, scheme in CELLS:
+        artifacts = prepare_program(workload, scheme, scale=scale)
+        run = run_program(artifacts.program, collect_trace=True)
+        pack = pack_entries(run.trace, value=run.value)
+        runs[(workload, scheme)] = (artifacts.program, run.trace, pack)
+    return runs
+
+
+@pytest.mark.parametrize(("workload", "scale", "scheme"), CELLS, ids=IDS)
+@pytest.mark.parametrize("config", [four_way, eight_way], ids=["4way", "8way"])
+def test_packed_replay_is_bit_identical(captured, workload, scale, scheme, config):
+    _, entries, pack = captured[(workload, scheme)]
+    fresh = simulate_trace(list(entries), config())
+    replayed = simulate_trace(pack, config())
+    fresh_counters = fresh.to_counters()
+    replayed_counters = replayed.to_counters()
+    for field, value in fresh_counters.items():
+        assert replayed_counters[field] == value, (
+            f"{workload}/{scheme}: SimStats.{field} diverges between "
+            f"fresh interpretation and packed replay"
+        )
+    assert replayed_counters == fresh_counters
+
+
+@pytest.mark.parametrize(("workload", "scale", "scheme"), CELLS, ids=IDS)
+def test_encode_decode_encode_is_byte_stable(captured, workload, scale, scheme):
+    _, _, pack = captured[(workload, scheme)]
+    data = pack.to_bytes()
+    decoded = PackedTrace.from_bytes(data)
+    assert decoded.to_bytes() == data
+
+
+@pytest.mark.parametrize(("workload", "scale", "scheme"), CELLS, ids=IDS)
+def test_decoded_pack_still_replays_identically(captured, workload, scale, scheme):
+    """Equivalence must survive the disk encoding, not just in-memory
+    packing — the store hands the simulator decoded packs."""
+    _, entries, pack = captured[(workload, scheme)]
+    decoded = PackedTrace.from_bytes(pack.to_bytes())
+    fresh = simulate_trace(list(entries), four_way())
+    replayed = simulate_trace(decoded, four_way())
+    assert replayed.to_counters() == fresh.to_counters()
+
+
+@pytest.mark.parametrize(("workload", "scale", "scheme"), CELLS, ids=IDS)
+def test_dynamic_mix_matches(captured, workload, scale, scheme):
+    _, entries, pack = captured[(workload, scheme)]
+    assert pack.dynamic_mix() == dynamic_mix(list(entries))
+
+
+@pytest.mark.parametrize(("workload", "scale", "scheme"), CELLS, ids=IDS)
+def test_unpack_reconstructs_the_entry_stream(captured, workload, scale, scheme):
+    program, entries, pack = captured[(workload, scheme)]
+    unpacked = pack.unpack_entries(program)
+    assert len(unpacked) == len(entries)
+    for got, want in zip(unpacked, entries):
+        assert got.pc == want.pc
+        assert got.subsystem is want.subsystem
+        assert got.reads == want.reads
+        assert got.writes == want.writes
+        assert got.mem_addr == want.mem_addr
+        assert got.taken == want.taken
+        assert got.instr is want.instr
+
+
+class TestInterpretOnce:
+    """The acceptance property: one interpretation feeds every config."""
+
+    def test_second_config_replays_from_the_pool(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        clear_trace_pool()
+        traced_runs = 0
+        real_run_program = runner.run_program
+
+        def counting_run_program(*args, **kwargs):
+            nonlocal traced_runs
+            if kwargs.get("collect_trace"):
+                traced_runs += 1
+            return real_run_program(*args, **kwargs)
+
+        monkeypatch.setattr(runner, "run_program", counting_run_program)
+        four = runner.run_benchmark(
+            "compress", "conventional", width=4, scale=SMOKE["compress"]
+        )
+        eight = runner.run_benchmark(
+            "compress", "conventional", width=8, scale=SMOKE["compress"]
+        )
+        clear_trace_pool()
+        assert traced_runs == 1, "second machine config re-ran the interpreter"
+        assert four.checksum == eight.checksum
+        assert four.dynamic_instructions == eight.dynamic_instructions
+
+    def test_pool_replay_is_bit_identical_end_to_end(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        clear_trace_pool()
+        first = runner.run_benchmark(
+            "compress", "basic", width=4, scale=SMOKE["compress"]
+        )
+        replayed = runner.run_benchmark(
+            "compress", "basic", width=4, scale=SMOKE["compress"]
+        )
+        clear_trace_pool()
+        fresh = runner.run_benchmark(
+            "compress", "basic", width=4, scale=SMOKE["compress"]
+        )
+        assert replayed.stats.to_counters() == first.stats.to_counters()
+        assert fresh.stats.to_counters() == first.stats.to_counters()
+        assert fresh.checksum == first.checksum
+        assert fresh.mix == first.mix
