@@ -27,11 +27,11 @@ import functools
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
 from repro.faults import corrupt_point
+from repro.ioutil import atomic_write_bytes
 from repro.partition.cost import CostParams
 from repro.sim.config import MachineConfig, eight_way, four_way
 from repro.trace.pack import TRACE_FORMAT_VERSION
@@ -170,23 +170,8 @@ class ResultCache:
         entry = dict(entry)
         entry["cache_schema"] = CACHE_SCHEMA
         entry["key"] = key
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".tmp-"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        data = json.dumps(entry, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self.path_for(key), data)
 
     def stats(self) -> dict:
         total = self.hits + self.misses

@@ -83,8 +83,17 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         metavar="SECS",
-        help="per-cell wall-clock limit; a hung cell is killed and "
-        "recorded as a failure (default: none)",
+        help="per-cell stall limit; a cell whose heartbeat advances is "
+        "granted more time, a stalled cell is killed and recorded "
+        "(default: none)",
+    )
+    parser.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="absolute per-cell wall-clock ceiling; kills the cell even "
+        "while it is still making progress (default: unlimited)",
     )
     parser.add_argument(
         "--retries",
@@ -93,6 +102,31 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="extra attempts per failing cell before recording the "
         "failure (default: 1)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        metavar="K",
+        help="open a (workload, scheme) family's circuit breaker after "
+        "K consecutive failed attempts and fail its remaining cells "
+        "fast (default: 0, disabled)",
+    )
+    parser.add_argument(
+        "--checkpoint-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot simulator state every N cycles so a killed or "
+        "retried cell resumes mid-simulation (equivalent to "
+        "REPRO_CKPT_CYCLES=N; default: env/off)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory (equivalent to REPRO_CKPT_DIR; "
+        "default: env or .repro-ckpt)",
     )
     parser.add_argument(
         "--backoff",
@@ -152,7 +186,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 def run(args: argparse.Namespace) -> int:
     from repro.bench.cache import ResultCache, cell_key, code_fingerprint
     from repro.bench.compare import compare_documents, format_report
-    from repro.bench.harness import CellError, CellOutcome, run_cells
+    from repro.bench.harness import CellError, CellOutcome, RunReport, run_cells
     from repro.bench.journal import RunJournal
     from repro.bench.matrix import Cell, SUITES, suite_cells
     from repro.bench.results import (
@@ -188,6 +222,16 @@ def run(args: argparse.Namespace) -> int:
         from repro.trace.store import TRACE_CACHE_ENV
 
         os.environ[TRACE_CACHE_ENV] = args.trace_cache
+    if args.checkpoint_cycles is not None:
+        # same environment relay as --trace-cache: simulation
+        # checkpointing happens inside the pool workers
+        from repro.checkpoint import CKPT_CYCLES_ENV
+
+        os.environ[CKPT_CYCLES_ENV] = str(max(0, args.checkpoint_cycles))
+    if args.checkpoint_dir is not None:
+        from repro.checkpoint import CKPT_DIR_ENV
+
+        os.environ[CKPT_DIR_ENV] = args.checkpoint_dir
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     code_version = code_fingerprint()
 
@@ -259,6 +303,7 @@ def run(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     start = time.perf_counter()
+    run_report = RunReport()
     try:
         outcomes = resumed + run_cells(
             todo,
@@ -267,8 +312,11 @@ def run(args: argparse.Namespace) -> int:
             force=args.force,
             progress=progress,
             timeout=args.timeout,
+            hard_timeout=args.hard_timeout,
             retries=max(0, args.retries),
             backoff=max(0.0, args.backoff),
+            breaker_threshold=max(0, args.breaker_threshold),
+            report=run_report,
         )
     finally:
         journal.close()
@@ -291,6 +339,7 @@ def run(args: argparse.Namespace) -> int:
             "hit_rate": hits / len(outcomes) if outcomes else 0.0,
         },
         code_version=code_version,
+        breakers=run_report.breakers,
     )
     validate_document(doc)
 
@@ -323,6 +372,20 @@ def run(args: argparse.Namespace) -> int:
             f"{error.get('message')}",
             file=sys.stderr,
         )
+        fail_progress = failure.get("progress")
+        if fail_progress:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(fail_progress.items())
+            )
+            print(f"    progress: {detail}", file=sys.stderr)
+    for family, state in sorted((doc.get("breakers") or {}).items()):
+        if state.get("state") == "open":
+            print(
+                f"  breaker OPEN: {family} after "
+                f"{state.get('consecutive_failures')} consecutive failures "
+                f"({state.get('skipped_cells', 0)} cell(s) skipped)",
+                file=sys.stderr,
+            )
     if len(failures) > args.max_failures:
         print(
             f"error: {len(failures)} failed cell(s) exceed "

@@ -18,32 +18,50 @@ discards its siblings' work.  Every cell resolves to a
 :class:`CellOutcome` whose ``status`` is ``ok``, ``failed`` or
 ``timeout``; pipeline exceptions are captured as a :class:`CellError`
 (type/stage/message) instead of propagating out of ``run_cells``.
-Failures retry up to ``retries`` times with exponential backoff; a
-cell that exceeds its wall-clock ``timeout`` has its (possibly hung)
-worker pool killed and respawned; a worker that dies outright
-(``BrokenProcessPool``) triggers a pool respawn, with every in-flight
-cell requeued, and after repeated breakages the harness drops to
-single-worker isolation so the poisoned cell is identified, charged
-and excluded without taking innocents with it.
-Callers that need the old raise-on-failure behaviour use
+Failures retry up to ``retries`` times with jittered exponential
+backoff; a worker that dies outright (``BrokenProcessPool``) triggers
+a pool respawn, with every in-flight cell requeued, and after repeated
+breakages the harness drops to single-worker isolation so the poisoned
+cell is identified, charged and excluded without taking innocents with
+it.  Callers that need the old raise-on-failure behaviour use
 :meth:`CellOutcome.unwrap`.
+
+Supervision: workers emit heartbeats (:mod:`repro.bench.heartbeat`) —
+pipeline stage, instructions executed, cycles simulated, checkpoints
+published — and the per-cell ``timeout`` is a *progress-aware* watchdog
+rather than a blind wall-clock kill: a cell whose heartbeat changed
+gets its deadline extended (bounded by ``hard_timeout``), one whose
+heartbeat did not change is killed at the deadline.  Failed and
+timed-out outcomes carry the last heartbeat as ``progress`` so a
+99%-done timeout is distinguishable from a cold hang.  A per-
+``(workload, scheme)`` circuit breaker (``breaker_threshold``) trips
+after K consecutive attempt failures, failing the family's remaining
+cells fast so one poisoned workload cannot burn the whole sweep's
+retry budget.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import random
+import shutil
+import tempfile
+import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.bench.cache import ResultCache, cell_key
+from repro.bench.heartbeat import HeartbeatWriter, progress_summary, read_heartbeat
 from repro.bench.matrix import Cell
 from repro.bench.results import result_from_dict, result_to_dict
 from repro.errors import ReproError, error_stage
 from repro.experiments.runner import BenchmarkResult, run_benchmark
+from repro.progress import set_progress_sink
 
 #: key -> (result, fresh compute seconds); one process-wide memo in LRU
 #: order, bounded by :func:`_memo_cap` so long-lived processes using
@@ -141,6 +159,10 @@ class CellOutcome:
         status: ``"ok"``, ``"failed"`` or ``"timeout"``.
         error: Captured failure details when ``status != "ok"``.
         attempts: Number of attempts spent on the cell (1 = first try).
+        progress: Last heartbeat of a failed/timed-out cell (stage,
+            instructions executed, cycles simulated, whether a resumable
+            checkpoint was published) — ``None`` for clean cells or when
+            the worker never reported.
     """
 
     cell: Cell
@@ -153,6 +175,7 @@ class CellOutcome:
     status: str = STATUS_OK
     error: CellError | None = None
     attempts: int = 1
+    progress: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -179,14 +202,20 @@ def compute_cell(cell: Cell) -> tuple[BenchmarkResult, float]:
     return result, time.perf_counter() - start
 
 
-def _pool_worker(payload: tuple[str, dict]) -> tuple[str, dict]:
+def _pool_worker(payload: tuple[str, dict, str | None]) -> tuple[str, dict]:
     """Process-pool entry point (must stay module-level picklable).
 
     Exceptions are captured into the returned payload rather than
     raised: a raised exception would have to survive pickling back to
-    the parent, and the parent wants type/stage strings anyway.
+    the parent, and the parent wants type/stage strings anyway.  While
+    the cell runs, the pipeline's progress reports stream into the
+    heartbeat file at ``hb_path`` so the parent's watchdog can tell a
+    slow-but-progressing cell from a hung one; the final flush makes
+    the last beat visible even when the cell fails.
     """
-    key, cell_doc = payload
+    key, cell_doc, hb_path = payload
+    heartbeat = HeartbeatWriter(hb_path)
+    set_progress_sink(heartbeat)
     try:
         result, seconds = compute_cell(Cell.from_dict(cell_doc))
     except Exception as exc:
@@ -194,6 +223,9 @@ def _pool_worker(payload: tuple[str, dict]) -> tuple[str, dict]:
             "ok": False,
             "error": CellError.from_exception(exc).as_dict(),
         }
+    finally:
+        set_progress_sink(None)
+        heartbeat.flush()
     return key, {"ok": True, "result": result_to_dict(result), "seconds": seconds}
 
 
@@ -211,10 +243,111 @@ def _decode_cache_entry(entry: dict) -> tuple[BenchmarkResult, float] | None:
     return result, compute_seconds
 
 
-def _backoff_delay(attempt: int, backoff: float) -> float:
+def _backoff_delay(
+    attempt: int, backoff: float, rng: random.Random | None = None
+) -> float:
+    """Exponential backoff with ±25% jitter.
+
+    Without jitter, cells failing together (a shared dependency
+    hiccup, a pool respawn) retry together — a stampede that re-creates
+    the very contention that failed them.  The jitter is drawn from the
+    caller's seeded ``rng`` so a run's retry schedule is reproducible.
+    """
     if backoff <= 0:
         return 0.0
-    return min(backoff * (2 ** (attempt - 1)), _MAX_BACKOFF)
+    delay = min(backoff * (2 ** (attempt - 1)), _MAX_BACKOFF)
+    if rng is not None:
+        delay *= 0.75 + 0.5 * rng.random()
+    return delay
+
+
+def _pause(stop: threading.Event | None, seconds: float) -> None:
+    """Sleep that a caller's ``stop`` event can cut short.
+
+    Backoff sleeps are where a Ctrl-C'd run used to linger; waiting on
+    the event instead of ``time.sleep`` makes shutdown prompt.
+    """
+    if seconds <= 0:
+        return
+    if stop is not None:
+        stop.wait(seconds)
+    else:
+        time.sleep(seconds)
+
+
+def _family(cell: Cell) -> str:
+    """Circuit-breaker grouping: one breaker per (workload, scheme).
+
+    Width/scale variants of a workload share the compile + partition +
+    interpret pipeline, so a deterministic failure in one almost always
+    afflicts the whole family — that is the unit worth failing fast.
+    """
+    return f"{cell.workload}/{cell.scheme}"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over cell families.
+
+    A family whose cells fail ``threshold`` *consecutive* attempts is
+    deterministically broken — more retries only burn the sweep's wall
+    clock.  Once open, queued cells of the family fail fast (type
+    ``CircuitOpen``, zero attempts charged); any success resets the
+    family's count.  ``threshold <= 0`` disables the breaker.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.failures: dict[str, int] = {}
+        self.skipped: dict[str, int] = {}
+
+    def record_failure(self, family: str) -> None:
+        if self.threshold <= 0:
+            return
+        self.failures[family] = self.failures.get(family, 0) + 1
+
+    def record_success(self, family: str) -> None:
+        if family in self.failures:
+            self.failures[family] = 0
+
+    def is_open(self, family: str) -> bool:
+        return self.threshold > 0 and self.failures.get(family, 0) >= self.threshold
+
+    def skip(self, family: str) -> CellError:
+        self.skipped[family] = self.skipped.get(family, 0) + 1
+        return CellError(
+            "CircuitOpen",
+            "harness",
+            f"circuit breaker open for {family} after "
+            f"{self.failures.get(family, 0)} consecutive failures",
+        )
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-family breaker state for the run report (tracked families
+        only — a family that never failed has nothing to report)."""
+        report: dict[str, dict] = {}
+        for family, count in sorted(self.failures.items()):
+            if count == 0 and not self.skipped.get(family):
+                continue
+            report[family] = {
+                "state": "open" if self.is_open(family) else "closed",
+                "consecutive_failures": count,
+                "threshold": self.threshold,
+                "skipped_cells": self.skipped.get(family, 0),
+            }
+        return report
+
+
+@dataclass(eq=False, slots=True)
+class RunReport:
+    """Supervision facts a caller wants alongside the outcomes.
+
+    Pass an instance to :func:`run_cells`; it is filled in place.
+    """
+
+    #: family -> breaker state, for families that recorded any failure.
+    breakers: dict[str, dict] = field(default_factory=dict)
+    #: True when a ``stop`` event aborted the run before completion.
+    aborted: bool = False
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -236,8 +369,12 @@ def run_cells(
     force: bool = False,
     progress: Callable[[CellOutcome], None] | None = None,
     timeout: float | None = None,
+    hard_timeout: float | None = None,
     retries: int = 0,
     backoff: float = 0.5,
+    breaker_threshold: int = 0,
+    stop: threading.Event | None = None,
+    report: RunReport | None = None,
 ) -> list[CellOutcome]:
     """Resolve every cell; returns outcomes in input order (deduplicated).
 
@@ -253,11 +390,26 @@ def run_cells(
         force: Recompute even on a cache hit (the cache is rewritten).
         progress: Callback invoked as each cell resolves, in completion
             order.
-        timeout: Per-cell wall-clock limit in seconds; a cell past it is
-            killed (pool respawn) and retried or marked ``timeout``.
+        timeout: Per-cell *soft* deadline in seconds.  A cell whose
+            heartbeat changed since the last watchdog look gets the
+            deadline extended by another ``timeout``; a cell with no
+            heartbeat change is killed (pool respawn) and retried or
+            marked ``timeout``.
+        hard_timeout: Absolute per-cell wall-clock ceiling; a cell is
+            killed at this point even while still making progress.
+            ``None`` means progressing cells run for as long as they
+            keep beating.
         retries: Extra attempts per cell after the first failure.
         backoff: Base of the exponential retry delay
-            (``backoff * 2**(attempt-1)`` seconds, capped).
+            (``backoff * 2**(attempt-1)`` seconds ±25% jitter, capped).
+        breaker_threshold: Consecutive attempt failures per
+            (workload, scheme) family before its circuit breaker opens
+            and remaining family cells fail fast; ``0`` disables.
+        stop: Optional event; once set, no new work starts, backoff
+            sleeps return immediately and unresolved cells are recorded
+            as failed (type ``Aborted``).
+        report: Optional :class:`RunReport` filled in place with breaker
+            state and abort status.
     """
     ordered: list[tuple[Cell, str]] = []
     seen: set[str] = set()
@@ -344,20 +496,53 @@ def run_cells(
         )
 
     def _failed(
-        cell: Cell, key: str, status: str, error: CellError, attempts: int
+        cell: Cell,
+        key: str,
+        status: str,
+        error: CellError,
+        attempts: int,
+        progress_doc: dict | None = None,
     ) -> None:
         _resolved(
             CellOutcome(
-                cell, None, key, False, "none", 0.0, 0.0, status, error, attempts
+                cell, None, key, False, "none", 0.0, 0.0, status, error,
+                attempts, progress_doc,
             )
         )
 
+    # The retry-jitter RNG is seeded from the pending work itself so a
+    # rerun of the same sweep reproduces the same backoff schedule.
+    seed_bytes = hashlib.sha256(
+        "\n".join(key for _, key in pending).encode("utf-8")
+    ).digest()
+    rng = random.Random(int.from_bytes(seed_bytes[:8], "big"))
+    breaker = CircuitBreaker(breaker_threshold)
+
     if pending and timeout is None and (jobs <= 1 or len(pending) == 1):
-        _run_serial(pending, max_attempts, backoff, _computed, _failed)
+        _run_serial(
+            pending, max_attempts, backoff, rng, breaker, stop,
+            _computed, _failed,
+        )
     elif pending:
         _run_pool(
-            pending, jobs, timeout, max_attempts, backoff, _computed, _failed
+            pending, jobs, timeout, hard_timeout, max_attempts, backoff,
+            rng, breaker, stop, _computed, _failed,
         )
+
+    # A stop-event abort leaves cells unresolved; record them so every
+    # input cell still maps to an outcome.
+    aborted = False
+    for cell, key in ordered:
+        if key not in outcomes:
+            aborted = True
+            _failed(
+                cell, key, STATUS_FAILED,
+                CellError("Aborted", "harness", "run stopped before this cell resolved"),
+                0,
+            )
+    if report is not None:
+        report.breakers = breaker.snapshot()
+        report.aborted = aborted
 
     return [outcomes[key] for _, key in ordered]
 
@@ -366,6 +551,9 @@ def _run_serial(
     pending: list[tuple[Cell, str]],
     max_attempts: int,
     backoff: float,
+    rng: random.Random,
+    breaker: CircuitBreaker,
+    stop: threading.Event | None,
     _computed: Callable,
     _failed: Callable,
 ) -> None:
@@ -373,21 +561,36 @@ def _run_serial(
 
     In-process execution cannot survive a worker crash or enforce a
     wall-clock timeout — callers needing those guarantees set
-    ``timeout`` or ``jobs > 1`` to get process isolation.
+    ``timeout`` or ``jobs > 1`` to get process isolation.  A memory-only
+    :class:`HeartbeatWriter` still collects progress so failed outcomes
+    carry the same ``progress`` doc as pooled ones.
     """
     for cell, key in pending:
+        if stop is not None and stop.is_set():
+            return
+        family = _family(cell)
+        if breaker.is_open(family):
+            _failed(cell, key, STATUS_FAILED, breaker.skip(family), 0)
+            continue
         for attempt in range(1, max_attempts + 1):
+            heartbeat = HeartbeatWriter(None)
+            set_progress_sink(heartbeat)
             try:
                 result, seconds = compute_cell(cell)
             except Exception as exc:
-                if attempt < max_attempts:
-                    time.sleep(_backoff_delay(attempt, backoff))
+                breaker.record_failure(family)
+                if attempt < max_attempts and not breaker.is_open(family):
+                    _pause(stop, _backoff_delay(attempt, backoff, rng))
+                    if stop is not None and stop.is_set():
+                        return
                     continue
                 _failed(
                     cell, key, STATUS_FAILED,
                     CellError.from_exception(exc), attempt,
+                    progress_summary(heartbeat.fields),
                 )
             else:
+                breaker.record_success(family)
                 # normalize through the dict round trip so serial results
                 # are representationally identical to pooled/cached ones
                 _computed(
@@ -395,15 +598,37 @@ def _run_serial(
                     result_from_dict(result_to_dict(result)),
                     seconds, attempt,
                 )
+            finally:
+                set_progress_sink(None)
             break
+
+
+@dataclass(eq=False, slots=True)
+class _Flight:
+    """One submitted attempt and its watchdog state."""
+
+    cell: Cell
+    key: str
+    attempt: int
+    #: Watchdog deadline; extended on heartbeat change. ``None`` = no timeout.
+    soft_deadline: float | None
+    #: Absolute ceiling (submit + hard_timeout); never extended.
+    hard_deadline: float | None
+    hb_path: str
+    #: Raw bytes of the heartbeat at the last watchdog look.
+    last_sig: bytes | None = None
 
 
 def _run_pool(
     pending: list[tuple[Cell, str]],
     jobs: int,
     timeout: float | None,
+    hard_timeout: float | None,
     max_attempts: int,
     backoff: float,
+    rng: random.Random,
+    breaker: CircuitBreaker,
+    stop: threading.Event | None,
     _computed: Callable,
     _failed: Callable,
 ) -> None:
@@ -411,6 +636,10 @@ def _run_pool(
 
     Submission is throttled to the worker count so a task's submit time
     approximates its start time, making per-cell deadlines meaningful.
+    Each flight gets a private heartbeat file; the watchdog extends a
+    flight's soft deadline whenever the file's bytes changed since the
+    last look, so ``timeout`` bounds *stall time*, not total runtime
+    (``hard_timeout`` bounds that).
     """
     # (cell, key, attempt, not_before): ready-to-run work items
     queue: deque[tuple[Cell, str, int, float]] = deque(
@@ -419,18 +648,36 @@ def _run_pool(
     workers_limit = max(1, min(jobs, len(pending)))
     pool: ProcessPoolExecutor | None = None
     pool_breaks = 0
-    # future -> (cell, key, attempt, deadline)
-    inflight: dict = {}
+    inflight: dict[object, _Flight] = {}
+    hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+    hb_counter = 0
 
-    def _requeue(cell: Cell, key: str, attempt: int, error: CellError, status: str) -> None:
-        """Retry a failed attempt or record the final failure."""
-        if attempt < max_attempts:
+    def _flight_progress(flight: _Flight) -> dict | None:
+        _sig, fields = read_heartbeat(flight.hb_path)
+        return progress_summary(fields)
+
+    def _requeue(
+        flight: _Flight, error: CellError, status: str,
+        progress_doc: dict | None = None,
+    ) -> None:
+        """Retry a failed attempt or record the final failure.
+
+        Every charged failure feeds the family's circuit breaker; once
+        it opens, remaining retries are pointless and the cell records
+        its real error immediately.
+        """
+        family = _family(flight.cell)
+        breaker.record_failure(family)
+        if flight.attempt < max_attempts and not breaker.is_open(family):
             queue.append(
-                (cell, key, attempt + 1,
-                 time.monotonic() + _backoff_delay(attempt, backoff))
+                (flight.cell, flight.key, flight.attempt + 1,
+                 time.monotonic() + _backoff_delay(flight.attempt, backoff, rng))
             )
         else:
-            _failed(cell, key, status, error, attempt)
+            _failed(
+                flight.cell, flight.key, status, error, flight.attempt,
+                progress_doc,
+            )
 
     def _handle_break() -> None:
         """The pool died under us: every in-flight cell is a suspect.
@@ -451,24 +698,28 @@ def _run_pool(
             _kill_pool(pool)
             pool = None
         if len(suspects) == 1:
-            cell, key, attempt, _deadline = suspects[0]
+            flight = suspects[0]
             _requeue(
-                cell, key, attempt,
+                flight,
                 CellError(
                     "BrokenProcessPool", "worker",
                     "worker process died before returning a result",
                 ),
                 STATUS_FAILED,
+                _flight_progress(flight),
             )
         else:
-            for cell, key, attempt, _deadline in suspects:
+            for flight in suspects:
                 queue.append(
-                    (cell, key, attempt,
-                     time.monotonic() + _backoff_delay(1, backoff))
+                    (flight.cell, flight.key, flight.attempt,
+                     time.monotonic() + _backoff_delay(1, backoff, rng))
                 )
 
+    clean_exit = False
     try:
         while queue or inflight:
+            if stop is not None and stop.is_set():
+                return
             # isolation mode: after repeated breakages, run one cell at a
             # time so the next crash attributes to exactly one cell
             workers = 1 if pool_breaks >= _ISOLATE_AFTER_BREAKS else workers_limit
@@ -484,44 +735,63 @@ def _run_pool(
                 else:
                     break  # everything queued is still backing off
                 cell, key, attempt, _not_before = queue.popleft()
+                family = _family(cell)
+                if breaker.is_open(family):
+                    # fail fast; attempt - 1 attempts were actually spent
+                    _failed(
+                        cell, key, STATUS_FAILED, breaker.skip(family),
+                        attempt - 1,
+                    )
+                    continue
+                hb_counter += 1
+                hb_path = os.path.join(hb_dir, f"{hb_counter}.hb")
                 try:
-                    future = pool.submit(_pool_worker, (key, cell.as_dict()))
+                    future = pool.submit(_pool_worker, (key, cell.as_dict(), hb_path))
                 except BrokenProcessPool:
                     queue.appendleft((cell, key, attempt, 0.0))
                     _handle_break()
                     break
-                deadline = None if timeout is None else now + timeout
-                inflight[future] = (cell, key, attempt, deadline)
+                inflight[future] = _Flight(
+                    cell, key, attempt,
+                    None if timeout is None else now + timeout,
+                    None if hard_timeout is None else now + hard_timeout,
+                    hb_path,
+                )
             if pool is None:
                 continue  # pool broke during submission; respawn and retry
 
             if not inflight:
+                if not queue:
+                    break  # breaker fail-fasts emptied the queue
                 soonest = min(item[3] for item in queue)
-                time.sleep(max(0.0, soonest - time.monotonic()) + 0.005)
+                _pause(stop, max(0.0, soonest - time.monotonic()) + 0.005)
                 continue
 
             now = time.monotonic()
             wakeups = [
-                deadline
-                for *_rest, deadline in inflight.values()
-                if deadline is not None
+                flight.soft_deadline
+                for flight in inflight.values()
+                if flight.soft_deadline is not None
             ]
             wakeups.extend(item[3] for item in queue if item[3] > now)
             wait_timeout = (
                 max(0.0, min(wakeups) - now) + 0.01 if wakeups else None
             )
+            if stop is not None:
+                # poll the stop event even while blocked on slow workers
+                wait_timeout = 0.5 if wait_timeout is None else min(wait_timeout, 0.5)
             done, _ = wait(
                 set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
             )
 
             broken = False
             for future in done:
-                cell, key, attempt, _deadline = inflight.pop(future)
+                flight = inflight.pop(future)
                 try:
                     _, payload = future.result()
                 except BrokenProcessPool:
                     broken = True
-                    inflight[future] = (cell, key, attempt, _deadline)
+                    inflight[future] = flight
                     continue
                 except Exception as exc:
                     # e.g. the payload failed to unpickle; a cell-level
@@ -531,15 +801,17 @@ def _run_pool(
                         "error": CellError.from_exception(exc).as_dict(),
                     }
                 if payload["ok"]:
+                    breaker.record_success(_family(flight.cell))
                     _computed(
-                        cell, key,
+                        flight.cell, flight.key,
                         result_from_dict(payload["result"]),
-                        payload["seconds"], attempt,
+                        payload["seconds"], flight.attempt,
                     )
                 else:
                     _requeue(
-                        cell, key, attempt,
+                        flight,
                         CellError.from_dict(payload["error"]), STATUS_FAILED,
+                        _flight_progress(flight),
                     )
             if broken:
                 _handle_break()
@@ -547,33 +819,65 @@ def _run_pool(
 
             if timeout is not None:
                 now = time.monotonic()
-                expired = [
-                    future
-                    for future, (_c, _k, _a, deadline) in inflight.items()
-                    if deadline is not None and now >= deadline
-                ]
+                expired: list[tuple[object, dict, bool]] = []
+                for future, flight in inflight.items():
+                    if flight.soft_deadline is None or now < flight.soft_deadline:
+                        continue
+                    sig, fields = read_heartbeat(flight.hb_path)
+                    progressing = sig != flight.last_sig
+                    within_ceiling = (
+                        flight.hard_deadline is None or now < flight.hard_deadline
+                    )
+                    if progressing and within_ceiling:
+                        # the cell moved since the last look: extend the
+                        # watchdog, bounded by the hard ceiling
+                        flight.last_sig = sig
+                        flight.soft_deadline = now + timeout
+                        if flight.hard_deadline is not None:
+                            flight.soft_deadline = min(
+                                flight.soft_deadline, flight.hard_deadline
+                            )
+                        continue
+                    expired.append((future, fields, progressing))
                 if expired:
-                    for future in expired:
-                        cell, key, attempt, _deadline = inflight.pop(future)
+                    for future, fields, progressing in expired:
+                        flight = inflight.pop(future)
+                        stage = str(fields.get("stage", "unknown"))
+                        if progressing:
+                            message = (
+                                f"cell exceeded the {hard_timeout:g}s hard "
+                                "wall-clock ceiling while still progressing"
+                            )
+                        else:
+                            message = (
+                                f"cell exceeded {timeout:g}s wall clock "
+                                "without heartbeat progress"
+                            )
                         _requeue(
-                            cell, key, attempt,
-                            CellError(
-                                "Timeout", "unknown",
-                                f"cell exceeded {timeout:g}s wall clock",
-                            ),
+                            flight,
+                            CellError("Timeout", stage, message),
                             STATUS_TIMEOUT,
+                            progress_summary(fields),
                         )
                     # the hung workers still occupy pool slots: kill the
                     # pool and restart the interrupted (innocent) cells
                     # without charging them an attempt
-                    for cell, key, attempt, _deadline in inflight.values():
-                        queue.appendleft((cell, key, attempt, 0.0))
+                    for flight in inflight.values():
+                        queue.appendleft((flight.cell, flight.key, flight.attempt, 0.0))
                     inflight.clear()
                     _kill_pool(pool)
                     pool = None
+        clean_exit = True
     finally:
         if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            if clean_exit:
+                pool.shutdown(wait=True, cancel_futures=True)
+            else:
+                # abnormal exit (stop event, KeyboardInterrupt, internal
+                # error): waiting on possibly-hung workers would wedge
+                # shutdown, so terminate them
+                _kill_pool(pool)
+        shutil.rmtree(hb_dir, ignore_errors=True)
 
 
 def results_by_cell(outcomes: list[CellOutcome]) -> dict[Cell, BenchmarkResult]:

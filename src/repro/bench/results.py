@@ -33,9 +33,17 @@ uploads and gates on.  Layout (schema ``repro-bench/1``)::
           "attempts": 2,
           "seconds": 0.0, "compute_seconds": 0.0,
           "error": {"type": "PartitionError", "stage": "partition",
-                    "message": "..."}
+                    "message": "..."},
+          "progress": {               # optional: last worker heartbeat
+            "stage": "simulate", "cycles": 41200, "retired": 158000,
+            "checkpoint_cycle": 40000, "checkpoint": true
+          }
         }, ...
-      ]
+      ],
+      "breakers": {                  # optional: circuit-breaker report
+        "m88ksim/advanced": {"state": "open", "consecutive_failures": 3,
+                             "threshold": 3, "skipped_cells": 1}, ...
+      }
     }
 
 Every numeric field of ``result`` is produced by the deterministic
@@ -138,6 +146,11 @@ def outcome_cell_doc(outcome) -> dict:
             if error is not None
             else {"type": "Unknown", "stage": "unknown", "message": ""}
         )
+        if getattr(outcome, "progress", None):
+            # last heartbeat of the failed worker: how far it got
+            # (stage, instructions, cycles) and whether a resumable
+            # checkpoint was published
+            doc["progress"] = dict(outcome.progress)
     return doc
 
 
@@ -149,12 +162,16 @@ def build_document(
     total_seconds: float,
     cache_stats: dict | None = None,
     code_version: str | None = None,
+    breakers: dict | None = None,
 ) -> dict:
     """Assemble the BENCH document from harness outcomes.
 
     Failed outcomes land in ``failures`` instead of ``cells``, so every
     surviving cell is byte-identical to what a fault-free run of the
-    same code version would have produced.
+    same code version would have produced.  ``breakers`` (from
+    :class:`~repro.bench.harness.RunReport`) records per-family circuit
+    breaker state; it is emitted only when non-empty so fault-free
+    documents are unchanged.
     """
     from repro.bench.cache import code_fingerprint
 
@@ -162,7 +179,7 @@ def build_document(
     failures = [outcome_cell_doc(o) for o in outcomes if not o.ok]
     hits = sum(1 for o in outcomes if o.cached)
     total = len(cells) + len(failures)
-    return {
+    doc = {
         "schema": BENCH_SCHEMA,
         "suite": suite,
         "created_unix": time.time(),
@@ -182,6 +199,9 @@ def build_document(
         "cells": cells,
         "failures": failures,
     }
+    if breakers:
+        doc["breakers"] = breakers
+    return doc
 
 
 _TOP_LEVEL_REQUIRED = (
@@ -275,6 +295,17 @@ def validate_document(doc: dict) -> None:
         error = failure.get("error")
         if error is not None and not isinstance(error, dict):
             problems.append(f"{where}.error must be an object")
+        progress = failure.get("progress")
+        if progress is not None and not isinstance(progress, dict):
+            problems.append(f"{where}.progress must be an object")
+    breakers = doc.get("breakers")
+    if breakers is not None:
+        if not isinstance(breakers, dict):
+            problems.append("breakers must be an object")
+        else:
+            for family, state in breakers.items():
+                if not isinstance(state, dict):
+                    problems.append(f"breakers[{family!r}] must be an object")
     if problems:
         raise ReproError(
             "invalid bench document:\n  " + "\n  ".join(problems)

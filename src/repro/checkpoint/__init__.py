@@ -1,0 +1,61 @@
+"""Crash-survivable simulation: the ``repro-ckpt/1`` checkpoint layer.
+
+A cycle-accurate simulation of a large trace is minutes of pure
+deterministic replay; losing one to a late crash or timeout means
+re-simulating from cycle 0.  This package lets the timing simulator
+periodically snapshot its architectural bookkeeping — ROB, issue
+windows, writer map, rename counters, cache/predictor state, stats —
+into a small versioned, checksummed, atomically-published file, and
+restore it on the next attempt so a retried or ``--resume``d cell
+restarts mid-simulation.
+
+Layers:
+
+* :mod:`repro.checkpoint.codec` — byte-level encode/decode with the
+  same discipline as ``repro-trace/1`` (magic, SHA-256 over header and
+  payload, canonical-JSON header).  The header carries *bindings*
+  (trace key, machine-config hash, code version) so a checkpoint can
+  never be applied to a different simulation.
+* :mod:`repro.checkpoint.store` — the on-disk slot directory
+  (``REPRO_CKPT_DIR``, default ``.repro-ckpt``) and the
+  :class:`~repro.checkpoint.store.CheckpointSlot` handle the simulator
+  drives.  Reads are defensive: a missing, torn, corrupt or stale
+  checkpoint is a *cold restart* (simulate from cycle 0), never a
+  wrong result.
+
+Checkpointing is off by default; ``REPRO_CKPT_CYCLES=<n>`` (or
+``repro bench --checkpoint-cycles``) enables a snapshot every ``n``
+simulated cycles.  The differential guarantee — resumed runs produce
+``SimStats.to_counters()`` bit-identical to uninterrupted runs — is
+pinned by ``tests/checkpoint/`` and the chaos suite.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.codec import (
+    CKPT_FORMAT_VERSION,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.checkpoint.store import (
+    CKPT_CYCLES_ENV,
+    CKPT_DIR_ENV,
+    CheckpointSlot,
+    CheckpointStore,
+    checkpoint_interval,
+    config_sha256,
+    slot_from_env,
+)
+
+__all__ = [
+    "CKPT_CYCLES_ENV",
+    "CKPT_DIR_ENV",
+    "CKPT_FORMAT_VERSION",
+    "CheckpointSlot",
+    "CheckpointStore",
+    "checkpoint_interval",
+    "config_sha256",
+    "decode_checkpoint",
+    "encode_checkpoint",
+    "slot_from_env",
+]

@@ -1,0 +1,103 @@
+"""The ``repro-ckpt/1`` byte format.
+
+Mirrors the ``repro-trace/1`` encoding discipline::
+
+    MAGIC (8) | sha256(header+payload) (32) | header length (4, BE)
+             | canonical-JSON header | canonical-JSON state payload
+
+The digest covers everything after itself, so a bit flip anywhere —
+header or payload — is detected and the damaged checkpoint is refused.
+The header carries the format version plus the caller's *bindings*
+(trace key, machine-config hash, code version): a checkpoint decodes
+only against the exact simulation it was taken from, so a stale file
+left behind by an older code version or a different cell can never be
+applied.  Any validation failure raises
+:class:`~repro.errors.CheckpointError`; encode→decode→encode is
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import CheckpointError
+
+#: Bump on any incompatible change to the header or state layout.
+CKPT_FORMAT_VERSION = 1
+
+#: File magic for the on-disk encoding.
+MAGIC = b"RPROCKP\x01"
+
+
+def _canonical(doc: dict) -> bytes:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def encode_checkpoint(state: dict, bindings: dict) -> bytes:
+    """Serialize a simulator ``state`` dict under ``bindings``.
+
+    Deterministic byte-for-byte: both the header and the state payload
+    are canonical JSON, so identical state encodes identically run
+    after run (the chaos suite diffs encodings across processes).
+    """
+    payload = _canonical(state)
+    header = _canonical(
+        {
+            "format": "repro-ckpt",
+            "version": CKPT_FORMAT_VERSION,
+            "bindings": bindings,
+            "payload_bytes": len(payload),
+        }
+    )
+    digest = hashlib.sha256(header + payload).digest()
+    return b"".join(
+        (MAGIC, digest, len(header).to_bytes(4, "big"), header, payload)
+    )
+
+
+def decode_checkpoint(data: bytes, bindings: dict | None = None) -> dict:
+    """Decode and validate; raises :class:`CheckpointError` on damage.
+
+    When ``bindings`` is given, the header's bindings must match it
+    exactly — a mismatch (different trace, machine config or code
+    version) is as fatal as a checksum failure.
+    """
+    prefix = len(MAGIC) + 32 + 4
+    if len(data) < prefix:
+        raise CheckpointError("truncated checkpoint (shorter than prefix)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise CheckpointError("bad checkpoint magic")
+    digest = data[len(MAGIC): len(MAGIC) + 32]
+    header_len = int.from_bytes(data[len(MAGIC) + 32: prefix], "big")
+    if len(data) < prefix + header_len:
+        raise CheckpointError("truncated checkpoint (header cut short)")
+    header = data[prefix: prefix + header_len]
+    payload = data[prefix + header_len:]
+    if hashlib.sha256(header + payload).digest() != digest:
+        raise CheckpointError("checkpoint checksum mismatch")
+    try:
+        doc = json.loads(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint header: {exc}")
+    if not isinstance(doc, dict) or doc.get("format") != "repro-ckpt":
+        raise CheckpointError("not a repro-ckpt header")
+    if doc.get("version") != CKPT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {doc.get('version')!r} "
+            f"(this build reads {CKPT_FORMAT_VERSION})"
+        )
+    if doc.get("payload_bytes") != len(payload):
+        raise CheckpointError("checkpoint payload length disagrees with header")
+    if bindings is not None and doc.get("bindings") != bindings:
+        raise CheckpointError(
+            "checkpoint bindings do not match this simulation "
+            "(different trace, machine config or code version)"
+        )
+    try:
+        state = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint state: {exc}")
+    if not isinstance(state, dict):
+        raise CheckpointError("checkpoint state must be a JSON object")
+    return state

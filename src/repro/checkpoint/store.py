@@ -1,0 +1,188 @@
+"""Checkpoint slots: naming, persistence, fault hooks.
+
+A *slot* is the single on-disk checkpoint for one simulation, keyed by
+``sha256(trace_key + machine-config hash)`` and stored under
+``<root>/<key[:2]>/<key>.rck``.  Each save overwrites the slot via the
+shared atomic-write helper, so at any instant the slot holds either the
+previous complete checkpoint or the new one — a writer killed
+mid-publish (the chaos suite's SIGKILL scenario) can only lose the
+*latest* snapshot, never corrupt the slot.
+
+Reads are defensive: missing, torn, corrupt or wrong-bindings files are
+a *cold restart* (``load`` returns ``None``), never an error.  The
+``ckpt_write``/``ckpt_read`` fault sites let ``REPRO_FAULTS`` inject
+errors, crashes and byte corruption at both ends; the write path
+additionally exposes a ``<label>@publish`` fault point between the
+durable temp write and the rename, which is exactly where a kill must
+leave the previous checkpoint intact.
+
+Knobs (both also settable through ``repro bench``):
+
+* ``REPRO_CKPT_CYCLES`` — snapshot period in simulated cycles
+  (``0``/unset = checkpointing off);
+* ``REPRO_CKPT_DIR`` — slot directory (default ``.repro-ckpt``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.faults import corrupt_point, fault_point
+from repro.ioutil import atomic_write_bytes
+from repro.checkpoint.codec import CKPT_FORMAT_VERSION, decode_checkpoint, encode_checkpoint
+
+#: Snapshot period in simulated cycles; 0/unset disables checkpointing.
+CKPT_CYCLES_ENV = "REPRO_CKPT_CYCLES"
+
+#: Directory holding checkpoint slots.
+CKPT_DIR_ENV = "REPRO_CKPT_DIR"
+
+DEFAULT_CKPT_DIR = ".repro-ckpt"
+
+
+def checkpoint_interval() -> int:
+    """The configured snapshot period (cycles); 0 when disabled."""
+    try:
+        return max(0, int(os.environ.get(CKPT_CYCLES_ENV, "0")))
+    except (TypeError, ValueError):
+        return 0
+
+
+def config_sha256(config, perfect_branches: bool = False) -> str:
+    """Hash of every machine parameter a checkpoint's state depends on."""
+    payload = {
+        "machine": asdict(config),
+        "perfect_branches": perfect_branches,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Directory of checkpoint slots with atomic overwrites."""
+
+    SUFFIX = ".rck"
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{self.SUFFIX}"
+
+    def load(self, key: str, bindings: dict, label: str = "") -> dict | None:
+        """The decoded state, or ``None`` on miss, damage or staleness."""
+        fault_point("ckpt_read", label)
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        # chaos hook: REPRO_FAULTS can flip bytes here, proving restore
+        # treats stored checkpoints as untrusted input (cold restart)
+        data = corrupt_point("ckpt_read", data, label=label or key)
+        try:
+            return decode_checkpoint(data, bindings)
+        except CheckpointError:
+            return None
+
+    def save(self, key: str, state: dict, bindings: dict, label: str = "") -> None:
+        """Atomically publish ``state`` into the slot (best effort).
+
+        An unwritable store degrades to a no-op — checkpointing is a
+        recovery optimization, never a correctness dependency.  Fault
+        hooks: the plain ``ckpt_write`` point fires on entry (and a
+        ``corrupt`` clause scrambles the encoded bytes, which the next
+        ``load`` must refuse); ``<label>@publish`` fires between the
+        durable temp-file write and the rename, modelling a worker
+        killed mid-publish.
+        """
+        fault_point("ckpt_write", label)
+        data = encode_checkpoint(state, bindings)
+        data = corrupt_point("ckpt_write", data, label=label or key)
+        try:
+            atomic_write_bytes(
+                self.path_for(key),
+                data,
+                before_publish=lambda: fault_point("ckpt_write", f"{label}@publish"),
+            )
+        except OSError:
+            pass
+
+    def discard(self, key: str) -> None:
+        """Remove the slot (a completed simulation has no use for it)."""
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+
+class CheckpointSlot:
+    """One simulation's handle on its checkpoint: key, bindings, period.
+
+    ``bindings`` ties the slot to the exact (trace, machine config,
+    code version) triple; ``interval`` is the snapshot period in
+    simulated cycles the :class:`~repro.sim.pipeline.TimingSimulator`
+    honours.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        key: str,
+        bindings: dict,
+        *,
+        interval: int,
+        label: str = "",
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.bindings = bindings
+        self.interval = interval
+        self.label = label
+
+    def load(self) -> dict | None:
+        return self.store.load(self.key, self.bindings, self.label)
+
+    def save(self, state: dict) -> None:
+        self.store.save(self.key, state, self.bindings, self.label)
+
+    def clear(self) -> None:
+        self.store.discard(self.key)
+
+
+def slot_from_env(
+    trace_key: str,
+    config,
+    *,
+    perfect_branches: bool = False,
+    label: str = "",
+) -> CheckpointSlot | None:
+    """The environment-configured slot for one simulation, or ``None``.
+
+    Returns ``None`` unless ``REPRO_CKPT_CYCLES`` is a positive
+    integer.  The slot key hashes the trace key with the machine-config
+    hash; the bindings additionally pin the code version, so checkpoints
+    never survive a code change.
+    """
+    interval = checkpoint_interval()
+    if interval <= 0:
+        return None
+    from repro.bench.cache import code_fingerprint
+
+    root = os.environ.get(CKPT_DIR_ENV, "").strip() or DEFAULT_CKPT_DIR
+    config_sha = config_sha256(config, perfect_branches)
+    key = hashlib.sha256(f"{trace_key}:{config_sha}".encode("utf-8")).hexdigest()
+    bindings = {
+        "format_version": CKPT_FORMAT_VERSION,
+        "trace_key": trace_key,
+        "config_sha256": config_sha,
+        "code_version": code_fingerprint(),
+    }
+    return CheckpointSlot(
+        CheckpointStore(root), key, bindings, interval=interval, label=label
+    )

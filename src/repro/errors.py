@@ -133,6 +133,21 @@ class TracePackError(ReproError):
     stage = "trace_pack"
 
 
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be encoded, decoded or applied
+    (bad magic, checksum mismatch, unsupported format version, bindings
+    that do not match the running simulation).
+
+    The checkpoint store treats a damaged or stale checkpoint as a
+    *cold restart* — the simulation simply runs from cycle 0 — so this
+    error only escapes when callers use the codec directly or when a
+    fault is injected at the ``ckpt_write``/``ckpt_read`` sites.
+    """
+
+    exit_code = 22
+    stage = "checkpoint"
+
+
 class FaultInjected(ReproError):
     """A fault deliberately injected by :mod:`repro.faults`.
 
@@ -175,6 +190,7 @@ EXIT_CODES: dict[str, int] = {
     "WorkloadError": WorkloadError.exit_code,
     "FaultInjected": FaultInjected.exit_code,
     "TracePackError": TracePackError.exit_code,
+    "CheckpointError": CheckpointError.exit_code,
 }
 
 

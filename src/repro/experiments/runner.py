@@ -19,16 +19,18 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.checkpoint import slot_from_env
 from repro.errors import PartitionError, ReproError
 from repro.faults import fault_point
 from repro.ir.program import Program
 from repro.ir.verify import verify_program
 from repro.partition.cost import CostParams, ExecutionProfile
 from repro.partition.program import partition_program
+from repro.progress import report_progress
 from repro.regalloc.linear_scan import allocate_program
 from repro.runtime.interp import run_program
 from repro.sim.config import MachineConfig, eight_way, four_way
-from repro.sim.pipeline import simulate_trace
+from repro.sim.pipeline import TimingSimulator
 from repro.sim.stats import SimStats
 from repro.trace.pack import PackedTrace, pack_entries, program_fingerprint
 from repro.trace.store import load_trace, store_trace, trace_key
@@ -194,8 +196,9 @@ def _capture_or_replay(
     balance_limit: float | None,
     interprocedural: bool,
     where: str,
-) -> PackedTrace:
-    """The packed dynamic trace for ``artifacts`` — replayed when possible.
+) -> tuple[PackedTrace, str]:
+    """The packed dynamic trace for ``artifacts`` plus its trace key —
+    replayed when possible.
 
     The trace depends only on the program (workload + partition options
     + code version), never on the machine config, so the in-process pool
@@ -203,7 +206,8 @@ def _capture_or_replay(
     configurations interpret each (workload, scheme) exactly once.  A
     replayed pack is trusted only when its recorded program fingerprint
     matches the freshly prepared program — a stale or foreign pack falls
-    back to interpretation.
+    back to interpretation.  The key is returned because the simulation
+    checkpoint slot is derived from it (trace key + machine config).
     """
     key = trace_key(
         name,
@@ -219,7 +223,7 @@ def _capture_or_replay(
     fingerprint = program_fingerprint(artifacts.program)
     packed = load_trace(key, label=where)
     if packed is not None and packed.meta.get("program_sha256") == fingerprint:
-        return packed
+        return packed, key
     run = run_program(artifacts.program, collect_trace=True)
     packed = pack_entries(
         run.trace,
@@ -233,7 +237,7 @@ def _capture_or_replay(
         },
     )
     store_trace(key, packed, label=where)
-    return packed
+    return packed, key
 
 
 def run_benchmark(
@@ -257,6 +261,8 @@ def run_benchmark(
             config = eight_way()
         else:
             raise ReproError(f"width must be 4 or 8, got {width}")
+    where = f"{name}/{scheme}"
+    report_progress(stage="prepare")
     artifacts = prepare_program(
         name,
         scheme,
@@ -268,9 +274,9 @@ def run_benchmark(
         interprocedural=interprocedural,
         degrade=degrade,
     )
-    where = f"{name}/{scheme}"
     fault_point("execute", where)
-    packed = _capture_or_replay(
+    report_progress(stage="execute")
+    packed, key = _capture_or_replay(
         name,
         scheme,
         artifacts,
@@ -284,7 +290,11 @@ def run_benchmark(
     )
     mix = packed.dynamic_mix()
     fault_point("simulate", where)
-    stats = simulate_trace(packed, config)
+    report_progress(stage="simulate")
+    # the checkpoint slot (REPRO_CKPT_CYCLES opt-in) is keyed by trace
+    # key + machine config, so a retried cell resumes mid-simulation
+    slot = slot_from_env(key, config, label=where)
+    stats = TimingSimulator(config, checkpoint=slot).run(packed)
     offload = mix["fp_executed"] / mix["total"] if mix["total"] else 0.0
     return BenchmarkResult(
         name=name,

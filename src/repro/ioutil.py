@@ -1,0 +1,52 @@
+"""Shared filesystem primitives for the on-disk stores.
+
+Every durable artifact this package writes — cached cell results,
+packed traces, simulation checkpoints, heartbeat files — uses the same
+publish discipline: write the full contents to a unique temporary file
+in the destination directory, fsync, then :func:`os.replace`.  The
+rename is atomic on POSIX, so a reader never observes a torn file and
+a crashed writer leaves at worst an ignored ``*.tmp-*`` orphan.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike,
+    data: bytes,
+    *,
+    fsync: bool = True,
+    before_publish: Callable[[], None] | None = None,
+) -> None:
+    """Atomically publish ``data`` at ``path`` (tmp + ``os.replace``).
+
+    Creates parent directories as needed.  ``before_publish`` runs after
+    the temporary file is durably written but *before* the rename — the
+    chaos suite hooks a fault point there to model a writer killed
+    mid-publish (the reader must then see the previous contents, or
+    nothing, never a torn file).  Any failure removes the temporary
+    file and re-raises.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, prefix=target.name + ".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        if before_publish is not None:
+            before_publish()
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -22,6 +22,7 @@ from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode, OpKind
 from repro.ir.program import Program
 from repro.partition.cost import ExecutionProfile
+from repro.progress import report_progress
 from repro.runtime.state import MachineState, s32
 from repro.runtime.trace import ProgramLayout, Subsystem, TraceEntry
 
@@ -269,6 +270,8 @@ class Interpreter:
                 raise FuelExhausted(
                     f"exceeded fuel of {fuel} dynamic instructions"
                 )
+            if executed & 65535 == 0:
+                report_progress(executed=executed)
 
             regs = act.regs
             entry_trace: TraceEntry | None = None

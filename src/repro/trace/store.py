@@ -30,12 +30,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import TracePackError
 from repro.faults import corrupt_point, fault_point
+from repro.ioutil import atomic_write_bytes
 from repro.partition.cost import CostParams
 from repro.trace.pack import TRACE_FORMAT_VERSION, PackedTrace
 
@@ -209,24 +209,7 @@ class TraceStore:
 
             pack.meta["code_version"] = code_fingerprint()
         try:
-            data = pack.to_bytes()
-            path = self.path_for(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=path.name + ".tmp-"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(data)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            atomic_write_bytes(self.path_for(key), pack.to_bytes())
         except OSError:
             pass
 

@@ -154,7 +154,7 @@ class TestResultCache:
         def exploding_dump(*args, **kwargs):
             raise Boom()
 
-        monkeypatch.setattr("repro.bench.cache.json.dump", exploding_dump)
+        monkeypatch.setattr("repro.bench.cache.json.dumps", exploding_dump)
         with pytest.raises(Boom):
             cache.put(key, ENTRY)
         monkeypatch.undo()

@@ -1,0 +1,119 @@
+"""Checkpoint slots: defensive reads, atomic overwrites, env wiring.
+
+The store's contract is asymmetric on purpose: ``save`` is best-effort
+(an unwritable directory degrades to "no checkpoint", never an error),
+while ``load`` refuses anything that is not a bit-perfect checkpoint
+for exactly this simulation and returns ``None`` — a cold restart.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.checkpoint import (
+    CKPT_CYCLES_ENV,
+    CKPT_DIR_ENV,
+    CheckpointStore,
+    config_sha256,
+    slot_from_env,
+)
+from repro.sim.config import eight_way, four_way
+
+KEY = "12" * 32
+BINDINGS = {"trace_key": "t", "config_sha256": "c", "code_version": "v"}
+STATE = {"now": 7, "stats": {"cycles": 7}}
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(KEY, STATE, BINDINGS)
+        assert store.load(KEY, BINDINGS) == STATE
+
+    def test_missing_slot_is_a_cold_restart(self, tmp_path):
+        assert CheckpointStore(tmp_path).load(KEY, BINDINGS) is None
+
+    def test_torn_file_is_a_cold_restart(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(KEY, STATE, BINDINGS)
+        path = store.path_for(KEY)
+        path.write_bytes(path.read_bytes()[:-9])
+        assert store.load(KEY, BINDINGS) is None
+
+    def test_foreign_bindings_are_a_cold_restart(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(KEY, STATE, BINDINGS)
+        other = dict(BINDINGS, code_version="other")
+        assert store.load(KEY, other) is None
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(KEY, STATE, BINDINGS)
+        newer = {"now": 9, "stats": {"cycles": 9}}
+        store.save(KEY, newer, BINDINGS)
+        assert store.load(KEY, BINDINGS) == newer
+        parent = store.path_for(KEY).parent
+        assert [p.name for p in parent.iterdir()] == [store.path_for(KEY).name]
+
+    def test_failed_publish_keeps_previous_checkpoint(self, tmp_path, monkeypatch):
+        """A writer dying between temp write and rename must leave the
+        previous complete checkpoint in place (the SIGKILL model)."""
+        store = CheckpointStore(tmp_path)
+        store.save(KEY, STATE, BINDINGS)
+
+        def exploding_replace(src, dst):
+            raise OSError("killed mid-publish")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        store.save(KEY, {"now": 9}, BINDINGS)
+        monkeypatch.undo()
+        assert store.load(KEY, BINDINGS) == STATE
+
+    def test_unwritable_store_is_a_no_op(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        store = CheckpointStore(blocker / "sub")  # parent is a file
+        store.save(KEY, STATE, BINDINGS)  # must not raise
+
+    def test_discard_removes_the_slot(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(KEY, STATE, BINDINGS)
+        store.discard(KEY)
+        assert store.load(KEY, BINDINGS) is None
+        store.discard(KEY)  # idempotent
+
+
+class TestSlotFromEnv:
+    def test_disabled_without_env(self):
+        assert slot_from_env("t", four_way()) is None
+
+    def test_disabled_on_zero_or_garbage(self, monkeypatch):
+        for value in ("0", "-5", "nope"):
+            monkeypatch.setenv(CKPT_CYCLES_ENV, value)
+            assert slot_from_env("t", four_way()) is None
+
+    def test_enabled_slot_roundtrips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CKPT_CYCLES_ENV, "500")
+        monkeypatch.setenv(CKPT_DIR_ENV, str(tmp_path))
+        slot = slot_from_env("t", four_way(), label="x")
+        assert slot is not None and slot.interval == 500
+        assert slot.load() is None
+        slot.save(STATE)
+        assert slot.load() == STATE
+        slot.clear()
+        assert slot.load() is None
+
+    def test_machine_config_separates_slots(self, tmp_path, monkeypatch):
+        """The same trace on different machines must never share a
+        checkpoint — the slot key folds in the config hash."""
+        monkeypatch.setenv(CKPT_CYCLES_ENV, "500")
+        monkeypatch.setenv(CKPT_DIR_ENV, str(tmp_path))
+        four = slot_from_env("t", four_way())
+        eight = slot_from_env("t", eight_way())
+        assert four.key != eight.key
+        four.save(STATE)
+        assert eight.load() is None
+
+    def test_config_sha_covers_perfect_branches(self):
+        config = four_way()
+        assert config_sha256(config, False) != config_sha256(config, True)
