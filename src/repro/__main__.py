@@ -6,6 +6,8 @@ Usage::
     python -m repro run prog.mc                # execute, print the result
     python -m repro partition prog.mc          # annotated partition + stats
     python -m repro lint prog.mc               # static checks on partitioned IR
+    python -m repro analyze prog.mc            # abstract-interpretation warnings
+    python -m repro analyze --compare-profile  # static vs measured profiles
     python -m repro simulate prog.mc           # conventional vs partitioned
     python -m repro report [fig8 fig9 ...]     # regenerate paper artifacts
     python -m repro bench --suite fig8 -j 4    # benchmark matrix -> BENCH JSON
@@ -45,10 +47,32 @@ def _compile(args: argparse.Namespace):
     return compile_source(_read_source(args.file), optimize=not args.no_opt)
 
 
-def cmd_compile(args: argparse.Namespace) -> int:
-    from repro.ir.printer import print_program
+def _profile_for(program, mode: str):
+    """Resolve a ``--profile`` choice to an ExecutionProfile (or None for
+    the paper's probabilistic estimate)."""
+    if mode == "measured":
+        from repro.runtime.interp import run_program
 
-    print(print_program(_compile(args)), end="")
+        return run_program(program).profile
+    if mode == "static":
+        from repro.analysis.freq import static_profile
+
+        return static_profile(program)
+    return None  # "estimate": p_B * 5^d fallback inside the cost model
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.analysis.warnings import AnalysisWarning
+    from repro.ir.printer import print_program
+    from repro.minic.compile import compile_source
+
+    warnings: list[AnalysisWarning] = []
+    program = compile_source(
+        _read_source(args.file), optimize=not args.no_opt, warnings=warnings
+    )
+    for warning in warnings:
+        print(warning.render(), file=sys.stderr)
+    print(print_program(program), end="")
     return 0
 
 
@@ -67,10 +91,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
     from repro.partition.interproc import decide_fp_arguments
     from repro.partition.partition import partition_stats
     from repro.partition.report import annotate_partition, offload_by_opcode
-    from repro.runtime.interp import run_program
 
     program = _compile(args)
-    profile = run_program(program).profile if args.scheme == "advanced" else None
+    profile = _profile_for(program, args.profile) if args.scheme == "advanced" else None
     partitions = {}
     for name, func in program.functions.items():
         if args.scheme == "basic":
@@ -155,9 +178,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         from repro.partition.advanced import advanced_partition
         from repro.partition.basic import basic_partition
         from repro.partition.rewrite import apply_partition
-        from repro.runtime.interp import run_program
 
-        profile = run_program(program).profile if args.scheme == "advanced" else None
+        profile = _profile_for(program, args.profile) if args.scheme == "advanced" else None
         partitions = {}
         for name, func in program.functions.items():
             if args.scheme == "basic":
@@ -193,6 +215,109 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if result.failed(fail_on) else 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.freq import static_profile
+    from repro.analysis.profilecmp import compare_profiles
+    from repro.analysis.warnings import analyze_program
+    from repro.lint import Severity
+    from repro.minic.compile import compile_source
+
+    fail_on = Severity.from_name(args.fail_on)
+    if args.file is not None:
+        targets = [(args.file, _read_source(args.file))]
+    else:
+        from repro.workloads import WORKLOADS, workload_source
+
+        targets = [
+            (f"workload:{name}", workload_source(name, scale=args.scale))
+            for name in sorted(WORKLOADS)
+        ]
+
+    documents = []
+    total_warnings = 0
+    for label, source in targets:
+        program = compile_source(source, optimize=not args.no_opt)
+        warnings = analyze_program(program)
+        total_warnings += len(warnings)
+        entry: dict = {
+            "source": label,
+            "warnings": [w.to_dict() for w in warnings],
+        }
+        if args.compare_profile:
+            from repro.partition.advanced import advanced_partition
+            from repro.partition.partition import partition_stats
+            from repro.runtime.interp import run_program
+
+            static = static_profile(program)
+            measured = run_program(program).profile
+            agreement = compare_profiles(program, static, measured)
+            offload_static = offload_measured = 0
+            intersection = union = 0
+            for func in program.functions.values():
+                part_s = advanced_partition(func, profile=static)
+                part_m = advanced_partition(func, profile=measured)
+                offload_static += partition_stats(part_s)["offloaded_instructions"]
+                offload_measured += partition_stats(part_m)["offloaded_instructions"]
+                intersection += len(part_s.fp & part_m.fp)
+                union += len(part_s.fp | part_m.fp)
+            entry["agreement"] = agreement.to_dict()
+            entry["partition_impact"] = {
+                "offloaded_static": offload_static,
+                "offloaded_measured": offload_measured,
+                "decision_agreement": round(
+                    intersection / union if union else 1.0, 6
+                ),
+            }
+        documents.append(entry)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "version": "repro-analyze/1",
+                    "fail_on": str(fail_on),
+                    "programs": documents,
+                    "summary": {"warnings": total_warnings},
+                },
+                indent=2,
+                sort_keys=False,
+            )
+        )
+    else:
+        for entry in documents:
+            if len(documents) > 1:
+                print(f"== {entry['source']} ==")
+            if entry["warnings"]:
+                for w in entry["warnings"]:
+                    print(
+                        f"warning: {w['kind']}: {w['function']}:{w['block']}: "
+                        f"{w['message']}"
+                    )
+            else:
+                print("no analysis warnings")
+            if "agreement" in entry:
+                agr = entry["agreement"]
+                impact = entry["partition_impact"]
+                matches = sum(1 for f in agr["functions"] if f["hottest_match"])
+                print(
+                    f"agreement: weighted overlap {agr['weighted_overlap']:.3f}, "
+                    f"hottest block match {matches}/{len(agr['functions'])}, "
+                    f"uncovered {len(agr['uncovered'])}"
+                )
+                print(
+                    f"partitions: static profile offloads "
+                    f"{impact['offloaded_static']} instr vs "
+                    f"{impact['offloaded_measured']} measured; "
+                    f"decision agreement "
+                    f"{100 * impact['decision_agreement']:.1f}%"
+                )
+            if len(documents) > 1:
+                print()
+    return 1 if total_warnings and fail_on <= Severity.WARNING else 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.partition.program import partition_program
     from repro.regalloc.linear_scan import allocate_program
@@ -209,7 +334,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         program = compile_source(source, optimize=not args.no_opt)
         if scheme is not None:
-            profile = run_program(program).profile
+            profile = _profile_for(program, args.profile)
             # with --verify, partition_program also runs the linter on the
             # partitions and the rewritten IR, raising on any error.
             partition_program(
@@ -280,9 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fuel", type=int, default=50_000_000)
     p.set_defaults(fn=cmd_run)
 
+    def add_profile(p):
+        p.add_argument(
+            "--profile", choices=("measured", "static", "estimate"),
+            default="measured",
+            help="profile source for the advanced cost model: execute the "
+                 "program (measured), Ball/Wu-Larus static estimation "
+                 "(static), or the paper's p_B*5^d fallback (estimate)")
+
     p = sub.add_parser("partition", help="show the partition, annotated")
     add_source(p)
     p.add_argument("--scheme", choices=("basic", "advanced"), default="advanced")
+    add_profile(p)
     p.add_argument("--balance-limit", type=float, default=None,
                    help="optional FPa share cap (the §6.6 extension)")
     p.add_argument("--interprocedural", action="store_true",
@@ -307,11 +441,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lowest severity that makes the exit status non-zero")
     p.add_argument("--rules", default=None, metavar="ID,ID",
                    help="comma-separated rule ids to run (default: all)")
+    add_profile(p)
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="abstract-interpretation warnings and static-profile agreement",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="MiniC source file, - for stdin, or workload:<name>; "
+                        "omit to analyze every registered workload")
+    p.add_argument("--no-opt", action="store_true", help="skip optimizations")
+    p.add_argument("--scale", type=int, default=3,
+                   help="workload scale when FILE is omitted (default: 3)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable repro-analyze/1 document")
+    p.add_argument("--fail-on", choices=("note", "warning", "error"),
+                   default="error",
+                   help="lowest severity that makes the exit status non-zero "
+                        "(analysis findings are warnings; the default "
+                        "'error' never fails)")
+    p.add_argument("--compare-profile", action="store_true",
+                   help="also compare the static profile against a measured "
+                        "run and report partition impact")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("simulate", help="conventional vs partitioned timing")
     add_source(p)
     p.add_argument("--width", type=int, choices=(4, 8), default=4)
+    add_profile(p)
     p.add_argument("--fuel", type=int, default=50_000_000)
     p.add_argument("--timeline", type=int, default=0, metavar="N",
                    help="print an N-instruction pipeline diagram of the "

@@ -1,0 +1,367 @@
+"""Independent certification of advanced-scheme partitions.
+
+The partitioner's own bookkeeping (``S_copy``/``S_dupl``/back-copies and
+per-component Profit) is *trusted* by the rewrite stage; the only check
+so far — the ``cost-consistency`` lint rule — re-derives the sets with
+:func:`~repro.partition.advanced.recount_communication`, which shares
+the partitioner's code.  A bug in that shared code certifies itself.
+
+This module is a from-scratch auditor: it re-walks the RDG with its own
+edge predicates, component search and §6.1 pricing, and certifies that
+
+1. every bookkept copy/duplicate site is an INT node that actually
+   feeds the FPa side (no phantom overhead inflating the books),
+2. every constraining INT→FPa edge is paid for by a copy or duplicate
+   and every FPa→INT edge is a legal crossing (back-copy on a
+   convention edge, or a pre-existing copy instruction),
+3. duplicated nodes are re-executable in FPa (``.a`` twin exists,
+   parents available), and
+4. every FPa component that uses communication has
+   ``Benefit − Overhead ≥ −tol`` when re-priced from the partitioned
+   IR and the profile — the §6 profitability contract.
+
+The result is a :class:`ProfitCertificate` whose ``violations`` list is
+empty exactly when the partition honours the cost model.  The
+``profit-certification`` lint rule (rule 7) surfaces violations as
+diagnostics, and :func:`~repro.partition.program.partition_program`
+refuses to rewrite uncertified advanced partitions by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.ir.opcodes import OpKind, fpa_twin
+from repro.rdg.graph import RDG, Node, Part, Pin
+
+if TYPE_CHECKING:  # avoid a module cycle: partition.cost imports analysis
+    from repro.partition.cost import CostParams, ExecutionProfile
+    from repro.partition.partition import Partition
+
+#: Numerical slack for the profit bound (float bookkeeping noise).
+PROFIT_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentAudit:
+    """One FPa connected component, re-priced with the §6.1 model."""
+
+    nodes: frozenset[Node]
+    benefit: float
+    overhead: float
+    uses_communication: bool
+    pinned_fp: bool
+
+    @property
+    def profit(self) -> float:
+        return self.benefit - self.overhead
+
+
+@dataclass(eq=False, slots=True)
+class ProfitCertificate:
+    """Outcome of auditing one partition.
+
+    ``ok`` is True exactly when the bookkeeping is consistent and every
+    communication-using component is profitable within the tolerance.
+    """
+
+    function: str
+    scheme: str
+    components: list[ComponentAudit] = field(default_factory=list)
+    violations: list[tuple[str, Node | None]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def total_profit(self) -> float:
+        return sum(c.profit for c in self.components if not c.pinned_fp)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "function": self.function,
+            "scheme": self.scheme,
+            "ok": self.ok,
+            "components": len(self.components),
+            "communicating_components": sum(
+                1 for c in self.components if c.uses_communication
+            ),
+            "total_profit": round(self.total_profit(), 6),
+            "violations": len(self.violations),
+        }
+
+
+class _Auditor:
+    """One certification pass; independent of the partitioner classes."""
+
+    def __init__(
+        self,
+        partition: "Partition",
+        n_b: dict[str, float],
+        params: "CostParams",
+        tol: float,
+    ):
+        self.partition = partition
+        self.rdg: RDG = partition.rdg
+        self.n_b = n_b
+        self.params = params
+        self.tol = tol
+        self.fp = partition.fp
+        self.sites = partition.copies | partition.dups
+
+    # -- independent edge predicates ------------------------------------
+    def _count(self, node: Node) -> float:
+        return self.n_b.get(self.rdg.block(node), 0.0)
+
+    def _is_copy_instr(self, node: Node) -> bool:
+        return self.rdg.instruction(node).kind is OpKind.COPY
+
+    def _constraining_edges(self) -> Iterator[tuple[Node, Node]]:
+        """Register edges that constrain the partition: not out of a copy
+        instruction, not a calling-convention edge."""
+        conv = self.rdg.convention_edges
+        for src in self.rdg.nodes:
+            if self._is_copy_instr(src):
+                continue
+            for dst in self.rdg.succs[src]:
+                if (src, dst) not in conv:
+                    yield src, dst
+
+    def _constraining_children(self, node: Node) -> list[Node]:
+        if self._is_copy_instr(node):
+            return []
+        conv = self.rdg.convention_edges
+        return [c for c in self.rdg.succs[node] if (node, c) not in conv]
+
+    def _constraining_parents(self, node: Node) -> list[Node]:
+        conv = self.rdg.convention_edges
+        return [
+            p
+            for p in self.rdg.preds[node]
+            if not self._is_copy_instr(p) and (p, node) not in conv
+        ]
+
+    def _is_duplicable(self, node: Node) -> bool:
+        instr = self.rdg.instruction(node)
+        return (
+            node.part is Part.WHOLE
+            and instr.kind is OpKind.ALU
+            and fpa_twin(instr.op) is not None
+        )
+
+    def _justified_sites(self) -> set[Node]:
+        """Sites with a real FPa consumer, or demanded transitively by a
+        justified *duplicate* (a dup's FPa twin re-reads its parents)."""
+        justified = {
+            site
+            for site in self.sites
+            if any(c in self.fp for c in self._constraining_children(site))
+        }
+        changed = True
+        while changed:
+            changed = False
+            for site in self.sites - justified:
+                if any(
+                    c in self.partition.dups and c in justified and c != site
+                    for c in self._constraining_children(site)
+                ):
+                    justified.add(site)
+                    changed = True
+        return justified
+
+    # -- bookkeeping audit ----------------------------------------------
+    def audit_sites(self) -> Iterator[tuple[str, Node | None]]:
+        justified = self._justified_sites()
+        for site in sorted(self.sites, key=_node_key):
+            which = "copy" if site in self.partition.copies else "duplicate"
+            if site in self.fp:
+                yield f"bookkept {which} site {site!r} is not an INT node", site
+            instr = self.rdg.instruction(site)
+            if site.part is Part.ADDR or not instr.defs:
+                yield f"bookkept {which} site {site!r} defines no copyable register", site
+            if site not in justified:
+                yield (
+                    f"phantom {which} site {site!r}: no FPa consumer "
+                    "(direct or via a duplicate's parent demand), yet its "
+                    "overhead is charged to the cost model",
+                    site,
+                )
+        both = self.partition.copies & self.partition.dups
+        for site in sorted(both, key=_node_key):
+            yield f"{site!r} is bookkept as both copy and duplicate", site
+        for site in sorted(self.partition.dups, key=_node_key):
+            if not self._is_duplicable(site):
+                yield f"duplicate site {site!r} has no FPa twin", site
+            for parent in self._constraining_parents(site):
+                if parent == site:
+                    continue  # self-dependence: satisfied by the twin
+                if parent in self.fp or parent in self.sites:
+                    continue
+                yield (
+                    f"duplicate site {site!r} needs parent {parent!r} in FPa, "
+                    "but it is neither copied, duplicated nor FPa-resident",
+                    site,
+                )
+
+    def audit_edges(self) -> Iterator[tuple[str, Node | None]]:
+        conv = self.rdg.convention_edges
+        back = self.partition.back_copies
+        for src, dst in self._constraining_edges():
+            src_fp, dst_fp = src in self.fp, dst in self.fp
+            if src_fp == dst_fp:
+                continue
+            if not src_fp:
+                if src not in self.sites:
+                    yield (
+                        f"unpaid INT→FPa edge {src!r} → {dst!r}: no copy or "
+                        "duplicate is bookkept for it",
+                        src,
+                    )
+            else:
+                yield f"uncompensatable FPa→INT edge {src!r} → {dst!r}", src
+        for src in sorted(back, key=_node_key):
+            if src not in self.fp:
+                yield f"back-copy site {src!r} is not an FPa node", src
+            if not any(
+                (src, dst) in conv and dst not in self.fp
+                for dst in self.rdg.succs[src]
+            ):
+                yield (
+                    f"phantom back-copy site {src!r}: no convention edge to "
+                    "an INT consumer, yet o_copy is charged for it",
+                    src,
+                )
+        for src, dst in sorted(conv, key=lambda e: (_node_key(e[0]), _node_key(e[1]))):
+            if src in self.fp and dst not in self.fp and src not in back:
+                yield (
+                    f"convention edge {src!r} → {dst!r} leaves FPa without a "
+                    "bookkept back-copy",
+                    src,
+                )
+
+    # -- component pricing -----------------------------------------------
+    def components(self) -> list[list[Node]]:
+        """FPa connected components (undirected, all edge kinds), in a
+        deterministic order."""
+        seen: set[Node] = set()
+        comps: list[list[Node]] = []
+        for start in self.rdg.nodes:
+            if start in seen or start not in self.fp:
+                continue
+            comp: list[Node] = []
+            stack = [start]
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                comp.append(node)
+                for other in self.rdg.succs[node] + self.rdg.preds[node]:
+                    if other not in seen and other in self.fp:
+                        seen.add(other)
+                        stack.append(other)
+            comp.sort(key=_node_key)
+            comps.append(comp)
+        return comps
+
+    def _feeders(self, comp: set[Node]) -> tuple[set[Node], set[Node]]:
+        """Copy/duplicate sites paying for ``comp``, with the transitive
+        parent demand of duplicates (§6.2)."""
+        feed_copy: set[Node] = set()
+        feed_dup: set[Node] = set()
+        work = [
+            site
+            for site in self.sites
+            if any(c in comp for c in self._constraining_children(site))
+        ]
+        while work:
+            site = work.pop()
+            if site in feed_copy or site in feed_dup:
+                continue
+            if site in self.partition.dups:
+                feed_dup.add(site)
+                for parent in self._constraining_parents(site):
+                    if parent in self.sites and parent != site:
+                        work.append(parent)
+            else:
+                feed_copy.add(site)
+        return feed_copy, feed_dup
+
+    def audit_component(self, comp: list[Node]) -> ComponentAudit:
+        comp_set = set(comp)
+        pinned_fp = any(self.rdg.pin.get(v) is Pin.FP for v in comp)
+        benefit = sum(
+            self._count(v)
+            for v in comp
+            if v.part is Part.WHOLE and self.rdg.pin.get(v) is not Pin.FP
+        )
+        feed_copy, feed_dup = self._feeders(comp_set)
+        overhead = self.params.o_copy * sum(self._count(v) for v in feed_copy)
+        overhead += self.params.o_dupl * sum(self._count(v) for v in feed_dup)
+        back_members = [v for v in comp if v in self.partition.back_copies]
+        overhead += self.params.o_copy * sum(self._count(v) for v in back_members)
+        uses_communication = bool(feed_copy or feed_dup or back_members)
+        return ComponentAudit(
+            nodes=frozenset(comp),
+            benefit=benefit,
+            overhead=overhead,
+            uses_communication=uses_communication,
+            pinned_fp=pinned_fp,
+        )
+
+
+def _node_key(node: Node) -> tuple[int, str]:
+    return (node.uid, node.part.value)
+
+
+def certify_partition(
+    partition: "Partition",
+    profile: "ExecutionProfile | None" = None,
+    params: "CostParams | None" = None,
+    *,
+    tol: float = PROFIT_TOLERANCE,
+) -> ProfitCertificate:
+    """Audit ``partition`` against the §6.1 cost model (module docstring).
+
+    Args:
+        partition: A pre-rewrite partition (its RDG must still reference
+            the live instructions).
+        profile: The execution profile the partitioner used; ``None``
+            falls back to the paper's ``p_B * 5^{d_B}`` estimate, matching
+            the partitioner's own fallback.
+        params: Cost-model weights the partitioner used.
+        tol: Numerical slack on the profit bound.
+
+    Returns:
+        A :class:`ProfitCertificate`; ``certificate.ok`` is the verdict.
+    """
+    from repro.partition.cost import CostParams, block_counts  # deferred: cycle
+
+    if params is None:
+        params = CostParams()
+    n_b = block_counts(partition.rdg.func, profile)
+    auditor = _Auditor(partition, n_b, params, tol)
+    certificate = ProfitCertificate(
+        function=partition.rdg.func.name, scheme=partition.scheme
+    )
+    certificate.violations.extend(auditor.audit_sites())
+    certificate.violations.extend(auditor.audit_edges())
+    for comp in auditor.components():
+        audit = auditor.audit_component(comp)
+        certificate.components.append(audit)
+        if (
+            partition.scheme == "advanced"
+            and not audit.pinned_fp
+            and audit.uses_communication
+            and audit.profit < -tol
+        ):
+            anchor = comp[0]
+            certificate.violations.append(
+                (
+                    f"FPa component of {len(comp)} node(s) at {anchor!r} has "
+                    f"certified Profit {audit.profit:.3f} < 0 "
+                    f"(Benefit {audit.benefit:.3f} − Overhead {audit.overhead:.3f}); "
+                    "the §6 contract requires evicting it to INT",
+                    anchor,
+                )
+            )
+    return certificate

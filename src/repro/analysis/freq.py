@@ -1,0 +1,257 @@
+"""Static branch-probability and block-frequency estimation.
+
+Ball–Larus-style branch heuristics combined Wu–Larus-style:
+
+* **Loop heuristics** — a back edge is taken with probability
+  ``LOOP_BACK`` (≈ 0.88); an edge that exits a loop while the other
+  direction stays inside is taken with ``1 - LOOP_EXIT``.
+* **Opcode heuristics** — equality branches rarely succeed
+  (``beq`` → taken 0.16, ``bne`` → 0.84); sign tests on integers
+  are rarely negative/non-positive (``blez``/``bltz`` → taken 0.16,
+  ``bgez``/``bgtz`` → 0.84); FP compares get no prior.
+
+Independent heuristic evidence for the same branch is combined with the
+Dempster–Shafer rule ``p = p1*p2 / (p1*p2 + (1-p1)(1-p2))``.
+
+Frequencies follow Wu–Larus: each natural loop (innermost first) gets a
+*cyclic probability* ``cp`` — the probability mass flowing around its
+back edges per header entry — and a trip factor ``1 / (1 - cp)`` capped
+at :data:`MAX_TRIP`; block frequencies then propagate through the
+acyclic forward-edge condensation with every loop header multiplied by
+its trip factor.  This mirrors the structure of the paper's
+``p_B * 5^{d_B}`` estimate (:func:`repro.partition.cost.estimate_profile`)
+but replaces the fixed ``5`` per nesting level with per-loop,
+per-branch-direction evidence.
+
+:func:`static_profile` scales per-function frequencies by call-graph
+entry counts and packages everything as an
+:class:`~repro.partition.cost.ExecutionProfile`, so the advanced
+partitioner can run profile-driven **without executing the program**.
+Within one function the partition decisions are invariant under positive
+scaling of ``n_B`` (Profit just scales), so entry counts only matter for
+cross-function comparisons and agreement reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.loops import NaturalLoop, find_loops
+from repro.ir.cfg import predecessors, reachable_blocks, reverse_postorder, successor_map
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.program import Program
+
+if TYPE_CHECKING:  # avoid a module cycle: partition.cost imports analysis
+    from repro.partition.cost import ExecutionProfile
+
+#: Probability that a back edge is followed (stay in the loop).
+LOOP_BACK = 0.88
+#: Probability that a loop-exiting branch direction is *not* taken.
+LOOP_EXIT = 0.80
+#: Opcode priors: probability the branch is taken.
+OPCODE_TAKEN: dict[Opcode, float] = {
+    Opcode.BEQ: 0.16,
+    Opcode.BEQ_A: 0.16,
+    Opcode.BNE: 0.84,
+    Opcode.BNE_A: 0.84,
+    Opcode.BLEZ: 0.16,
+    Opcode.BLEZ_A: 0.16,
+    Opcode.BLTZ: 0.16,
+    Opcode.BLTZ_A: 0.16,
+    Opcode.BGEZ: 0.84,
+    Opcode.BGTZ: 0.84,
+}
+#: Cap on the per-loop trip factor ``1/(1-cp)``.
+MAX_TRIP = 64.0
+#: Cap on interprocedural entry counts (recursion guard).
+MAX_ENTRY = 1e12
+
+Edge = tuple[str, str]
+
+
+def _combine(p1: float, p2: float) -> float:
+    """Dempster–Shafer combination of two taken-probabilities."""
+    num = p1 * p2
+    den = num + (1.0 - p1) * (1.0 - p2)
+    return num / den if den > 0.0 else 0.5
+
+
+def _back_edges(func: Function, loops: list[NaturalLoop]) -> set[Edge]:
+    preds = predecessors(func)
+    edges: set[Edge] = set()
+    for loop in loops:
+        for tail in preds[loop.header]:
+            if tail in loop.body:
+                edges.add((tail, loop.header))
+    return edges
+
+
+def edge_probabilities(func: Function) -> dict[Edge, float]:
+    """Per-CFG-edge branch probabilities from the static heuristics.
+
+    Outgoing probabilities of every block with at least one successor
+    sum to 1 (flow conservation).
+    """
+    succ = successor_map(func)
+    loops = find_loops(func)
+    back = _back_edges(func, loops)
+    body_of: dict[str, list[NaturalLoop]] = {}
+    for loop in loops:
+        for label in loop.body:
+            body_of.setdefault(label, []).append(loop)
+
+    probs: dict[Edge, float] = {}
+    for blk in func.blocks:
+        out = succ[blk.label]
+        if not out:
+            continue
+        if len(out) == 1:
+            probs[(blk.label, out[0])] = 1.0
+            continue
+        # two-way conditional branch: target first, fall-through second
+        term = blk.terminator
+        assert term is not None and term.kind is OpKind.BRANCH
+        taken_label, fall_label = out[0], out[1]
+        taken = OPCODE_TAKEN.get(term.op, 0.5)
+        if (blk.label, taken_label) in back:
+            taken = _combine(taken, LOOP_BACK)
+        if (blk.label, fall_label) in back:
+            taken = _combine(taken, 1.0 - LOOP_BACK)
+        # loop-exit heuristic: one direction leaves every loop containing
+        # the branch while the other stays inside
+        for loop in body_of.get(blk.label, []):
+            taken_stays = taken_label in loop.body
+            fall_stays = fall_label in loop.body
+            if taken_stays and not fall_stays:
+                taken = _combine(taken, LOOP_EXIT)
+            elif fall_stays and not taken_stays:
+                taken = _combine(taken, 1.0 - LOOP_EXIT)
+        taken = min(max(taken, 0.01), 0.99)
+        probs[(blk.label, taken_label)] = taken
+        probs[(blk.label, fall_label)] = 1.0 - taken
+    return probs
+
+
+def _loop_trip_factors(
+    func: Function,
+    loops: list[NaturalLoop],
+    probs: dict[Edge, float],
+    back: set[Edge],
+    rpo_position: dict[str, int],
+) -> dict[str, float]:
+    """Per-header trip factor ``1/(1-cp)``, innermost loops first so an
+    outer loop's propagation can use its inner loops' factors."""
+    preds = predecessors(func)
+    trip: dict[str, float] = {}
+    for loop in sorted(loops, key=lambda l: len(l.body)):
+        local: dict[str, float] = {label: 0.0 for label in loop.body}
+        local[loop.header] = 1.0
+        for label in sorted(loop.body, key=lambda l: rpo_position.get(l, 1 << 30)):
+            if label != loop.header:
+                total = 0.0
+                for p in preds[label]:
+                    if p in loop.body and (p, label) not in back:
+                        total += local[p] * probs.get((p, label), 0.0)
+                local[label] = total
+            if label != loop.header and label in trip:
+                local[label] *= trip[label]  # inner loop spins here
+        cp = sum(
+            local[tail] * probs.get((tail, loop.header), 0.0)
+            for tail in preds[loop.header]
+            if tail in loop.body
+        )
+        cp = min(cp, 1.0 - 1.0 / MAX_TRIP)
+        trip[loop.header] = max(1.0, 1.0 / (1.0 - cp))
+    return trip
+
+
+def block_frequencies(func: Function) -> dict[str, float]:
+    """Static execution frequency of every block, entry = 1.
+
+    Flow-conserving by construction: at every block with only forward
+    in-edges the frequency is the sum of incoming edge frequencies, and
+    loop headers additionally multiply by their trip factor.
+    Unreachable blocks get frequency 0.
+    """
+    probs = edge_probabilities(func)
+    loops = find_loops(func)
+    back = _back_edges(func, loops)
+    rpo = reverse_postorder(func)
+    position = {label: i for i, label in enumerate(rpo)}
+    preds = predecessors(func)
+    reachable = reachable_blocks(func)
+    trip = _loop_trip_factors(func, loops, probs, back, position)
+
+    freq: dict[str, float] = {blk.label: 0.0 for blk in func.blocks}
+    if not func.blocks:
+        return freq
+    for label in rpo:
+        if label not in reachable:
+            continue
+        inflow = 1.0 if label == func.entry.label else 0.0
+        for p in preds[label]:
+            if (p, label) in back:
+                continue  # the trip factor accounts for cyclic flow
+            inflow += freq[p] * probs.get((p, label), 0.0)
+        freq[label] = inflow * trip.get(label, 1.0)
+    return freq
+
+
+def call_site_counts(func: Function, freq: dict[str, float]) -> dict[str, float]:
+    """Expected dynamic calls from ``func`` to each callee, one entry of
+    ``func`` assumed (block frequency times call-site multiplicity)."""
+    out: dict[str, float] = {}
+    for blk in func.blocks:
+        for instr in blk.instructions:
+            if instr.kind is OpKind.CALL and instr.target is not None:
+                out[instr.target] = out.get(instr.target, 0.0) + freq[blk.label]
+    return out
+
+
+def entry_counts(program: Program, entry: str = "main") -> dict[str, float]:
+    """Call-graph fix point: expected invocations of every function,
+    given one run of ``entry``.  Recursion is damped by :data:`MAX_ENTRY`."""
+    freqs = {name: block_frequencies(f) for name, f in program.functions.items()}
+    calls = {
+        name: call_site_counts(f, freqs[name]) for name, f in program.functions.items()
+    }
+    counts: dict[str, float] = {name: 0.0 for name in program.functions}
+    if entry in counts:
+        counts[entry] = 1.0
+    for _ in range(len(program.functions) + 8):
+        changed = False
+        new: dict[str, float] = {name: 0.0 for name in program.functions}
+        if entry in new:
+            new[entry] = 1.0
+        for caller, sites in calls.items():
+            for callee, per_entry in sites.items():
+                if callee in new:
+                    new[callee] += counts[caller] * per_entry
+        for name in new:
+            new[name] = min(new[name], MAX_ENTRY)
+            if abs(new[name] - counts[name]) > 1e-9 * max(1.0, counts[name]):
+                changed = True
+        counts = new
+        if not changed:
+            break
+    return counts
+
+
+def static_profile(program: Program, entry: str = "main") -> "ExecutionProfile":
+    """A purely static :class:`~repro.partition.cost.ExecutionProfile`:
+    heuristic block frequencies scaled by call-graph entry counts.
+
+    Every function gets at least entry count 1 so the profile *covers*
+    it (``ExecutionProfile.covers``) and the partitioner uses these
+    counts rather than falling back to ``p_B * 5^{d_B}``.
+    """
+    from repro.partition.cost import ExecutionProfile  # deferred: cycle
+
+    counts = entry_counts(program, entry)
+    profile = ExecutionProfile()
+    for name, func in program.functions.items():
+        scale = max(counts.get(name, 0.0), 1.0)
+        for label, f in block_frequencies(func).items():
+            profile.record(name, label, scale * f)
+    return profile

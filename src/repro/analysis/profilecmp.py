@@ -1,0 +1,153 @@
+"""Static-vs-measured profile agreement metrics.
+
+Quantifies how well a static :func:`~repro.analysis.freq.static_profile`
+predicts a measured :class:`~repro.partition.cost.ExecutionProfile`.
+Within one function only *relative* block weights matter to the
+partitioner (Profit is invariant under positive scaling of ``n_B``), so
+every metric is computed on per-function normalized distributions:
+
+* ``overlap`` — ``sum(min(p, q))`` of the two normalized distributions
+  (1.0 = identical shape, 0.0 = disjoint support).
+* ``correlation`` — Pearson correlation of the normalized counts.
+* ``hottest_match`` — whether both profiles rank the same block hottest.
+
+The program-level summary weights each function by its measured share
+of dynamic blocks, so tiny helpers cannot mask disagreement on the hot
+function (and vice versa).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.ir.function import Function
+from repro.ir.program import Program
+
+if TYPE_CHECKING:  # avoid a module cycle: partition.cost imports analysis
+    from repro.partition.cost import ExecutionProfile
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionAgreement:
+    """Agreement metrics for one function."""
+
+    function: str
+    overlap: float
+    correlation: float
+    hottest_match: bool
+    measured_weight: float
+    blocks: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "function": self.function,
+            "overlap": round(self.overlap, 6),
+            "correlation": round(self.correlation, 6),
+            "hottest_match": self.hottest_match,
+            "measured_weight": round(self.measured_weight, 6),
+            "blocks": self.blocks,
+        }
+
+
+@dataclass(eq=False, slots=True)
+class ProfileAgreement:
+    """Agreement report for one program."""
+
+    functions: list[FunctionAgreement] = field(default_factory=list)
+    uncovered: list[str] = field(default_factory=list)
+
+    @property
+    def weighted_overlap(self) -> float:
+        total = sum(f.measured_weight for f in self.functions)
+        if total <= 0.0:
+            return 1.0
+        return sum(f.overlap * f.measured_weight for f in self.functions) / total
+
+    @property
+    def hottest_match_fraction(self) -> float:
+        if not self.functions:
+            return 1.0
+        return sum(1 for f in self.functions if f.hottest_match) / len(self.functions)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "weighted_overlap": round(self.weighted_overlap, 6),
+            "hottest_match_fraction": round(self.hottest_match_fraction, 6),
+            "functions": [f.to_dict() for f in self.functions],
+            "uncovered": list(self.uncovered),
+        }
+
+
+def _normalize(counts: dict[str, float]) -> dict[str, float]:
+    total = sum(counts.values())
+    if total <= 0.0:
+        return {label: 0.0 for label in counts}
+    return {label: value / total for label, value in counts.items()}
+
+
+def _pearson(a: list[float], b: list[float]) -> float:
+    n = len(a)
+    if n < 2:
+        return 1.0
+    mean_a = sum(a) / n
+    mean_b = sum(b) / n
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(a, b))
+    var_a = sum((x - mean_a) ** 2 for x in a)
+    var_b = sum((y - mean_b) ** 2 for y in b)
+    if var_a <= 0.0 or var_b <= 0.0:
+        # a constant distribution agrees with another constant one
+        return 1.0 if var_a <= 0.0 and var_b <= 0.0 else 0.0
+    return cov / math.sqrt(var_a * var_b)
+
+
+def _function_agreement(
+    func: Function,
+    static_counts: dict[str, float],
+    measured_counts: dict[str, float],
+    measured_weight: float,
+) -> FunctionAgreement:
+    labels = [blk.label for blk in func.blocks]
+    p = _normalize({label: static_counts.get(label, 0.0) for label in labels})
+    q = _normalize({label: measured_counts.get(label, 0.0) for label in labels})
+    overlap = sum(min(p[label], q[label]) for label in labels)
+    correlation = _pearson([p[label] for label in labels], [q[label] for label in labels])
+    hottest_static = max(labels, key=lambda l: (p[l], l))
+    hottest_measured = max(labels, key=lambda l: (q[l], l))
+    return FunctionAgreement(
+        function=func.name,
+        overlap=overlap,
+        correlation=correlation,
+        hottest_match=hottest_static == hottest_measured,
+        measured_weight=measured_weight,
+        blocks=len(labels),
+    )
+
+
+def compare_profiles(
+    program: Program,
+    static: "ExecutionProfile",
+    measured: "ExecutionProfile",
+) -> ProfileAgreement:
+    """Compare a static against a measured profile, function by function.
+
+    Functions the measured profile does not cover (never executed) are
+    listed in ``uncovered`` and excluded from the metrics.
+    """
+    agreement = ProfileAgreement()
+    measured_total = sum(measured.counts.values())
+    for name, func in program.functions.items():
+        if not measured.covers(name):
+            agreement.uncovered.append(name)
+            continue
+        measured_counts = measured.for_function(func)
+        weight = (
+            sum(measured_counts.values()) / measured_total
+            if measured_total > 0.0
+            else 0.0
+        )
+        agreement.functions.append(
+            _function_agreement(func, static.for_function(func), measured_counts, weight)
+        )
+    return agreement

@@ -1,0 +1,393 @@
+"""Value-range and origin-class abstract interpretation.
+
+One forward :class:`~repro.analysis.absint.AbstractDomain` tracking, per
+register, a pair of abstractions:
+
+* an **interval** ``[lo, hi]`` over the integer value (``None`` bounds
+  are infinities).  Transfer functions cover the ALU subset the MiniC
+  pipeline emits — constants, add/sub, compares into ``[0, 1]``, masks,
+  shifts, byte loads into ``[-128, 127]``/``[0, 255]``, ``rem`` by a
+  positive constant — and conditional branches refine the tested
+  register along each outgoing edge, so never-taken edges are proved
+  infeasible and blocks behind them unreachable.
+
+* an **origin set**: the uids of every FP-file *producing* definition
+  (``.a`` computations, true float operations, ``l.s`` loads, FP-class
+  params) in the value's backward slice.  Origins propagate through
+  arithmetic *and through* ``cp_from_comp``/``cp_to_comp`` — unlike the
+  ``address-slice-int`` taint walk, which stops at the copy.  A load or
+  store whose address operand carries a non-empty origin set therefore
+  exposes *copy-laundered* FPa→address flows that plain def-use
+  reachability misses.  Fresh-value barriers (word loads, call results,
+  INT-class params) clear the set, exactly like the reachability rule.
+
+The interval half is deliberately conservative around 32-bit wrap:
+any computed bound outside the int32 range drops to an infinity, so a
+bounded interval is always a true statement about the wrapped value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.absint import (
+    AbsintResult,
+    AbstractDomain,
+    interpret,
+    states_at_instructions,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import FPA_OPCODES, Opcode, OpKind
+from repro.ir.registers import Reg, RegClass, ZERO
+from repro.ir.verify import expected_def_class
+
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A (possibly half-open) integer interval; ``None`` = unbounded."""
+
+    lo: int | None = None
+    hi: int | None = None
+
+    def is_constant(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def is_empty(self) -> bool:
+        return self.lo is not None and self.hi is not None and self.lo > self.hi
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+TOP = Interval()
+BOOL = Interval(0, 1)
+
+
+def const(value: int) -> Interval:
+    return Interval(value, value)
+
+
+def _clamp(lo: int | None, hi: int | None) -> Interval:
+    """Drop any bound outside the int32 range to an infinity, keeping
+    the interval sound under 32-bit wrap-around."""
+    if lo is not None and lo < _INT32_MIN:
+        lo = None
+    if hi is not None and hi > _INT32_MAX:
+        hi = None
+    return Interval(lo, hi)
+
+
+def join_interval(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else min(a.lo, b.lo)
+    hi = None if a.hi is None or b.hi is None else max(a.hi, b.hi)
+    return Interval(lo, hi)
+
+
+def widen_interval(old: Interval, new: Interval) -> Interval:
+    lo = old.lo if old.lo is not None and new.lo is not None and new.lo >= old.lo else None
+    hi = old.hi if old.hi is not None and new.hi is not None and new.hi <= old.hi else None
+    return Interval(lo, hi)
+
+
+def meet_interval(a: Interval, b: Interval) -> Interval | None:
+    """Intersection, or ``None`` when empty (used for edge refinement)."""
+    lo = a.lo if b.lo is None else (b.lo if a.lo is None else max(a.lo, b.lo))
+    hi = a.hi if b.hi is None else (b.hi if a.hi is None else min(a.hi, b.hi))
+    out = Interval(lo, hi)
+    return None if out.is_empty() else out
+
+
+def add_interval(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else a.lo + b.lo
+    hi = None if a.hi is None or b.hi is None else a.hi + b.hi
+    return _clamp(lo, hi)
+
+
+def sub_interval(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.hi is None else a.lo - b.hi
+    hi = None if a.hi is None or b.lo is None else a.hi - b.lo
+    return _clamp(lo, hi)
+
+
+def mul_interval(a: Interval, b: Interval) -> Interval:
+    if None in (a.lo, a.hi, b.lo, b.hi):
+        return TOP
+    assert a.lo is not None and a.hi is not None
+    assert b.lo is not None and b.hi is not None
+    products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return _clamp(min(products), max(products))
+
+
+def shift_left_interval(a: Interval, amount: int) -> Interval:
+    if not 0 <= amount < 32:
+        return TOP
+    lo = None if a.lo is None else a.lo << amount
+    hi = None if a.hi is None else a.hi << amount
+    return _clamp(lo, hi)
+
+
+@dataclass(frozen=True, slots=True)
+class ValueInfo:
+    """Abstract value of one register: interval plus FP-origin uids."""
+
+    interval: Interval = TOP
+    origins: frozenset[int] = frozenset()
+
+
+_UNKNOWN = ValueInfo()
+_ZERO_INFO = ValueInfo(interval=const(0))
+
+State = dict[Reg, ValueInfo]
+
+#: Fresh-value barriers: the defined value enters its file from another
+#: domain (memory, the caller), so operand origins do not flow through.
+_FRESH_KINDS = (OpKind.LOAD, OpKind.CALL, OpKind.PARAM)
+
+#: Single-register zero-compare branches: (taken, fall-through) refinements.
+_ZERO_COMPARES: dict[Opcode, tuple[Interval, Interval]] = {
+    Opcode.BLEZ: (Interval(None, 0), Interval(1, None)),
+    Opcode.BLEZ_A: (Interval(None, 0), Interval(1, None)),
+    Opcode.BGTZ: (Interval(1, None), Interval(None, 0)),
+    Opcode.BLTZ: (Interval(None, -1), Interval(0, None)),
+    Opcode.BLTZ_A: (Interval(None, -1), Interval(0, None)),
+    Opcode.BGEZ: (Interval(0, None), Interval(None, -1)),
+}
+
+
+class ValueClassDomain(AbstractDomain[State]):
+    """Forward interval + origin-class domain (see module docstring)."""
+
+    forward = True
+    widen_after = 2
+
+    def __init__(self, func: Function):
+        self.func = func
+
+    # -- lattice ---------------------------------------------------------
+    def entry_state(self, func: Function) -> State:
+        return {}
+
+    def join(self, a: State, b: State) -> State:
+        out: State = {}
+        for reg in a.keys() | b.keys():
+            va = a.get(reg, _UNKNOWN)
+            vb = b.get(reg, _UNKNOWN)
+            out[reg] = ValueInfo(
+                interval=join_interval(va.interval, vb.interval),
+                origins=va.origins | vb.origins,
+            )
+        return out
+
+    def widen(self, old: State, new: State) -> State:
+        out: State = {}
+        for reg in old.keys() | new.keys():
+            vo = old.get(reg, _UNKNOWN)
+            vn = new.get(reg, _UNKNOWN)
+            out[reg] = ValueInfo(
+                interval=widen_interval(vo.interval, join_interval(vo.interval, vn.interval)),
+                origins=vo.origins | vn.origins,
+            )
+        return out
+
+    # -- semantics -------------------------------------------------------
+    def value_of(self, state: State, reg: Reg) -> ValueInfo:
+        if reg == ZERO:
+            return _ZERO_INFO
+        return state.get(reg, _UNKNOWN)
+
+    def transfer_instruction(self, instr: Instruction, state: State) -> State:
+        if not instr.defs:
+            return state
+        inputs = [self.value_of(state, reg) for reg in instr.uses]
+        if instr.kind in _FRESH_KINDS:
+            origins: frozenset[int] = frozenset()
+        else:
+            origins = frozenset().union(*(v.origins for v in inputs)) if inputs else frozenset()
+        if (
+            expected_def_class(instr, self.func) is RegClass.FP
+            and instr.op is not Opcode.CP_TO_COMP
+        ):
+            origins = origins | {instr.uid}
+        interval = self._interval_of(instr, inputs)
+        out = dict(state)
+        for reg in instr.defs:
+            out[reg] = ValueInfo(interval=interval, origins=origins)
+        return out
+
+    def _interval_of(self, instr: Instruction, inputs: list[ValueInfo]) -> Interval:
+        op = instr.op
+        imm = instr.imm
+
+        def arg(pos: int) -> Interval:
+            return inputs[pos].interval if pos < len(inputs) else TOP
+
+        if op in (Opcode.LI, Opcode.LI_A):
+            return const(imm) if isinstance(imm, int) else TOP
+        if op is Opcode.LUI:
+            return const(imm << 16) if isinstance(imm, int) else TOP
+        if op in (Opcode.MOVE, Opcode.MOVE_A, Opcode.MOV_S):
+            return arg(0)
+        if instr.kind is OpKind.COPY:  # cp_to_comp / cp_from_comp
+            return arg(0)
+        if op in (Opcode.ADDU, Opcode.ADDU_A):
+            return add_interval(arg(0), arg(1))
+        if op in (Opcode.SUBU, Opcode.SUBU_A):
+            return sub_interval(arg(0), arg(1))
+        if op in (Opcode.ADDIU, Opcode.ADDIU_A):
+            return add_interval(arg(0), const(imm)) if isinstance(imm, int) else TOP
+        if op in (Opcode.SLT, Opcode.SLTU, Opcode.SLTI, Opcode.SLTIU,
+                  Opcode.SLT_A, Opcode.SLTU_A, Opcode.SLTI_A, Opcode.SLTIU_A):
+            return BOOL
+        if op in (Opcode.ANDI, Opcode.ANDI_A):
+            return Interval(0, imm) if isinstance(imm, int) and imm >= 0 else TOP
+        if op in (Opcode.AND, Opcode.AND_A):
+            a, b = arg(0), arg(1)
+            if a.lo is not None and a.lo >= 0 and b.lo is not None and b.lo >= 0:
+                his = [h for h in (a.hi, b.hi) if h is not None]
+                return Interval(0, min(his)) if his else Interval(0, None)
+            return TOP
+        if op in (Opcode.OR, Opcode.OR_A, Opcode.XOR, Opcode.XOR_A,
+                  Opcode.ORI, Opcode.XORI):
+            a = arg(0)
+            b = arg(1) if len(inputs) > 1 else (const(imm) if isinstance(imm, int) else TOP)
+            if (a.lo is not None and a.lo >= 0 and a.hi is not None
+                    and b.lo is not None and b.lo >= 0 and b.hi is not None):
+                bits = max(a.hi, b.hi).bit_length()
+                return Interval(0, (1 << bits) - 1)
+            return TOP
+        if op in (Opcode.SLL, Opcode.SLL_A):
+            return shift_left_interval(arg(0), imm) if isinstance(imm, int) else TOP
+        if op in (Opcode.SRL, Opcode.SRL_A):
+            a = arg(0)
+            if isinstance(imm, int) and 0 <= imm < 32:
+                if a.lo is not None and a.lo >= 0:
+                    return Interval(a.lo >> imm, None if a.hi is None else a.hi >> imm)
+                return Interval(0, (1 << (32 - imm)) - 1) if imm > 0 else TOP
+            return TOP
+        if op in (Opcode.SRA, Opcode.SRA_A):
+            if isinstance(imm, int) and 0 <= imm < 32:
+                a = arg(0)
+                lo = None if a.lo is None else a.lo >> imm
+                hi = None if a.hi is None else a.hi >> imm
+                return Interval(lo, hi)
+            return TOP
+        if op is Opcode.MULT:
+            return mul_interval(arg(0), arg(1))
+        if op is Opcode.REM:
+            divisor = arg(1)
+            dividend = arg(0)
+            if (divisor.is_constant() and divisor.lo is not None and divisor.lo > 0
+                    and dividend.lo is not None and dividend.lo >= 0):
+                return Interval(0, divisor.lo - 1)
+            return TOP
+        if op is Opcode.DIV:
+            dividend, divisor = arg(0), arg(1)
+            if (divisor.is_constant() and divisor.lo is not None and divisor.lo > 0
+                    and dividend.lo is not None and dividend.lo >= 0):
+                hi = None if dividend.hi is None else dividend.hi // divisor.lo
+                return Interval(0, hi)
+            return TOP
+        if op is Opcode.LB:
+            return Interval(-128, 127)
+        if op is Opcode.LBU:
+            return Interval(0, 255)
+        return TOP
+
+    # -- edge refinement -------------------------------------------------
+    def transfer_edge(
+        self, func: Function, src: BasicBlock, dst_label: str, state: State
+    ) -> State | None:
+        term = src.terminator
+        if term is None or term.kind is not OpKind.BRANCH:
+            return state
+        index = func.block_index(src.label)
+        fallthrough = (
+            func.blocks[index + 1].label if index + 1 < len(func.blocks) else None
+        )
+        if term.target == fallthrough:
+            return state  # both directions land in the same block
+        taken = dst_label == term.target
+
+        refinements = _ZERO_COMPARES.get(term.op)
+        if refinements is not None:
+            narrow = refinements[0] if taken else refinements[1]
+            return self._refine(state, term.uses[0], narrow)
+
+        if term.op in (Opcode.BEQ, Opcode.BEQ_A, Opcode.BNE, Opcode.BNE_A):
+            eq_edge = taken if term.op in (Opcode.BEQ, Opcode.BEQ_A) else not taken
+            a = self.value_of(state, term.uses[0]).interval
+            b = self.value_of(state, term.uses[1]).interval
+            if eq_edge:
+                # both operands must share a value
+                if meet_interval(a, b) is None:
+                    return None
+                out = self._refine(state, term.uses[0], b)
+                if out is None:
+                    return None
+                return self._refine(out, term.uses[1], a)
+            # disequality edge: infeasible only when both are the same constant
+            if a.is_constant() and b.is_constant() and a.lo == b.lo:
+                return None
+            return state
+        return state
+
+    def _refine(self, state: State, reg: Reg, narrow: Interval) -> State | None:
+        if reg == ZERO:
+            return None if meet_interval(const(0), narrow) is None else state
+        info = state.get(reg, _UNKNOWN)
+        met = meet_interval(info.interval, narrow)
+        if met is None:
+            return None
+        if met == info.interval:
+            return state
+        out = dict(state)
+        out[reg] = ValueInfo(interval=met, origins=info.origins)
+        return out
+
+
+@dataclass(eq=False, slots=True)
+class ValueClassResult:
+    """Fixed point of the value-class analysis over one function."""
+
+    func: Function
+    domain: ValueClassDomain
+    fixpoint: AbsintResult[State]
+    at_instruction: dict[int, State]
+
+    def reachable(self, label: str) -> bool:
+        """True when some feasible path reaches the block (interval
+        refinement included — stronger than CFG reachability)."""
+        return self.fixpoint.reachable(label)
+
+    def value_at(self, instr: Instruction, reg: Reg) -> ValueInfo:
+        """Abstract value of ``reg`` just before ``instr`` executes
+        (unknown for instructions in unreachable blocks)."""
+        state = self.at_instruction.get(instr.uid)
+        if state is None:
+            return _UNKNOWN
+        return self.domain.value_of(state, reg)
+
+
+def analyze_values(func: Function) -> ValueClassResult:
+    """Run the value-class abstract interpretation over ``func``."""
+    domain = ValueClassDomain(func)
+    fixpoint = interpret(func, domain)
+    return ValueClassResult(
+        func=func,
+        domain=domain,
+        fixpoint=fixpoint,
+        at_instruction=states_at_instructions(func, domain, fixpoint),
+    )

@@ -87,6 +87,7 @@ def main(argv: list[str] | None = None, jobs: int | None = None) -> int:
         figure8,
         figure9,
         figure10,
+        profile_agreement,
         slices,
         table_fp,
         table_overhead,
@@ -147,6 +148,9 @@ def main(argv: list[str] | None = None, jobs: int | None = None) -> int:
         "table1": lambda: format_table1(),
         "table2": lambda: format_table2(),
         "slices": lambda: slices.format_table(slices.run()),
+        "agreement": lambda: profile_agreement.format_table(
+            profile_agreement.run()
+        ),
         "fig8": _fig8,
         "fig9": _fig9,
         "fig10": _fig10,

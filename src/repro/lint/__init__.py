@@ -19,6 +19,13 @@ partition-legality        the INT/FPa assignment satisfies the paper's
                           partitioning conditions pre-rewrite
 cost-consistency          advanced-scheme S_copy/S_dupl/Profit match a
                           recount from the profile
+profit-certification      advanced partitions certified by an
+                          independent §6.1 re-pricing (no shared code
+                          with the partitioner)
+value-range               interval/origin abstract interpretation: no
+                          FPa-origin value reaches an address (even via
+                          ``cp_from_comp``), subsystem copies are live
+                          and non-constant
 ========================  =============================================
 
 Typical use::

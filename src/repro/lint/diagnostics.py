@@ -76,6 +76,7 @@ class Diagnostic:
             -1 if self.uid is None else self.uid,
             self.rule,
             self.message,
+            self.hint or "",
         )
 
     def to_dict(self) -> dict:

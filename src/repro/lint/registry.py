@@ -176,6 +176,7 @@ def select_rules(rule_ids: Iterable[str] | None) -> list[LintRule]:
 
 def _ensure_loaded() -> None:
     """Import the rule modules, populating the registry on first use."""
+    from repro.lint import rules_absint  # noqa: F401
     from repro.lint import rules_calls  # noqa: F401
     from repro.lint import rules_copies  # noqa: F401
     from repro.lint import rules_dataflow  # noqa: F401

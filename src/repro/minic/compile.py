@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.ir.program import Program
 from repro.ir.verify import verify_program
 from repro.minic.codegen import generate
 from repro.minic.parser import parse
 from repro.minic.sema import analyze
 
+if TYPE_CHECKING:
+    from repro.analysis.warnings import AnalysisWarning
 
-def compile_source(source: str, optimize: bool = True) -> Program:
+
+def compile_source(
+    source: str,
+    optimize: bool = True,
+    warnings: "list[AnalysisWarning] | None" = None,
+) -> Program:
     """Compile MiniC source text to a verified IR program.
 
     Args:
@@ -18,6 +27,10 @@ def compile_source(source: str, optimize: bool = True) -> Program:
             (constant folding, copy propagation, local CSE, dead-code
             elimination, jump simplification) — the paper partitions
             *after* these run.
+        warnings: Optional sink: when given, the advisory
+            abstract-interpretation warnings (unreachable blocks,
+            fuel-unbounded loops) of the final IR are appended to it.
+            Warnings never fail compilation.
 
     Returns:
         A verified :class:`~repro.ir.program.Program`.
@@ -31,4 +44,8 @@ def compile_source(source: str, optimize: bool = True) -> Program:
 
         optimize_program(program)
         verify_program(program)
+    if warnings is not None:
+        from repro.analysis.warnings import analyze_program
+
+        warnings.extend(analyze_program(program))
     return program

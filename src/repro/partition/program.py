@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import PartitionError, ReproError
 from repro.ir.program import Program
 from repro.ir.verify import verify_program
 from repro.partition.advanced import advanced_partition
@@ -67,6 +67,8 @@ def partition_program(
     balance_limit: float | None = None,
     interprocedural: bool = False,
     lint: bool | None = None,
+    certify: bool = True,
+    static_profile: bool = False,
 ) -> ProgramPartitionResult:
     """Partition and rewrite every function of ``program`` in place.
 
@@ -84,6 +86,15 @@ def partition_program(
             dataflow rules after, raising :class:`ReproError` on any
             error diagnostic.  ``None`` (the default) enables linting
             when the ``REPRO_LINT`` environment variable is non-empty.
+        certify: Audit every advanced partition with the independent
+            §6.1 re-pricing (:func:`repro.analysis.certify.certify_partition`)
+            before rewriting, raising :class:`PartitionError` when the
+            partitioner's bookkeeping fails certification.  On by
+            default; cheap relative to the rewrite itself.
+        static_profile: Derive the profile statically with
+            :func:`repro.analysis.freq.static_profile` instead of
+            requiring a measured one (mutually exclusive with
+            ``profile``).
 
     Returns:
         A :class:`ProgramPartitionResult`; the program is verified after
@@ -93,6 +104,12 @@ def partition_program(
         raise ReproError(f"unknown scheme {scheme!r}")
     if interprocedural and scheme != "advanced":
         raise ReproError("the interprocedural extension requires the advanced scheme")
+    if static_profile:
+        if profile is not None:
+            raise ReproError("static_profile and an explicit profile are exclusive")
+        from repro.analysis.freq import static_profile as estimate_static
+
+        profile = estimate_static(program)
     if lint is None:
         lint = bool(os.environ.get("REPRO_LINT"))
 
@@ -105,6 +122,20 @@ def partition_program(
                 func, profile=profile, params=params, balance_limit=balance_limit
             )
         result.stats[name] = partition_stats(result.partitions[name])
+
+    if certify and scheme == "advanced":
+        from repro.analysis.certify import certify_partition
+
+        for name in program.functions:
+            certificate = certify_partition(
+                result.partitions[name], profile=profile, params=params
+            )
+            if not certificate.ok:
+                details = "\n".join(f"  - {msg}" for msg, _ in certificate.violations)
+                raise PartitionError(
+                    f"partition of {name!r} failed independent profit "
+                    f"certification:\n{details}"
+                )
 
     if interprocedural:
         result.decisions = decide_fp_arguments(program, result.partitions)

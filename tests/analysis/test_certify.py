@@ -1,0 +1,81 @@
+"""API-level tests for the independent profit certifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.certify import PROFIT_TOLERANCE, certify_partition
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.runtime.interp import run_program
+from repro.workloads import compile_workload
+
+
+@pytest.fixture(scope="module")
+def compress():
+    program = compile_workload("compress", scale=3)
+    profile = run_program(program).profile
+    return program, profile
+
+
+class TestCertificate:
+    def test_advanced_workload_certifies(self, compress):
+        program, profile = compress
+        for name, func in program.functions.items():
+            partition = advanced_partition(func, profile=profile)
+            cert = certify_partition(partition, profile=profile)
+            assert cert.ok, cert.violations
+            assert cert.function == name
+            assert cert.scheme == "advanced"
+
+    def test_basic_scheme_has_no_profit_bound(self, compress):
+        """The basic scheme ignores the cost model by design; the
+        certifier still audits its bookkeeping but never applies the §6
+        eviction contract."""
+        program, profile = compress
+        for func in program.functions.values():
+            cert = certify_partition(basic_partition(func), profile=profile)
+            assert cert.ok, cert.violations
+            assert cert.scheme == "basic"
+
+    def test_total_profit_positive_on_offloading_function(self, compress):
+        program, profile = compress
+        profits = {}
+        for name, func in program.functions.items():
+            partition = advanced_partition(func, profile=profile)
+            if partition.fp:
+                cert = certify_partition(partition, profile=profile)
+                profits[name] = cert.total_profit()
+        assert profits  # compress offloads something
+        # every communicating component individually cleared the bound,
+        # so the unpinned total can't be meaningfully negative
+        assert all(p >= -PROFIT_TOLERANCE for p in profits.values())
+
+    def test_summary_is_json_ready(self, compress):
+        program, profile = compress
+        func = next(iter(program.functions.values()))
+        cert = certify_partition(
+            advanced_partition(func, profile=profile), profile=profile
+        )
+        summary = cert.summary()
+        assert set(summary) == {
+            "function",
+            "scheme",
+            "ok",
+            "components",
+            "communicating_components",
+            "total_profit",
+            "violations",
+        }
+        assert summary["ok"] is True
+        assert summary["violations"] == 0
+        assert summary["communicating_components"] <= summary["components"]
+
+    def test_components_partition_the_fp_set(self, compress):
+        program, profile = compress
+        for func in program.functions.values():
+            partition = advanced_partition(func, profile=profile)
+            cert = certify_partition(partition, profile=profile)
+            audited = [node for c in cert.components for node in c.nodes]
+            assert len(audited) == len(set(audited))  # disjoint
+            assert set(audited) == set(partition.fp)  # exhaustive

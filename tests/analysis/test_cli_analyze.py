@@ -1,0 +1,77 @@
+"""The ``repro analyze`` subcommand: warnings, exit codes, --fail-on."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+CLEAN = """
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 8; i = i + 1) { s = s + i; }
+    return s;
+}
+"""
+
+# while (1) survives optimization as a loop with no feasible exit
+UNBOUNDED = """
+int main() {
+    int i = 0;
+    while (1) { i = i + 1; }
+    return i;
+}
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mc"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def unbounded_file(tmp_path):
+    path = tmp_path / "unbounded.mc"
+    path.write_text(UNBOUNDED)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_clean_program_exits_zero(self, clean_file, capsys):
+        assert main(["analyze", clean_file]) == 0
+        assert "no analysis warnings" in capsys.readouterr().out
+
+    def test_warning_printed_but_exit_zero_by_default(self, unbounded_file, capsys):
+        assert main(["analyze", unbounded_file]) == 0
+        out = capsys.readouterr().out
+        assert "warning: unbounded-loop:" in out
+
+    def test_fail_on_warning_exits_one(self, unbounded_file):
+        assert main(["analyze", "--fail-on", "warning", unbounded_file]) == 1
+
+    def test_fail_on_warning_clean_program_exits_zero(self, clean_file):
+        assert main(["analyze", "--fail-on", "warning", clean_file]) == 0
+
+    def test_json_document(self, unbounded_file, capsys):
+        assert main(["analyze", "--json", unbounded_file]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "repro-analyze/1"
+        assert document["summary"]["warnings"] >= 1
+        (entry,) = document["programs"]
+        (warning,) = [
+            w for w in entry["warnings"] if w["kind"] == "unbounded-loop"
+        ]
+        assert warning["function"] == "main"
+        assert set(warning) == {"kind", "function", "block", "message"}
+
+    def test_workload_corpus_is_warning_free(self, capsys):
+        """Every registered workload compiles without analysis warnings
+        (the strongest --fail-on level must pass on the corpus)."""
+        assert main(["analyze", "--fail-on", "warning", "--scale", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "== workload:compress ==" in out

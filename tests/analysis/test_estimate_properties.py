@@ -1,0 +1,113 @@
+"""Flow-conservation properties of the static frequency estimate, checked
+on every registered workload (satellite of the dataflow-framework issue).
+
+The estimator promises (see :mod:`repro.analysis.freq`):
+
+* outgoing edge probabilities of every branching block sum to 1;
+* at every reachable join fed only by forward edges, the block frequency
+  equals the sum of the incoming edge flows (``n_B`` is conserved);
+* a loop header amplifies its forward inflow by a trip factor in
+  ``[1, MAX_TRIP]`` per enclosing-loop level.
+
+These are re-derived here from the public outputs alone, so a change to
+the propagation order or the loop condensation that silently breaks
+conservation fails this suite even if the unit tests still pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.freq import MAX_TRIP, block_frequencies, edge_probabilities
+from repro.analysis.loops import find_loops
+from repro.ir.cfg import predecessors, reachable_blocks, successor_map
+from repro.workloads import WORKLOADS, compile_workload
+
+SCALE = 3
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def program(request):
+    return compile_workload(request.param, scale=SCALE)
+
+
+def _back_edges(func):
+    preds = predecessors(func)
+    edges = set()
+    for loop in find_loops(func):
+        for tail in preds[loop.header]:
+            if tail in loop.body:
+                edges.add((tail, loop.header))
+    return edges
+
+
+def test_edge_probabilities_normalized(program):
+    for func in program.functions.values():
+        probs = edge_probabilities(func)
+        succ = successor_map(func)
+        for blk in func.blocks:
+            out = succ[blk.label]
+            if not out:
+                continue
+            total = sum(probs[(blk.label, dst)] for dst in out)
+            assert math.isclose(total, 1.0, rel_tol=1e-9), (
+                func.name,
+                blk.label,
+            )
+
+
+def test_block_frequencies_flow_conserving_at_joins(program):
+    for func in program.functions.values():
+        freq = block_frequencies(func)
+        probs = edge_probabilities(func)
+        preds = predecessors(func)
+        back = _back_edges(func)
+        headers = {loop.header for loop in find_loops(func)}
+        reachable = reachable_blocks(func)
+        for blk in func.blocks:
+            label = blk.label
+            if label not in reachable or label == func.entry.label:
+                continue
+            if label in headers:
+                continue  # amplified by the trip factor, checked below
+            inflow = sum(
+                freq[p] * probs.get((p, label), 0.0)
+                for p in preds[label]
+                if (p, label) not in back
+            )
+            assert math.isclose(freq[label], inflow, rel_tol=1e-9, abs_tol=1e-12), (
+                func.name,
+                label,
+            )
+
+
+def test_loop_headers_amplify_within_trip_cap(program):
+    for func in program.functions.values():
+        freq = block_frequencies(func)
+        probs = edge_probabilities(func)
+        preds = predecessors(func)
+        back = _back_edges(func)
+        reachable = reachable_blocks(func)
+        for loop in find_loops(func):
+            label = loop.header
+            if label not in reachable:
+                continue
+            inflow = 1.0 if label == func.entry.label else 0.0
+            inflow += sum(
+                freq[p] * probs.get((p, label), 0.0)
+                for p in preds[label]
+                if (p, label) not in back
+            )
+            if inflow <= 0.0:
+                continue  # header only reachable around the loop itself
+            factor = freq[label] / inflow
+            assert 1.0 - 1e-9 <= factor <= MAX_TRIP + 1e-6, (func.name, label)
+
+
+def test_frequencies_nonnegative_and_entry_is_covered(program):
+    for func in program.functions.values():
+        freq = block_frequencies(func)
+        assert all(f >= 0.0 for f in freq.values())
+        assert freq[func.entry.label] >= 1.0 - 1e-9

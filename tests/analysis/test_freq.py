@@ -1,0 +1,191 @@
+"""Static branch-probability and block-frequency estimation."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.freq import (
+    LOOP_BACK,
+    MAX_TRIP,
+    block_frequencies,
+    call_site_counts,
+    edge_probabilities,
+    entry_counts,
+    static_profile,
+)
+from repro.ir.parser import parse_function, parse_program
+
+STRAIGHT = """
+func f(0) returns {
+entry:
+  v0 = li 1
+  j mid
+mid:
+  v1 = addiu v0, 1
+  j exit
+exit:
+  ret v1
+}
+"""
+
+DIAMOND = """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, low
+high:
+  v1 = li 10
+  j join
+low:
+  v1 = li 20
+join:
+  ret v1
+}
+"""
+
+LOOP = """
+func f(0) {
+entry:
+  v0 = li 0
+loop:
+  v0 = addiu v0, 1
+  v1 = slti v0, 10
+  v2 = li 0
+  bne v1, v2, loop
+exit:
+  ret
+}
+"""
+
+NESTED = """
+func f(0) {
+entry:
+  v0 = li 0
+outer:
+  v1 = li 0
+inner:
+  v1 = addiu v1, 1
+  v2 = slti v1, 8
+  v3 = li 0
+  bne v2, v3, inner
+after:
+  v0 = addiu v0, 1
+  v4 = slti v0, 8
+  v5 = li 0
+  bne v4, v5, outer
+exit:
+  ret
+}
+"""
+
+
+class TestEdgeProbabilities:
+    def test_single_successor_is_certain(self):
+        func = parse_function(STRAIGHT)
+        probs = edge_probabilities(func)
+        assert probs[("entry", "mid")] == 1.0
+        assert probs[("mid", "exit")] == 1.0
+
+    def test_branch_outgoing_sum_to_one(self):
+        func = parse_function(DIAMOND)
+        probs = edge_probabilities(func)
+        total = probs[("entry", "low")] + probs[("entry", "high")]
+        assert math.isclose(total, 1.0)
+
+    def test_blez_prior_favours_fallthrough(self):
+        func = parse_function(DIAMOND)
+        probs = edge_probabilities(func)
+        assert probs[("entry", "low")] < probs[("entry", "high")]
+
+    def test_back_edge_dominates(self):
+        func = parse_function(LOOP)
+        probs = edge_probabilities(func)
+        assert probs[("loop", "loop")] >= LOOP_BACK - 0.05
+        assert probs[("loop", "loop")] <= 0.99
+
+
+class TestBlockFrequencies:
+    def test_straight_line_is_all_ones(self):
+        freq = block_frequencies(parse_function(STRAIGHT))
+        assert all(math.isclose(f, 1.0) for f in freq.values())
+
+    def test_diamond_join_recovers_entry_flow(self):
+        freq = block_frequencies(parse_function(DIAMOND))
+        assert math.isclose(freq["join"], 1.0, rel_tol=1e-9)
+        assert math.isclose(freq["high"] + freq["low"], 1.0, rel_tol=1e-9)
+
+    def test_loop_header_spins(self):
+        func = parse_function(LOOP)
+        freq = block_frequencies(func)
+        probs = edge_probabilities(func)
+        assert freq["loop"] > 1.0
+        assert freq["loop"] <= MAX_TRIP
+        # exit flow is conserved: header frequency times the exit edge
+        assert math.isclose(
+            freq["exit"], freq["loop"] * probs[("loop", "exit")], rel_tol=1e-9
+        )
+
+    def test_nested_loop_multiplies(self):
+        freq = block_frequencies(parse_function(NESTED))
+        assert freq["inner"] > freq["outer"] > 1.0
+        assert freq["inner"] <= MAX_TRIP * MAX_TRIP
+
+    def test_unreachable_block_is_zero(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  ret v0
+dead:
+  v1 = li 2
+  ret v1
+}
+"""
+        )
+        assert block_frequencies(func)["dead"] == 0.0
+
+
+INTERPROC = """
+func helper(1) returns {
+entry:
+  v0 = param 0
+  v1 = addiu v0, 1
+  ret v1
+}
+func main(0) returns {
+entry:
+  v0 = li 0
+loop:
+  v1 = call helper(v0)
+  v0 = move v1
+  v2 = slti v0, 10
+  v3 = li 0
+  bne v2, v3, loop
+exit:
+  ret v0
+}
+"""
+
+
+class TestInterprocedural:
+    def test_call_site_counts_follow_block_frequency(self):
+        program = parse_program(INTERPROC)
+        main = program.functions["main"]
+        freq = block_frequencies(main)
+        calls = call_site_counts(main, freq)
+        assert math.isclose(calls["helper"], freq["loop"])
+
+    def test_entry_counts_scale_callee(self):
+        program = parse_program(INTERPROC)
+        counts = entry_counts(program)
+        assert counts["main"] == 1.0
+        assert counts["helper"] > 1.0  # called once per loop iteration
+
+    def test_static_profile_covers_every_function(self):
+        program = parse_program(INTERPROC)
+        profile = static_profile(program)
+        for name in program.functions:
+            assert profile.covers(name)
+        # the callee's counts carry its entry count
+        assert profile.block_count("helper", "entry") > 1.0

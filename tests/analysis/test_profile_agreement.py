@@ -1,0 +1,110 @@
+"""Static-vs-measured profile agreement: metrics, experiment, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.freq import static_profile
+from repro.analysis.profilecmp import compare_profiles
+from repro.experiments.profile_agreement import characterize, format_table
+from repro.runtime.interp import run_program
+from repro.workloads import compile_workload
+
+SCALE = 3
+
+
+@pytest.fixture(scope="module")
+def compress():
+    return compile_workload("compress", scale=SCALE)
+
+
+class TestCompareProfiles:
+    def test_profile_agrees_with_itself(self, compress):
+        measured = run_program(compress).profile
+        agreement = compare_profiles(compress, measured, measured)
+        assert agreement.weighted_overlap == pytest.approx(1.0)
+        assert agreement.hottest_match_fraction == pytest.approx(1.0)
+        assert not agreement.uncovered
+
+    def test_static_vs_measured_bounded(self, compress):
+        static = static_profile(compress)
+        measured = run_program(compress).profile
+        agreement = compare_profiles(compress, static, measured)
+        assert 0.0 <= agreement.weighted_overlap <= 1.0
+        assert 0.0 <= agreement.hottest_match_fraction <= 1.0
+        for fn in agreement.functions:
+            assert -1.0 - 1e-9 <= fn.correlation <= 1.0 + 1e-9
+            assert 0.0 <= fn.overlap <= 1.0 + 1e-9
+
+    def test_uncovered_functions_listed(self, compress):
+        from repro.partition.cost import ExecutionProfile
+
+        static = static_profile(compress)
+        empty = ExecutionProfile()
+        agreement = compare_profiles(compress, static, empty)
+        assert set(agreement.uncovered) == set(compress.functions)
+        assert not agreement.functions
+
+    def test_to_dict_round_trips_through_json(self, compress):
+        static = static_profile(compress)
+        measured = run_program(compress).profile
+        document = compare_profiles(compress, static, measured).to_dict()
+        assert json.loads(json.dumps(document)) == document
+
+
+class TestExperiment:
+    def test_characterize_row(self):
+        row = characterize("compress", SCALE)
+        assert row.benchmark == "compress"
+        assert 0.0 <= row.weighted_overlap <= 1.0
+        assert 0.0 <= row.decision_agreement <= 1.0
+        assert row.offloaded_static >= 0
+        assert row.offloaded_measured >= 0
+
+    def test_format_table(self):
+        row = characterize("compress", SCALE)
+        table = format_table([row])
+        assert "compress" in table
+        assert "decisions" in table
+
+
+class TestAnalyzeCli:
+    def test_compare_profile_json_document(self, tmp_path, capsys):
+        path = tmp_path / "prog.mc"
+        path.write_text(
+            """
+int arr[64];
+
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        arr[i] = (i * 7) & 255;
+        s = s + arr[i];
+    }
+    return s;
+}
+"""
+        )
+        assert main(["analyze", "--compare-profile", "--json", str(path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "repro-analyze/1"
+        (entry,) = document["programs"]
+        assert entry["warnings"] == []
+        assert "weighted_overlap" in entry["agreement"]
+        impact = entry["partition_impact"]
+        assert set(impact) == {
+            "offloaded_static",
+            "offloaded_measured",
+            "decision_agreement",
+        }
+        assert 0.0 <= impact["decision_agreement"] <= 1.0
+
+    def test_compare_profile_on_workload_source(self, capsys):
+        assert main(["analyze", "--compare-profile", "workload:compress"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement: weighted overlap" in out
+        assert "decision agreement" in out

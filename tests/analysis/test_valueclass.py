@@ -1,0 +1,226 @@
+"""Interval + origin-class abstract interpretation."""
+
+from __future__ import annotations
+
+from repro.analysis.valueclass import (
+    Interval,
+    add_interval,
+    analyze_values,
+    const,
+    join_interval,
+    meet_interval,
+    mul_interval,
+    shift_left_interval,
+    sub_interval,
+    widen_interval,
+)
+from repro.ir.opcodes import Opcode, OpKind
+from repro.ir.parser import parse_function, parse_program
+
+
+def instr_named(func, op):
+    return next(i for i in func.instructions() if i.op is op)
+
+
+class TestIntervalAlgebra:
+    def test_join(self):
+        assert join_interval(const(3), const(7)) == Interval(3, 7)
+        assert join_interval(Interval(None, 5), const(7)) == Interval(None, 7)
+
+    def test_meet_empty(self):
+        assert meet_interval(Interval(0, 3), Interval(5, 9)) is None
+        assert meet_interval(Interval(0, 5), Interval(5, 9)) == const(5)
+
+    def test_arith(self):
+        assert add_interval(Interval(1, 2), Interval(10, 20)) == Interval(11, 22)
+        assert sub_interval(Interval(1, 2), Interval(10, 20)) == Interval(-19, -8)
+        assert mul_interval(Interval(-2, 3), Interval(4, 5)) == Interval(-10, 15)
+        assert shift_left_interval(Interval(1, 3), 4) == Interval(16, 48)
+
+    def test_widen(self):
+        assert widen_interval(Interval(0, 10), Interval(0, 11)) == Interval(0, None)
+        assert widen_interval(Interval(0, 10), Interval(-1, 10)) == Interval(None, 10)
+        assert widen_interval(Interval(0, 10), Interval(0, 10)) == Interval(0, 10)
+
+    def test_overflow_clamps_to_infinity(self):
+        big = Interval(1, (1 << 31) - 1)
+        out = add_interval(big, const(1))
+        assert out.hi is None  # wrapped bound dropped, stays sound
+        assert out.lo == 2
+
+
+class TestTransfer:
+    def test_constant_propagation(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 5
+  v1 = addiu v0, 3
+  v2 = sll v1, 1
+  ret v2
+}
+"""
+        )
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        assert values.value_at(ret, ret.uses[0]).interval == const(16)
+
+    def test_branch_refinement(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, nonpos
+pos:
+  ret v0
+nonpos:
+  ret v0
+}
+"""
+        )
+        values = analyze_values(func)
+        rets = [i for i in func.instructions() if i.op is Opcode.RET]
+        block_of = func.block_of()
+        for ret in rets:
+            interval = values.value_at(ret, ret.uses[0]).interval
+            if block_of[ret.uid] == "pos":
+                assert interval.lo == 1 and interval.hi is None
+            else:
+                assert interval.hi == 0 and interval.lo is None
+
+    def test_loop_widening_keeps_lower_bound(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 0
+loop:
+  v0 = addiu v0, 1
+  v1 = slti v0, 10
+  v2 = li 0
+  bne v1, v2, loop
+exit:
+  ret v0
+}
+"""
+        )
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        interval = values.value_at(ret, ret.uses[0]).interval
+        assert interval.lo is not None and interval.lo >= 0
+
+    def test_infeasible_branch_prunes_block(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 0
+  bne v0, v0, dead
+live:
+  v1 = li 3
+  ret v1
+dead:
+  v2 = li 9
+  ret v2
+}
+"""
+        )
+        values = analyze_values(func)
+        assert values.reachable("live")
+        assert not values.reachable("dead")
+
+
+class TestOrigins:
+    def test_fpa_def_tags_origin(self):
+        program = parse_program(
+            """
+global g 8
+func main(0) returns {
+entry:
+  vf0 = li.a 5
+  v1 = cp_from_comp vf0
+  ret v1
+}
+"""
+        )
+        func = program.functions["main"]
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        origins = values.value_at(ret, ret.uses[0]).origins
+        li_a = instr_named(func, Opcode.LI_A)
+        assert li_a.uid in origins
+
+    def test_origins_survive_laundering_chain(self):
+        program = parse_program(
+            """
+global g 64
+func main(0) returns {
+entry:
+  vf0 = li.a @g
+  vf1 = addiu.a vf0, 4
+  v2 = cp_from_comp vf1
+  v3 = addiu v2, 0
+  v4 = move v3
+  ret v4
+}
+"""
+        )
+        func = program.functions["main"]
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        origins = values.value_at(ret, ret.uses[0]).origins
+        assert len(origins) == 2  # li.a and addiu.a
+
+    def test_load_is_fresh_barrier(self):
+        program = parse_program(
+            """
+global g 64
+func main(0) returns {
+entry:
+  vf0 = li.a @g
+  v1 = cp_from_comp vf0
+  v2 = lw v1, 0
+  ret v2
+}
+"""
+        )
+        func = program.functions["main"]
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        assert not values.value_at(ret, ret.uses[0]).origins
+
+    def test_cp_to_comp_is_a_pure_move(self):
+        """cp_to_comp writes the FP file but creates no FPa *value*: it
+        only relays its INT input, so it contributes no origin itself."""
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 5
+  vf1 = cp_to_comp v0
+  v2 = cp_from_comp vf1
+  ret v2
+}
+"""
+        )
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        assert not values.value_at(ret, ret.uses[0]).origins
+
+    def test_copy_interval_follows_source(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 7
+  vf1 = cp_to_comp v0
+  v2 = cp_from_comp vf1
+  ret v2
+}
+"""
+        )
+        values = analyze_values(func)
+        ret = instr_named(func, Opcode.RET)
+        assert values.value_at(ret, ret.uses[0]).interval == const(7)

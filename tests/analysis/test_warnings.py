@@ -1,0 +1,184 @@
+"""Compiler warnings from the abstract-interpretation engine."""
+
+from __future__ import annotations
+
+from repro.analysis.warnings import analyze_function, analyze_program
+from repro.ir.parser import parse_function, parse_program
+from repro.minic.compile import compile_source
+
+
+class TestUnreachable:
+    def test_cfg_unreachable_block(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  ret v0
+dead:
+  v1 = li 2
+  ret v1
+}
+"""
+        )
+        warnings = analyze_function(func)
+        assert [w.kind for w in warnings] == ["unreachable-block"]
+        assert warnings[0].block == "dead"
+        assert "no control-flow path" in warnings[0].message
+
+    def test_interval_proved_unreachable_block(self):
+        """CFG-reachable, but the branch comparing a register against
+        itself can never take the edge."""
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 0
+  bne v0, v0, dead
+live:
+  v1 = li 3
+  ret v1
+dead:
+  v2 = li 9
+  ret v2
+}
+"""
+        )
+        warnings = analyze_function(func)
+        assert [w.kind for w in warnings] == ["unreachable-block"]
+        assert warnings[0].block == "dead"
+        assert "value analysis proves" in warnings[0].message
+
+    def test_clean_function_has_no_warnings(self):
+        func = parse_function(
+            """
+func f(1) returns {
+entry:
+  v0 = param 0
+  blez v0, low
+high:
+  ret v0
+low:
+  ret v0
+}
+"""
+        )
+        assert analyze_function(func) == []
+
+
+class TestUnboundedLoops:
+    def test_loop_without_exit_edge(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 0
+spin:
+  v0 = addiu v0, 1
+  j spin
+}
+"""
+        )
+        warnings = analyze_function(func)
+        assert any(w.kind == "unbounded-loop" for w in warnings)
+        loop_warning = next(w for w in warnings if w.kind == "unbounded-loop")
+        assert loop_warning.block == "spin"
+        assert "no exit edge" in loop_warning.message
+
+    def test_loop_with_infeasible_exit(self):
+        """The exit branch tests a register the interval analysis pins to
+        a constant, so the loop provably never leaves."""
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 1
+loop:
+  v1 = addiu v1, 1
+  bgtz v0, loop
+exit:
+  ret
+}
+"""
+        )
+        warnings = analyze_function(func)
+        kinds = {w.kind for w in warnings}
+        assert "unbounded-loop" in kinds
+        loop_warning = next(w for w in warnings if w.kind == "unbounded-loop")
+        assert "infeasible" in loop_warning.message
+
+    def test_terminating_loop_is_silent(self):
+        func = parse_function(
+            """
+func f(0) {
+entry:
+  v0 = li 0
+loop:
+  v0 = addiu v0, 1
+  v1 = slti v0, 10
+  v2 = li 0
+  bne v1, v2, loop
+exit:
+  ret
+}
+"""
+        )
+        assert analyze_function(func) == []
+
+
+class TestProgramLevel:
+    def test_function_definition_order(self):
+        program = parse_program(
+            """
+func second(0) returns {
+entry:
+  v0 = li 1
+  ret v0
+dead:
+  v1 = li 2
+  ret v1
+}
+func first(0) returns {
+entry:
+  v0 = li 1
+  ret v0
+gone:
+  v1 = li 2
+  ret v1
+}
+"""
+        )
+        warnings = analyze_program(program)
+        assert [w.function for w in warnings] == ["second", "first"]
+
+    def test_compile_source_surfaces_warnings(self):
+        """The compiler runs the analysis when asked and reports through
+        the caller-provided sink."""
+        sink: list = []
+        compile_source(
+            """
+int main() {
+    int i = 0;
+    while (1) { i = i + 1; }
+    return i;
+}
+""",
+            warnings=sink,
+        )
+        assert any(w.kind == "unbounded-loop" for w in sink)
+
+    def test_render_format(self):
+        func = parse_function(
+            """
+func f(0) returns {
+entry:
+  v0 = li 1
+  ret v0
+dead:
+  ret v0
+}
+"""
+        )
+        (warning,) = analyze_function(func)
+        rendered = warning.render()
+        assert rendered.startswith("warning: unreachable-block: f:dead: ")

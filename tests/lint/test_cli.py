@@ -35,11 +35,11 @@ class TestLintCommand:
     def test_clean_program_exits_zero(self, source_file, capsys):
         assert main(["lint", source_file]) == 0
         out = capsys.readouterr().out
-        assert "0 error(s), 0 warning(s), 0 note(s) from 6 rule(s)" in out
+        assert "0 error(s), 0 warning(s), 0 note(s) from 8 rule(s)" in out
 
     def test_basic_scheme(self, source_file, capsys):
         assert main(["lint", "--scheme", "basic", source_file]) == 0
-        assert "from 6 rule(s)" in capsys.readouterr().out
+        assert "from 8 rule(s)" in capsys.readouterr().out
 
     def test_scheme_none_skips_partition_rules(self, source_file, capsys):
         assert main(["lint", "--scheme", "none", "--json", source_file]) == 0
@@ -57,10 +57,12 @@ class TestLintCommand:
         assert set(document["summary"]["rules_run"]) == {
             "partition-legality",
             "cost-consistency",
+            "profit-certification",
             "subsystem-consistency",
             "address-slice-int",
             "calling-convention",
             "copy-hygiene",
+            "value-range",
         }
 
     def test_rules_filter(self, source_file, capsys):

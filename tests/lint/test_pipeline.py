@@ -53,21 +53,33 @@ def test_lint_flag_accepts_clean_pipeline():
 
 
 def test_lint_flag_rejects_illegal_partition(monkeypatch):
+    # certify=False so the lint stage (not the earlier independent
+    # certifier, which also catches this) is what rejects the partition
     _sabotaging_advanced_partition(monkeypatch)
     with pytest.raises(ReproError, match="pre-rewrite lint failed"):
-        partition_program(compile_source(SOURCE), "advanced", lint=True)
+        partition_program(
+            compile_source(SOURCE), "advanced", lint=True, certify=False
+        )
 
 
 def test_lint_failure_message_carries_diagnostics(monkeypatch):
     _sabotaging_advanced_partition(monkeypatch)
     with pytest.raises(ReproError, match="INT-pinned but assigned to FPa"):
-        partition_program(compile_source(SOURCE), "advanced", lint=True)
+        partition_program(
+            compile_source(SOURCE), "advanced", lint=True, certify=False
+        )
 
 
 def test_env_var_enables_lint(monkeypatch):
     _sabotaging_advanced_partition(monkeypatch)
     monkeypatch.setenv("REPRO_LINT", "1")
     with pytest.raises(ReproError, match="pre-rewrite lint failed"):
+        partition_program(compile_source(SOURCE), "advanced", certify=False)
+
+
+def test_certifier_rejects_illegal_partition_by_default(monkeypatch):
+    _sabotaging_advanced_partition(monkeypatch)
+    with pytest.raises(ReproError, match="failed independent profit"):
         partition_program(compile_source(SOURCE), "advanced")
 
 

@@ -35,7 +35,7 @@ def run_rule(rule_id: str, program, **kwargs):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         ids = {rule.id for rule in all_rules()}
         assert ids == {
             "subsystem-consistency",
@@ -44,12 +44,15 @@ class TestRegistry:
             "copy-hygiene",
             "partition-legality",
             "cost-consistency",
+            "profit-certification",
+            "value-range",
         }
 
     def test_partition_rule_ids(self):
         assert set(partition_rule_ids()) == {
             "partition-legality",
             "cost-consistency",
+            "profit-certification",
         }
 
     def test_unknown_rule_rejected(self):

@@ -1,0 +1,221 @@
+"""The abstract-interpretation lint rules (profit-certification and
+value-range)."""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.lint import Severity, lint_program
+from repro.minic.compile import compile_source
+from repro.partition.advanced import advanced_partition
+from repro.rdg.graph import Node, Part
+from repro.runtime.interp import run_program
+from repro.workloads import compile_workload
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load(name: str):
+    return parse_program((FIXTURES / name).read_text())
+
+
+def run_rule(rule_id: str, program, **kwargs):
+    return lint_program(program, rules=[rule_id], **kwargs)
+
+
+class TestValueRangeAddresses:
+    def test_laundered_flow_caught(self):
+        """FPa value -> cp_from_comp -> address: value-range errors."""
+        result = run_rule("value-range", load("address_laundered.ir"))
+        assert not result.ok
+        assert result.errors  # one per FPa def in the laundered slice
+        for diag in result.errors:
+            assert diag.rule == "value-range"
+            assert "originating from the FP-file def" in diag.message
+
+    def test_laundered_flow_missed_by_taint_walk(self):
+        """The same fixture passes the PR-1 reachability rule — the
+        taint stops at the legal cp_from_comp crossing."""
+        result = run_rule("address-slice-int", load("address_laundered.ir"))
+        assert result.ok
+        assert not result.diagnostics
+
+    def test_direct_flow_still_caught(self):
+        """value-range subsumes the direct (unlaundered) case too."""
+        result = run_rule("value-range", load("address_bad.ir"))
+        assert not result.ok
+
+    def test_strictly_stronger_on_old_clean_fixture(self):
+        """address_clean.ir is the canonical laundered flow: clean for
+        the reachability rule (the crossing is legal def-use-wise) but
+        an FPa-origin address for value-range."""
+        program = load("address_clean.ir")
+        assert run_rule("address-slice-int", program).ok
+        assert not run_rule("value-range", program).ok
+
+    def test_clean_program(self):
+        result = run_rule("value-range", compile_source(PROFITABLE_SOURCE))
+        assert not result.diagnostics
+
+
+class TestValueRangeCopies:
+    def test_dead_branch_copies_warn(self):
+        result = run_rule("value-range", load("copies_dead_branch.ir"))
+        warnings = result.warnings
+        assert len(warnings) == 2  # cp_to_comp and cp_from_comp in `dead`
+        assert all("never executed" in d.message for d in warnings)
+        assert {d.block for d in warnings} == {"dead"}
+
+    def test_constant_copy_notes(self):
+        result = run_rule("value-range", load("copies_constant.ir"))
+        notes = result.by_severity(Severity.NOTE)
+        assert notes
+        assert any("constant 41" in d.message for d in notes)
+        assert any(
+            d.hint is not None and "li.a" in d.hint for d in notes
+        )
+        assert result.ok  # notes never fail the run
+
+
+PROFITABLE_SOURCE = """
+int arr[64];
+
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        arr[i] = (i * 7) & 255;
+        s = s + arr[i];
+    }
+    return s;
+}
+"""
+
+
+def _partitioned(source: str = PROFITABLE_SOURCE):
+    program = compile_source(source)
+    profile = run_program(program).profile
+    partitions = {
+        name: advanced_partition(func, profile=profile)
+        for name, func in program.functions.items()
+    }
+    return program, partitions, profile
+
+
+class TestProfitCertification:
+    def test_clean_partition_passes(self):
+        program, partitions, profile = _partitioned()
+        result = run_rule(
+            "profit-certification",
+            program,
+            partitions=partitions,
+            profile=profile,
+            scheme="advanced",
+        )
+        assert not result.diagnostics
+
+    def test_skipped_without_partitions(self):
+        program, _, _ = _partitioned()
+        result = run_rule("profit-certification", program)
+        assert "profit-certification" not in result.rules_run
+
+    def test_dropped_copy_site_rejected(self):
+        """Seeded mutation: discard one bookkept communication site; the
+        INT->FPa edge it paid for becomes unpaid."""
+        program, partitions, profile = _partitioned()
+        rng = random.Random(1998)
+        name, partition = next(
+            (n, p)
+            for n, p in sorted(partitions.items())
+            if p.copies | p.dups
+        )
+        victim = rng.choice(sorted(partition.copies | partition.dups, key=lambda n: n.uid))
+        partition.copies.discard(victim)
+        partition.dups.discard(victim)
+        result = run_rule(
+            "profit-certification",
+            program,
+            partitions=partitions,
+            profile=profile,
+            scheme="advanced",
+        )
+        assert not result.ok
+        assert any("unpaid INT" in d.message for d in result.errors)
+
+    def test_phantom_site_rejected(self):
+        """Tampered bookkeeping: charge overhead for a copy that feeds
+        nothing in FPa."""
+        program, partitions, profile = _partitioned()
+        name, partition = next(
+            (n, p) for n, p in sorted(partitions.items()) if p.fp
+        )
+        phantom = next(
+            node
+            for node in sorted(partition.rdg.nodes, key=lambda n: n.uid)
+            if node not in partition.fp
+            and node not in (partition.copies | partition.dups)
+            and node.part is not Part.ADDR
+            and partition.rdg.instruction(node).defs
+            and not any(
+                c in partition.fp for c in partition.rdg.succs[node]
+            )
+        )
+        partition.copies.add(phantom)
+        result = run_rule(
+            "profit-certification",
+            program,
+            partitions=partitions,
+            profile=profile,
+            scheme="advanced",
+        )
+        assert not result.ok
+        assert any("phantom copy site" in d.message for d in result.errors)
+
+    def test_inflated_benefit_rejected(self):
+        """Tampered assignment: force an unprofitable component into FPa
+        (an INT-only node with no FPa twin pricing support) and the
+        certified Profit bound goes negative."""
+        program, partitions, profile = _partitioned()
+        name, partition = next(
+            (n, p) for n, p in sorted(partitions.items()) if p.fp
+        )
+        # drop every bookkept site but keep the FPa assignment: the
+        # components now have unpaid edges AND any component whose
+        # feeders were discarded no longer balances its books
+        partition.copies.clear()
+        partition.dups.clear()
+        result = run_rule(
+            "profit-certification",
+            program,
+            partitions=partitions,
+            profile=profile,
+            scheme="advanced",
+        )
+        assert not result.ok
+
+
+@pytest.mark.parametrize("name", ["compress", "li", "perl"])
+@pytest.mark.parametrize("scheme", ["basic", "advanced"])
+def test_workloads_certify_clean(name, scheme):
+    from repro.partition.basic import basic_partition
+
+    program = compile_workload(name, scale=3)
+    profile = run_program(program).profile if scheme == "advanced" else None
+    partitions = {}
+    for fname, func in program.functions.items():
+        if scheme == "basic":
+            partitions[fname] = basic_partition(func)
+        else:
+            partitions[fname] = advanced_partition(func, profile=profile)
+    result = run_rule(
+        "profit-certification",
+        program,
+        partitions=partitions,
+        profile=profile,
+        scheme=scheme,
+    )
+    assert not result.diagnostics
