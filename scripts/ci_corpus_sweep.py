@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""CI corpus sweep: lint/analyze every example and workload, in-process.
+
+One implementation behind the two CI corpus steps, replacing three
+copy-pasted bash loops with identical coverage:
+
+* ``lint`` mode — ``repro lint`` over every ``examples/*.mc`` file and
+  every registered workload, under both partition schemes, failing on
+  any warning.
+* ``analysis`` mode — ``repro analyze --fail-on warning`` over every
+  example and over all workloads at scale 3, then the two
+  abstract-interpretation lint rules (``profit-certification``,
+  ``value-range``) standalone over the full corpus, both schemes.
+
+Each target runs in-process through ``repro.__main__.main`` (one Python
+startup for the whole sweep instead of one per target).  Failures are
+collected and summarized at the end so one bad target does not hide
+the rest of the corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.__main__ import main as repro_main  # noqa: E402
+from repro.workloads import WORKLOADS  # noqa: E402
+
+SCHEMES = ("basic", "advanced")
+ABSINT_RULES = "profit-certification,value-range"
+
+
+def corpus_targets() -> list[str]:
+    """Every example file plus every registered workload, sorted."""
+    examples = sorted(str(p) for p in (ROOT / "examples").glob("*.mc"))
+    if not examples:
+        raise SystemExit("FAIL: no examples/*.mc files found")
+    if not WORKLOADS:
+        raise SystemExit("FAIL: no registered workloads")
+    return examples + [f"workload:{name}" for name in sorted(WORKLOADS)]
+
+
+def run_one(label: str, argv: list[str], failures: list[str]) -> None:
+    print(f"== repro {' '.join(argv)} ==", flush=True)
+    status = repro_main(argv)
+    if status != 0:
+        print(f"FAILED (exit {status}): {label}", file=sys.stderr, flush=True)
+        failures.append(f"{label} (exit {status})")
+
+
+def sweep_lint(failures: list[str]) -> None:
+    for target in corpus_targets():
+        for scheme in SCHEMES:
+            run_one(
+                f"lint {target} --scheme {scheme}",
+                ["lint", target, "--scheme", scheme, "--fail-on", "warning"],
+                failures,
+            )
+
+
+def sweep_analysis(failures: list[str]) -> None:
+    targets = corpus_targets()
+    for target in targets:
+        if not target.startswith("workload:"):
+            run_one(
+                f"analyze {target}",
+                ["analyze", target, "--fail-on", "warning"],
+                failures,
+            )
+    run_one(
+        "analyze (all workloads)",
+        ["analyze", "--scale", "3", "--fail-on", "warning"],
+        failures,
+    )
+    for target in targets:
+        for scheme in SCHEMES:
+            run_one(
+                f"lint {target} --scheme {scheme} (absint rules)",
+                [
+                    "lint", target, "--scheme", scheme,
+                    "--rules", ABSINT_RULES, "--fail-on", "warning",
+                ],
+                failures,
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "mode", choices=("lint", "analysis"),
+        help="lint: both schemes over the corpus; "
+        "analysis: analyzer warnings + absint lint rules",
+    )
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    if args.mode == "lint":
+        sweep_lint(failures)
+    else:
+        sweep_analysis(failures)
+
+    if failures:
+        print(
+            f"\ncorpus sweep ({args.mode}): {len(failures)} failure(s):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\ncorpus sweep ({args.mode}): all targets clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Usage::
     python -m repro simulate prog.mc           # conventional vs partitioned
     python -m repro report [fig8 fig9 ...]     # regenerate paper artifacts
     python -m repro bench --suite fig8 -j 4    # benchmark matrix -> BENCH JSON
+    python -m repro perf append BENCH_fig8.json  # record run in perf history
+    python -m repro perf check                 # statistical degradation gate
 
 ``prog.mc`` is a MiniC source file (see ``examples/`` and the README for
 the language).  ``-`` reads from stdin, and ``workload:<name>`` uses the
@@ -19,7 +21,8 @@ generated source of a registered benchmark workload (e.g.
 
 Exit codes are documented per error class — 0 success, 1 generic
 failure, 2 usage, 3 unreadable input file, 4 the bench failure gate,
-10-20 the :mod:`repro.errors` hierarchy (see ``docs/robustness.md``).
+10-23 the :mod:`repro.errors` hierarchy, including 23 for a confirmed
+performance degradation from ``perf check`` (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -383,6 +386,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return bench_run(args)
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.cli import run as perf_run
+
+    return perf_run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -494,6 +503,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     configure_bench_parser(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "perf",
+        help="per-branch performance history and degradation detection",
+    )
+    from repro.perf.cli import configure_parser as configure_perf_parser
+
+    configure_perf_parser(p)
+    p.set_defaults(fn=cmd_perf)
 
     return parser
 

@@ -163,6 +163,11 @@ class CellOutcome:
             instructions executed, cycles simulated, whether a resumable
             checkpoint was published) — ``None`` for clean cells or when
             the worker never reported.
+        attempt_seconds: Wall-clock seconds of every attempt spent on
+            this cell, in attempt order (failed attempts included).
+            ``None`` for replays.  Retried cells therefore carry
+            intra-run repeat timings — the raw material of the
+            perf-history noise-floor estimator (:mod:`repro.perf`).
     """
 
     cell: Cell
@@ -176,6 +181,7 @@ class CellOutcome:
     error: CellError | None = None
     attempts: int = 1
     progress: dict | None = None
+    attempt_seconds: list[float] | None = None
 
     @property
     def ok(self) -> bool:
@@ -216,12 +222,14 @@ def _pool_worker(payload: tuple[str, dict, str | None]) -> tuple[str, dict]:
     key, cell_doc, hb_path = payload
     heartbeat = HeartbeatWriter(hb_path)
     set_progress_sink(heartbeat)
+    start = time.perf_counter()
     try:
         result, seconds = compute_cell(Cell.from_dict(cell_doc))
     except Exception as exc:
         return key, {
             "ok": False,
             "error": CellError.from_exception(exc).as_dict(),
+            "seconds": time.perf_counter() - start,
         }
     finally:
         set_progress_sink(None)
@@ -422,11 +430,18 @@ def run_cells(
     outcomes: dict[str, CellOutcome] = {}
     pending: list[tuple[Cell, str]] = []
     max_attempts = max(1, retries + 1)
+    # key -> wall seconds of every attempt, in attempt order.  Surfaced
+    # on the outcome (and thence the BENCH document) as the intra-run
+    # repeat data the perf-history noise-floor estimator consumes.
+    attempt_times: dict[str, list[float]] = {}
 
     def _resolved(outcome: CellOutcome) -> None:
         outcomes[outcome.key] = outcome
         if progress is not None:
             progress(outcome)
+
+    def _record_attempt(key: str, seconds: float) -> None:
+        attempt_times.setdefault(key, []).append(max(0.0, seconds))
 
     for cell, key in ordered:
         if not force:
@@ -491,7 +506,7 @@ def run_cells(
         _resolved(
             CellOutcome(
                 cell, result, key, False, "computed", seconds, seconds,
-                STATUS_OK, None, attempts,
+                STATUS_OK, None, attempts, None, attempt_times.get(key),
             )
         )
 
@@ -506,7 +521,7 @@ def run_cells(
         _resolved(
             CellOutcome(
                 cell, None, key, False, "none", 0.0, 0.0, status, error,
-                attempts, progress_doc,
+                attempts, progress_doc, attempt_times.get(key),
             )
         )
 
@@ -521,12 +536,12 @@ def run_cells(
     if pending and timeout is None and (jobs <= 1 or len(pending) == 1):
         _run_serial(
             pending, max_attempts, backoff, rng, breaker, stop,
-            _computed, _failed,
+            _computed, _failed, _record_attempt,
         )
     elif pending:
         _run_pool(
             pending, jobs, timeout, hard_timeout, max_attempts, backoff,
-            rng, breaker, stop, _computed, _failed,
+            rng, breaker, stop, _computed, _failed, _record_attempt,
         )
 
     # A stop-event abort leaves cells unresolved; record them so every
@@ -556,6 +571,7 @@ def _run_serial(
     stop: threading.Event | None,
     _computed: Callable,
     _failed: Callable,
+    _record_attempt: Callable[[str, float], None],
 ) -> None:
     """Inline execution with the same retry/error-capture semantics.
 
@@ -575,9 +591,11 @@ def _run_serial(
         for attempt in range(1, max_attempts + 1):
             heartbeat = HeartbeatWriter(None)
             set_progress_sink(heartbeat)
+            attempt_start = time.perf_counter()
             try:
                 result, seconds = compute_cell(cell)
             except Exception as exc:
+                _record_attempt(key, time.perf_counter() - attempt_start)
                 breaker.record_failure(family)
                 if attempt < max_attempts and not breaker.is_open(family):
                     _pause(stop, _backoff_delay(attempt, backoff, rng))
@@ -590,6 +608,7 @@ def _run_serial(
                     progress_summary(heartbeat.fields),
                 )
             else:
+                _record_attempt(key, seconds)
                 breaker.record_success(family)
                 # normalize through the dict round trip so serial results
                 # are representationally identical to pooled/cached ones
@@ -615,6 +634,9 @@ class _Flight:
     #: Absolute ceiling (submit + hard_timeout); never extended.
     hard_deadline: float | None
     hb_path: str
+    #: ``time.monotonic()`` at submission — attempt wall clock for
+    #: failure paths where the worker never reported a duration.
+    submitted: float = 0.0
     #: Raw bytes of the heartbeat at the last watchdog look.
     last_sig: bytes | None = None
 
@@ -631,6 +653,7 @@ def _run_pool(
     stop: threading.Event | None,
     _computed: Callable,
     _failed: Callable,
+    _record_attempt: Callable[[str, float], None],
 ) -> None:
     """Fan out over a worker pool, surviving crashes, hangs and errors.
 
@@ -649,7 +672,14 @@ def _run_pool(
     pool: ProcessPoolExecutor | None = None
     pool_breaks = 0
     inflight: dict[object, _Flight] = {}
-    hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+    # REPRO_HB_DIR pins the heartbeat directory to a known location and
+    # keeps it after the run, so CI can upload the beats of a failed
+    # sweep as an artifact; unset, heartbeats live in a private temp dir
+    # removed on exit.
+    hb_root = os.environ.get("REPRO_HB_DIR") or None
+    if hb_root:
+        os.makedirs(hb_root, exist_ok=True)
+    hb_dir = tempfile.mkdtemp(prefix="repro-hb-", dir=hb_root)
     hb_counter = 0
 
     def _flight_progress(flight: _Flight) -> dict | None:
@@ -699,6 +729,7 @@ def _run_pool(
             pool = None
         if len(suspects) == 1:
             flight = suspects[0]
+            _record_attempt(flight.key, time.monotonic() - flight.submitted)
             _requeue(
                 flight,
                 CellError(
@@ -756,6 +787,7 @@ def _run_pool(
                     None if timeout is None else now + timeout,
                     None if hard_timeout is None else now + hard_timeout,
                     hb_path,
+                    submitted=now,
                 )
             if pool is None:
                 continue  # pool broke during submission; respawn and retry
@@ -800,6 +832,14 @@ def _run_pool(
                         "ok": False,
                         "error": CellError.from_exception(exc).as_dict(),
                     }
+                _record_attempt(
+                    flight.key,
+                    float(
+                        payload.get(
+                            "seconds", time.monotonic() - flight.submitted
+                        )
+                    ),
+                )
                 if payload["ok"]:
                     breaker.record_success(_family(flight.cell))
                     _computed(
@@ -842,6 +882,9 @@ def _run_pool(
                 if expired:
                     for future, fields, progressing in expired:
                         flight = inflight.pop(future)
+                        _record_attempt(
+                            flight.key, time.monotonic() - flight.submitted
+                        )
                         stage = str(fields.get("stage", "unknown"))
                         if progressing:
                             message = (
@@ -877,7 +920,8 @@ def _run_pool(
                 # error): waiting on possibly-hung workers would wedge
                 # shutdown, so terminate them
                 _kill_pool(pool)
-        shutil.rmtree(hb_dir, ignore_errors=True)
+        if not hb_root:
+            shutil.rmtree(hb_dir, ignore_errors=True)
 
 
 def results_by_cell(outcomes: list[CellOutcome]) -> dict[Cell, BenchmarkResult]:

@@ -56,6 +56,7 @@ valid, gateable document.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
@@ -110,13 +111,32 @@ def result_from_dict(doc: dict) -> BenchmarkResult:
         raise ReproError(f"malformed benchmark result: missing {exc}") from None
 
 
+#: Host-identity fields the fingerprint is computed over, in order.
+_HOST_FIELDS = ("platform", "machine", "python", "cpu_count")
+
+
+def host_fingerprint(host: dict | None = None) -> str:
+    """Stable identity hash of the machine a document was produced on.
+
+    Wall-clock series are only comparable between runs on the same kind
+    of host, so the perf-history detectors partition wall-time data by
+    this fingerprint.  Accepts the ``host`` block of an existing BENCH
+    document (older documents lack the stored ``fingerprint`` field and
+    get it recomputed from the identity fields)."""
+    base = {field: (host or host_info()).get(field) for field in _HOST_FIELDS}
+    payload = json.dumps(base, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def host_info() -> dict:
-    return {
+    info = {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
     }
+    info["fingerprint"] = host_fingerprint(info)
+    return info
 
 
 def outcome_cell_doc(outcome) -> dict:
@@ -133,6 +153,10 @@ def outcome_cell_doc(outcome) -> dict:
         "seconds": outcome.seconds,
         "compute_seconds": outcome.compute_seconds,
     }
+    if outcome.attempt_seconds:
+        # per-attempt wall clock: intra-run repeat data the perf-history
+        # noise-floor estimator (repro.perf.detect) derives thresholds from
+        doc["attempt_seconds"] = [round(s, 6) for s in outcome.attempt_seconds]
     if outcome.ok and outcome.result is not None:
         compute = outcome.compute_seconds
         doc["throughput_ips"] = (

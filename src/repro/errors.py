@@ -148,6 +148,20 @@ class CheckpointError(ReproError):
     stage = "checkpoint"
 
 
+class PerfDegradation(ReproError):
+    """``repro perf check`` confirmed a statistical performance
+    degradation against the per-branch history (see
+    :mod:`repro.perf.detect`).
+
+    Raised (and mapped to exit code 23) only when the detectors agree
+    the change is a real regression, not noise — the message names the
+    degraded cell(s), the magnitude and the change-point sha.
+    """
+
+    exit_code = 23
+    stage = "perf"
+
+
 class FaultInjected(ReproError):
     """A fault deliberately injected by :mod:`repro.faults`.
 
@@ -175,6 +189,7 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 EXIT_IO = 3
 EXIT_BENCH_FAILURES = 4
+EXIT_PERF_DEGRADED = PerfDegradation.exit_code
 
 EXIT_CODES: dict[str, int] = {
     "ReproError": ReproError.exit_code,
@@ -191,6 +206,7 @@ EXIT_CODES: dict[str, int] = {
     "FaultInjected": FaultInjected.exit_code,
     "TracePackError": TracePackError.exit_code,
     "CheckpointError": CheckpointError.exit_code,
+    "PerfDegradation": PerfDegradation.exit_code,
 }
 
 
