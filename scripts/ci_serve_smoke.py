@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""CI serve-smoke: boot the daemon, drive load with faults, drain it.
+
+The end-to-end service scenario, as a single self-contained script:
+
+1. start ``repro serve`` on an ephemeral port (``--port-file``) with a
+   chaos spec in its environment — a crash-poisoned workload family and
+   probabilistic cache corruption;
+2. assert ``/healthz`` answers immediately;
+3. run ``repro loadgen`` (closed loop, a small per-request fault mix on
+   top) and require exit 0 — every request must get an answer;
+4. validate ``BENCH_serve.json``: a well-formed ``repro-bench/1``
+   document whose ``serve`` block carries latency percentiles and shed
+   accounting, with healthy cells present despite the chaos;
+5. assert the daemon is still healthy, then SIGTERM it and require a
+   clean exit 0 within the drain grace.
+
+Any failure exits non-zero with a diagnostic; CI uploads the BENCH
+document either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = str(REPO / "src")
+PORT_FILE = REPO / ".serve-port"
+OUTPUT = REPO / "BENCH_serve.json"
+
+#: Daemon-side chaos: every m88ksim execution crashes its pool worker,
+#: and cache reads are corrupted 30% of the time.
+DAEMON_FAULTS = (
+    "seed=23;"
+    "execute:crash:match=m88ksim;"
+    "cache.get:corrupt:p=0.3"
+)
+
+#: Request-side chaos forwarded by loadgen: an occasional injected
+#: error at admission, exercising the 500 path under real traffic.
+REQUEST_FAULTS = "serve_admit:error:p=0.05"
+
+DRAIN_GRACE = 30.0
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def http_get(port: int, path: str) -> tuple[int, dict]:
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["REPRO_FAULTS"] = DAEMON_FAULTS
+    PORT_FILE.unlink(missing_ok=True)
+
+    print(f"serve-smoke: starting daemon (faults: {DAEMON_FAULTS})")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--port-file", str(PORT_FILE),
+            "--workers", "2", "--queue-depth", "16",
+            "--retries", "1", "--breaker-threshold", "3",
+            "--timeout", "60", "--hard-timeout", "180",
+            "--drain-grace", str(int(DRAIN_GRACE)),
+            "--chaos", "--quiet",
+            "--cache-dir", str(REPO / ".repro-bench-cache"),
+        ],
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and not PORT_FILE.exists():
+            if daemon.poll() is not None:
+                fail(f"daemon died at startup (exit {daemon.returncode})")
+            time.sleep(0.1)
+        if not PORT_FILE.exists():
+            fail("daemon never wrote its port file")
+        port = int(PORT_FILE.read_text().strip())
+        print(f"serve-smoke: daemon on port {port}")
+
+        status, body = http_get(port, "/healthz")
+        if status != 200 or body.get("status") != "ok":
+            fail(f"/healthz before load: {status} {body}")
+
+        loadgen_env = dict(os.environ)
+        loadgen_env["PYTHONPATH"] = SRC
+        loadgen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--port-file", str(PORT_FILE),
+                "--requests", "40", "--clients", "6",
+                "--suite", "smoke", "--deadline", "150",
+                "--fault-mix", REQUEST_FAULTS,
+                "--output", str(OUTPUT),
+            ],
+            env=loadgen_env,
+            cwd=REPO,
+        )
+        if loadgen.returncode != 0:
+            fail(f"loadgen exited {loadgen.returncode}")
+
+        sys.path.insert(0, SRC)
+        from repro.serve.loadgen import validate_serve_document
+
+        doc = json.loads(OUTPUT.read_text())
+        validate_serve_document(doc)
+        serve = doc["serve"]
+        latency = serve["latency"]
+        if serve["requests"] != 40:
+            fail(f"expected 40 recorded requests, got {serve['requests']}")
+        if not serve["ok"]:
+            fail("no request succeeded under the fault mix")
+        if latency.get("count") and "p99_ms" not in latency:
+            fail("latency block lacks p99")
+        if "shed" not in serve or "shed_rate" not in serve:
+            fail("serve block lacks shed accounting")
+        if not doc["cells"]:
+            fail("no healthy cell made it into the document")
+        crashed = [c for c in doc["cells"] if c["workload"] == "m88ksim"]
+        if crashed:
+            fail("crash-poisoned cells leaked into the healthy cells block")
+        print(
+            f"serve-smoke: {serve['ok']} ok / {serve['errors']} errors / "
+            f"{serve['shed']} shed; p50 {latency.get('p50_ms')}ms "
+            f"p99 {latency.get('p99_ms')}ms; "
+            f"{len(doc['cells'])} cells, {len(doc['failures'])} failures"
+        )
+
+        status, body = http_get(port, "/healthz")
+        if status != 200:
+            fail(f"/healthz after load: {status} {body}")
+        status, stats = http_get(port, "/stats")
+        if status != 200 or stats["counters"]["accepted"] < 40:
+            fail(f"/stats after load: {status} {stats.get('counters')}")
+
+        print("serve-smoke: SIGTERM, expecting a clean drain")
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            returncode = daemon.wait(timeout=DRAIN_GRACE + 15.0)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit within the drain grace")
+        if returncode != 0:
+            fail(f"daemon drained with exit {returncode}")
+        print("serve-smoke: PASS")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

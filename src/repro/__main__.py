@@ -13,6 +13,8 @@ Usage::
     python -m repro bench --suite fig8 -j 4    # benchmark matrix -> BENCH JSON
     python -m repro perf append BENCH_fig8.json  # record run in perf history
     python -m repro perf check                 # statistical degradation gate
+    python -m repro serve --port 8173          # pipeline as a local daemon
+    python -m repro loadgen --port 8173 -n 60  # drive it -> BENCH_serve.json
 
 ``prog.mc`` is a MiniC source file (see ``examples/`` and the README for
 the language).  ``-`` reads from stdin, and ``workload:<name>`` uses the
@@ -21,8 +23,10 @@ generated source of a registered benchmark workload (e.g.
 
 Exit codes are documented per error class — 0 success, 1 generic
 failure, 2 usage, 3 unreadable input file, 4 the bench failure gate,
-10-23 the :mod:`repro.errors` hierarchy, including 23 for a confirmed
-performance degradation from ``perf check`` (see ``docs/robustness.md``).
+10-24 the :mod:`repro.errors` hierarchy, including 23 for a confirmed
+performance degradation from ``perf check`` (see ``docs/robustness.md``,
+which also documents how ``repro serve`` maps the same hierarchy onto
+HTTP statuses).
 """
 
 from __future__ import annotations
@@ -392,6 +396,18 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return perf_run(args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_serve
+
+    return run_serve(args)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_loadgen
+
+    return run_loadgen(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -512,6 +528,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     configure_perf_parser(p)
     p.set_defaults(fn=cmd_perf)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running HTTP daemon: compile/lint/partition/simulate/"
+        "bench-cell with admission control and graceful drain",
+    )
+    from repro.serve.cli import configure_serve_parser
+
+    configure_serve_parser(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a repro serve daemon, emit BENCH_serve.json",
+    )
+    from repro.serve.cli import configure_loadgen_parser
+
+    configure_loadgen_parser(p)
+    p.set_defaults(fn=cmd_loadgen)
 
     return parser
 

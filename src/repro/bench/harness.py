@@ -65,8 +65,21 @@ from repro.progress import set_progress_sink
 
 #: key -> (result, fresh compute seconds); one process-wide memo in LRU
 #: order, bounded by :func:`_memo_cap` so long-lived processes using
-#: ``cached_run_benchmark`` cannot grow without limit.
+#: ``cached_run_benchmark`` cannot grow without limit.  Guarded by
+#: ``_MEMO_LOCK``: the ``repro serve`` daemon resolves cells from many
+#: worker threads against this one memo.
 _MEMO: OrderedDict[str, tuple[BenchmarkResult, float]] = OrderedDict()
+_MEMO_LOCK = threading.Lock()
+
+
+def _after_fork_reinit() -> None:
+    # pool workers fork from a possibly multi-threaded parent (the serve
+    # daemon); a memo lock captured mid-acquisition must not survive
+    global _MEMO_LOCK
+    _MEMO_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_after_fork_reinit)
 
 #: Default memo bound; override with ``REPRO_BENCH_MEMO_CAP=<n>``.
 DEFAULT_MEMO_CAP = 512
@@ -91,23 +104,26 @@ def _memo_cap() -> int:
 
 
 def _memo_get(key: str) -> tuple[BenchmarkResult, float] | None:
-    value = _MEMO.get(key)
-    if value is not None:
-        _MEMO.move_to_end(key)
-    return value
+    with _MEMO_LOCK:
+        value = _MEMO.get(key)
+        if value is not None:
+            _MEMO.move_to_end(key)
+        return value
 
 
 def _memo_put(key: str, value: tuple[BenchmarkResult, float]) -> None:
-    _MEMO[key] = value
-    _MEMO.move_to_end(key)
     cap = _memo_cap()
-    while len(_MEMO) > cap:
-        _MEMO.popitem(last=False)
+    with _MEMO_LOCK:
+        _MEMO[key] = value
+        _MEMO.move_to_end(key)
+        while len(_MEMO) > cap:
+            _MEMO.popitem(last=False)
 
 
 def clear_memo() -> None:
     """Drop the in-process memo (tests and long-lived processes)."""
-    _MEMO.clear()
+    with _MEMO_LOCK:
+        _MEMO.clear()
 
 
 @dataclass(frozen=True, slots=True)
@@ -301,46 +317,62 @@ class CircuitBreaker:
     clock.  Once open, queued cells of the family fail fast (type
     ``CircuitOpen``, zero attempts charged); any success resets the
     family's count.  ``threshold <= 0`` disables the breaker.
+
+    Thread-safe: ``repro serve`` shares one breaker across every client
+    (pass it to :func:`run_cells` as ``breaker``), so a workload that is
+    deterministically poisoning workers fails fast for *all* clients,
+    not once per connection.
     """
 
     def __init__(self, threshold: int) -> None:
         self.threshold = threshold
         self.failures: dict[str, int] = {}
         self.skipped: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def record_failure(self, family: str) -> None:
         if self.threshold <= 0:
             return
-        self.failures[family] = self.failures.get(family, 0) + 1
+        with self._lock:
+            self.failures[family] = self.failures.get(family, 0) + 1
 
     def record_success(self, family: str) -> None:
-        if family in self.failures:
-            self.failures[family] = 0
+        with self._lock:
+            if family in self.failures:
+                self.failures[family] = 0
 
     def is_open(self, family: str) -> bool:
-        return self.threshold > 0 and self.failures.get(family, 0) >= self.threshold
+        if self.threshold <= 0:
+            return False
+        with self._lock:
+            return self.failures.get(family, 0) >= self.threshold
 
     def skip(self, family: str) -> CellError:
-        self.skipped[family] = self.skipped.get(family, 0) + 1
+        with self._lock:
+            self.skipped[family] = self.skipped.get(family, 0) + 1
+            count = self.failures.get(family, 0)
         return CellError(
             "CircuitOpen",
             "harness",
             f"circuit breaker open for {family} after "
-            f"{self.failures.get(family, 0)} consecutive failures",
+            f"{count} consecutive failures",
         )
 
     def snapshot(self) -> dict[str, dict]:
         """Per-family breaker state for the run report (tracked families
         only — a family that never failed has nothing to report)."""
         report: dict[str, dict] = {}
-        for family, count in sorted(self.failures.items()):
-            if count == 0 and not self.skipped.get(family):
+        with self._lock:
+            failures = dict(self.failures)
+            skipped = dict(self.skipped)
+        for family, count in sorted(failures.items()):
+            if count == 0 and not skipped.get(family):
                 continue
             report[family] = {
-                "state": "open" if self.is_open(family) else "closed",
+                "state": "open" if count >= self.threshold > 0 else "closed",
                 "consecutive_failures": count,
                 "threshold": self.threshold,
-                "skipped_cells": self.skipped.get(family, 0),
+                "skipped_cells": skipped.get(family, 0),
             }
         return report
 
@@ -381,6 +413,7 @@ def run_cells(
     retries: int = 0,
     backoff: float = 0.5,
     breaker_threshold: int = 0,
+    breaker: CircuitBreaker | None = None,
     stop: threading.Event | None = None,
     report: RunReport | None = None,
 ) -> list[CellOutcome]:
@@ -413,6 +446,12 @@ def run_cells(
         breaker_threshold: Consecutive attempt failures per
             (workload, scheme) family before its circuit breaker opens
             and remaining family cells fail fast; ``0`` disables.
+        breaker: Optional externally owned :class:`CircuitBreaker` to
+            use instead of a per-call one, so failure counts persist
+            across calls — the ``repro serve`` daemon passes one breaker
+            for every request, making breaker state a property of the
+            process, not the connection.  ``breaker_threshold`` is
+            ignored when this is given.
         stop: Optional event; once set, no new work starts, backoff
             sleeps return immediately and unresolved cells are recorded
             as failed (type ``Aborted``).
@@ -531,7 +570,8 @@ def run_cells(
         "\n".join(key for _, key in pending).encode("utf-8")
     ).digest()
     rng = random.Random(int.from_bytes(seed_bytes[:8], "big"))
-    breaker = CircuitBreaker(breaker_threshold)
+    if breaker is None:
+        breaker = CircuitBreaker(breaker_threshold)
 
     if pending and timeout is None and (jobs <= 1 or len(pending) == 1):
         _run_serial(

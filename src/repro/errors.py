@@ -162,6 +162,20 @@ class PerfDegradation(ReproError):
     stage = "perf"
 
 
+class ServeError(ReproError):
+    """The ``repro serve`` daemon could not start or operate (port in
+    use, invalid service configuration, a request the HTTP layer cannot
+    honour).
+
+    Request-level pipeline failures are *not* ServeErrors — they map to
+    HTTP statuses via :func:`repro.serve.codes.http_status_for` and
+    never escape the daemon.
+    """
+
+    exit_code = 24
+    stage = "serve"
+
+
 class FaultInjected(ReproError):
     """A fault deliberately injected by :mod:`repro.faults`.
 
@@ -207,6 +221,7 @@ EXIT_CODES: dict[str, int] = {
     "TracePackError": TracePackError.exit_code,
     "CheckpointError": CheckpointError.exit_code,
     "PerfDegradation": PerfDegradation.exit_code,
+    "ServeError": ServeError.exit_code,
 }
 
 

@@ -74,6 +74,12 @@ FAULT_SITES = (
     "trace_pack",
     "ckpt_write",
     "ckpt_read",
+    # ``repro serve`` request-lifecycle sites (labels are
+    # ``<method> <path>`` for admit/respond, the cell label for work)
+    "serve_admit",
+    "serve_work",
+    "serve_respond",
+    "serve_drain",
 )
 
 #: What a firing clause does.

@@ -1,0 +1,251 @@
+"""``repro serve`` and ``repro loadgen`` — the daemon and its driver.
+
+Examples::
+
+    repro serve --port 8173 --workers 4 --queue-depth 32
+    repro serve --port 0 --port-file .serve-port   # ephemeral port
+    REPRO_FAULTS='seed=7;execute:crash:p=0.2' repro serve --chaos
+
+    repro loadgen --port 8173 --requests 60 --clients 8
+    repro loadgen --port 8173 --rate 20 --requests 100 \
+        --output BENCH_serve.json
+    repro loadgen --port 8173 --fault-mix 'serve_work:error:p=0.1'
+
+``loadgen`` exits 0 when the daemon stayed healthy (every request got
+*an answer* — shed and pipeline failures are data, not driver
+failures), and non-zero only when the daemon was unreachable or the
+resulting document is invalid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ServeError
+
+
+def configure_serve_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8173,
+        help="listen port; 0 picks an ephemeral port (default: 8173)",
+    )
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=32, metavar="N",
+        help="max in-flight requests before shedding with 429 (default: 32)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="concurrently executing heavy requests (default: 4)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECS",
+        help="per-cell progress watchdog stall limit (default: 60)",
+    )
+    parser.add_argument(
+        "--hard-timeout", type=float, default=300.0, metavar="SECS",
+        help="per-cell absolute wall-clock ceiling (default: 300)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts per failing cell (default: 1)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive failures opening a (workload, scheme) "
+        "circuit breaker; 0 disables (default: 3)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECS",
+        help="SIGTERM waits this long for in-flight work (default: 30)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-bench-cache", metavar="DIR",
+        help="result cache directory (default: .repro-bench-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk result cache",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="honour per-request X-Repro-Faults headers (error/hang only)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-request log lines",
+    )
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ReproDaemon, write_port_file
+    from repro.serve.state import ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        timeout=args.timeout,
+        hard_timeout=args.hard_timeout,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        drain_grace=args.drain_grace,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        chaos=args.chaos,
+        quiet=args.quiet,
+    )
+    try:
+        daemon = ReproDaemon(config)
+    except OSError as exc:
+        raise ServeError(
+            f"cannot bind {config.host}:{config.port}: {exc}"
+        ) from exc
+    if args.port_file:
+        write_port_file(args.port_file, daemon.bound_port)
+    return daemon.run_forever()
+
+
+def configure_loadgen_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="daemon address")
+    parser.add_argument(
+        "--port", type=int, default=8173, help="daemon port (default: 8173)"
+    )
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="read the daemon port from this file (overrides --port)",
+    )
+    parser.add_argument(
+        "--requests", "-n", type=int, default=30, metavar="N",
+        help="total requests to issue (default: 30)",
+    )
+    parser.add_argument(
+        "--clients", "-c", type=int, default=4, metavar="N",
+        help="closed-loop concurrency (default: 4)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="open-loop arrivals per second (overrides closed-loop mode)",
+    )
+    parser.add_argument(
+        "--mix", default=None, metavar="SPEC",
+        help="endpoint weights, e.g. 'bench-cell=4,compile=1' "
+        "(default: bench-cell=4,simulate=2,compile=1,lint=1,partition=1)",
+    )
+    parser.add_argument(
+        "--suite", default="smoke",
+        help="matrix suite the request plan cycles through (default: smoke)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="force one workload scale on every cell",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECS",
+        help="per-request deadline_s forwarded to the daemon",
+    )
+    parser.add_argument(
+        "--fault-mix", default=None, metavar="SPEC",
+        help="REPRO_FAULTS-grammar spec sent as X-Repro-Faults per "
+        "request (daemon must run --chaos; error/hang kinds only)",
+    )
+    parser.add_argument(
+        "--honor-retry-after", action="store_true",
+        help="sleep per the Retry-After header after a 429",
+    )
+    parser.add_argument(
+        "--output", "-o", default="BENCH_serve.json", metavar="PATH",
+        help="BENCH document path; '-' = stdout only "
+        "(default: BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECS",
+        help="client-side socket timeout per request (default: 120)",
+    )
+    parser.add_argument(
+        "--wait-ready", type=float, default=10.0, metavar="SECS",
+        help="poll /readyz this long before driving load (default: 10)",
+    )
+
+
+def run_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.loadgen import (
+        DEFAULT_MIX,
+        build_plan,
+        build_serve_document,
+        run_load,
+        save_serve_document,
+        validate_serve_document,
+    )
+
+    port = args.port
+    if args.port_file:
+        with open(args.port_file) as handle:
+            port = int(handle.read().strip())
+    client = ServeClient(args.host, port, timeout=args.timeout)
+    if not client.wait_ready(args.wait_ready):
+        raise ServeError(
+            f"daemon at {args.host}:{port} not ready "
+            f"within {args.wait_ready:.0f}s"
+        )
+    plan = build_plan(
+        args.requests,
+        mix=args.mix or DEFAULT_MIX,
+        suite=args.suite,
+        scale=args.scale,
+        deadline_s=args.deadline,
+    )
+    result = run_load(
+        client,
+        plan,
+        clients=args.clients,
+        rate=args.rate,
+        fault_mix=args.fault_mix,
+        honor_retry_after=args.honor_retry_after,
+    )
+    try:
+        stats = client.stats()
+    except ServeError:
+        stats = None  # daemon died mid-run; the document records the traffic
+    doc = build_serve_document(result, suite=args.suite, stats=stats)
+    validate_serve_document(doc)
+    if args.output == "-":
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        save_serve_document(doc, args.output)
+    summary = doc["serve"]
+    latency = summary.get("latency", {})
+    print(
+        f"loadgen: {summary['requests']} requests "
+        f"({summary['ok']} ok, {summary['errors']} errors, "
+        f"{summary['shed']} shed) in {summary['wall_seconds']:.2f}s "
+        f"= {summary['requests_per_sec']:.1f} req/s",
+        file=sys.stderr,
+    )
+    if latency.get("count"):
+        print(
+            f"loadgen: latency p50 {latency['p50_ms']:.1f}ms "
+            f"p99 {latency['p99_ms']:.1f}ms",
+            file=sys.stderr,
+        )
+    if args.output != "-":
+        print(f"loadgen: wrote {args.output}", file=sys.stderr)
+    if result.transport_errors:
+        # the daemon dropped connections: that is a service failure the
+        # driver must surface even though every record was captured
+        print(
+            f"loadgen: {result.transport_errors} transport errors "
+            "(daemon dropped connections)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

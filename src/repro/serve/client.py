@@ -1,0 +1,124 @@
+"""A small stdlib client for the daemon (loadgen, CI scripts, tests).
+
+One connection per request (the daemon answers ``Connection: close``),
+no retries of its own — retry/backoff policy belongs to the caller,
+which knows whether a 429's ``Retry-After`` is worth honouring.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+
+@dataclass
+class ServeResponse:
+    """Status + decoded body of one request, plus client-side timing."""
+
+    status: int
+    body: dict
+    seconds: float
+    retry_after: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def error_type(self) -> str | None:
+        error = self.body.get("error")
+        return error.get("type") if isinstance(error, dict) else None
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ) -> ServeResponse:
+        """One round trip; raises :class:`ServeError` only on transport
+        failure (connection refused, socket timeout) — HTTP-level errors
+        come back as a :class:`ServeResponse` for the caller to judge."""
+        started = time.monotonic()
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            send_headers = dict(headers or {})
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=send_headers)
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"{method} {path} to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"{method} {path}: undecodable response body ({exc})"
+            ) from exc
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return ServeResponse(
+            status=status,
+            body=decoded,
+            seconds=time.monotonic() - started,
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    def get(self, path: str) -> ServeResponse:
+        return self.request("GET", path)
+
+    def post(
+        self, endpoint: str, payload: dict, *, fault_header: str | None = None
+    ) -> ServeResponse:
+        headers = {"X-Repro-Faults": fault_header} if fault_header else None
+        return self.request("POST", f"/v1/{endpoint}", payload, headers)
+
+    def healthz(self) -> ServeResponse:
+        return self.get("/healthz")
+
+    def stats(self) -> dict:
+        return self.get("/stats").body
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll ``/readyz`` until 200 or the timeout elapses."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.get("/readyz").status == 200:
+                    return True
+            except ServeError:
+                pass
+            time.sleep(interval)
+        return False
+
+
+def probe_port(host: str, port: int, timeout: float = 0.25) -> bool:
+    """True when something is listening (cheap TCP connect probe)."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False

@@ -1,0 +1,277 @@
+"""The HTTP front end: routing, admission control, error rendering.
+
+One thread per connection (stdlib :class:`ThreadingHTTPServer`); the
+interesting concurrency bounds live in :class:`~repro.serve.state.ServeState`,
+not here.  The request lifecycle:
+
+1. **Admission** — draining daemons answer 503 immediately; a full
+   admission gate sheds with 429 + ``Retry-After`` *before* any body is
+   parsed, so overload costs the server almost nothing per rejected
+   request.
+2. **Parse** — bounded body read, strict JSON; failures are 400 and do
+   not count against the pipeline.
+3. **Execute** — dispatch to :mod:`repro.serve.work`; pipeline errors
+   map to statuses via :mod:`repro.serve.codes`.
+4. **Respond** — always ``Connection: close`` with an explicit
+   ``Content-Length``; the daemon never leaves a client parsing a
+   half-written body.
+
+``serve_admit`` and ``serve_respond`` are fault sites, so the chaos
+suite can break the front end itself.  With ``--chaos``, a request may
+also carry an ``X-Repro-Faults`` header scoped to that request alone —
+only ``error`` and ``hang`` kinds are allowed there, because a ``crash``
+inside a handler thread would take down the daemon for every client.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError
+from repro.faults import fault_point
+from repro.faults.inject import FaultInjector
+from repro.faults.spec import parse_spec, resolve_error_type
+from repro.serve.codes import (
+    STATUS_DRAINING,
+    STATUS_SHED,
+    error_body,
+    error_body_for,
+)
+from repro.serve.work import EXECUTORS, RequestProblem
+
+#: Route prefix; unversioned paths 404 so the API can evolve.
+API_PREFIX = "/v1/"
+
+#: Header carrying a per-request fault spec (``--chaos`` daemons only).
+CHAOS_HEADER = "X-Repro-Faults"
+
+
+def request_faults(header_value: str) -> FaultInjector:
+    """A request-scoped injector from an ``X-Repro-Faults`` header.
+
+    ``crash`` and ``corrupt`` clauses are refused: a crash in a handler
+    thread would kill the whole daemon (process-level crash testing
+    belongs in ``REPRO_FAULTS`` on the daemon, where only pool workers
+    die), and corruption only makes sense at the store read paths.
+    """
+    try:
+        plan = parse_spec(header_value)
+    except ReproError as exc:
+        raise RequestProblem(f"bad {CHAOS_HEADER}: {exc}") from exc
+    for clause in plan.clauses:
+        if clause.kind not in ("error", "hang"):
+            raise RequestProblem(
+                f"bad {CHAOS_HEADER}: kind {clause.kind!r} is not allowed "
+                "per-request (only error/hang)"
+            )
+    return FaultInjector(plan)
+
+
+def fire_request_fault(
+    injector: FaultInjector | None, site: str, label: str
+) -> None:
+    """Request-scoped analogue of :func:`repro.faults.fault_point`."""
+    if injector is None:
+        return
+    clause = injector.select(site, label)
+    if clause is None:
+        return
+    if clause.kind == "hang":
+        time.sleep(clause.secs)
+        return
+    error_cls = resolve_error_type(clause.error_type)
+    raise error_cls(f"injected {clause.error_type} at {site} ({label})")
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Thread-per-connection server carrying the shared ServeState."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, state) -> None:
+        self.state = state
+        super().__init__((state.config.host, state.config.port), RequestHandler)
+
+    @property
+    def bound_port(self) -> int:
+        return self.server_address[1]
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServeHTTPServer
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def state(self):
+        return self.server.state
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.state.config.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict, extra_headers=()) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing useful to do
+
+    def _read_body(self) -> dict:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "0")
+        except ValueError:
+            raise RequestProblem("bad Content-Length header")
+        if length < 0:
+            raise RequestProblem("bad Content-Length header")
+        if length > self.state.config.max_body_bytes:
+            raise RequestProblem(
+                f"request body exceeds {self.state.config.max_body_bytes} bytes",
+                status=413,
+            )
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestProblem(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise RequestProblem("request body must be a JSON object")
+        return body
+
+    # -- GET: observability ----------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        state = self.state
+        if self.path == "/healthz":
+            # liveness: answers 200 for as long as the process serves at
+            # all, including while draining — only death is unhealthy
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": round(state.uptime(), 3),
+                    "draining": state.draining.is_set(),
+                },
+            )
+        elif self.path == "/readyz":
+            if state.draining.is_set():
+                self._send_json(STATUS_DRAINING, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ready"})
+        elif self.path == "/stats":
+            self._send_json(200, state.snapshot())
+        else:
+            self._send_json(
+                *error_body("BadRequest", "serve", f"no such path {self.path!r}",
+                            status=404)
+            )
+
+    # -- POST: work -------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        state = self.state
+        started = time.monotonic()
+        if not self.path.startswith(API_PREFIX):
+            self._send_json(
+                *error_body("BadRequest", "serve", f"no such path {self.path!r}",
+                            status=404)
+            )
+            return
+        endpoint = self.path[len(API_PREFIX):]
+        executor = EXECUTORS.get(endpoint)
+        if executor is None:
+            self._send_json(
+                *error_body(
+                    "BadRequest", "serve",
+                    f"unknown endpoint {endpoint!r}; "
+                    f"available: {sorted(EXECUTORS)}",
+                    status=404,
+                )
+            )
+            return
+        # ---- admission --------------------------------------------------
+        if state.draining.is_set():
+            state.counters.bump("rejected_draining")
+            self._send_json(
+                *error_body(
+                    "Draining", "serve", "daemon is draining; retry elsewhere",
+                    status=STATUS_DRAINING,
+                )
+            )
+            return
+        if not state.gate.try_enter():
+            state.counters.bump("shed")
+            retry_after = state.retry_after()
+            status, body = error_body(
+                "Overloaded", "serve",
+                f"admission queue full ({state.gate.capacity} in flight); "
+                f"retry in {retry_after}s",
+                status=STATUS_SHED,
+            )
+            self._send_json(status, body, [("Retry-After", str(retry_after))])
+            return
+        state.counters.bump("accepted")
+        try:
+            status, body, extra = self._handle(endpoint, executor)
+        finally:
+            state.gate.leave()
+        state.record_latency(endpoint, time.monotonic() - started)
+        if status == 200:
+            state.counters.bump("completed")
+        else:
+            state.counters.bump("failed")
+            if status == 400:
+                state.counters.bump("bad_requests")
+        self._send_json(status, body, extra)
+
+    def _handle(self, endpoint: str, executor) -> tuple[int, dict, list]:
+        """Run one admitted request; never raises."""
+        state = self.state
+        label = f"POST {self.path}"
+        chaos_injector = None
+        try:
+            fault_point("serve_admit", label)
+            if state.config.chaos:
+                header = self.headers.get(CHAOS_HEADER)
+                if header:
+                    chaos_injector = request_faults(header)
+            fire_request_fault(chaos_injector, "serve_admit", label)
+            params = self._read_body()
+            status, body = executor(state, params)
+            fault_point("serve_respond", label)
+            fire_request_fault(chaos_injector, "serve_respond", label)
+            return status, body, []
+        except RequestProblem as problem:
+            status, body = error_body(
+                problem.error_type, problem.stage, str(problem),
+                status=problem.status,
+            )
+            extra = []
+            if status in (429, 503):
+                extra.append(("Retry-After", str(state.retry_after())))
+            return status, body, extra
+        except ReproError as exc:
+            return (*error_body_for(exc), [])
+        except Exception as exc:  # noqa: BLE001 — the daemon must survive
+            # anything a handler does; an unexpected bug is a 500 for
+            # this client and a log line, never a dead service
+            self.log_error("unhandled %s: %s", type(exc).__name__, exc)
+            return (
+                *error_body(
+                    "Internal", "serve",
+                    f"unhandled {type(exc).__name__}: {exc}", status=500,
+                ),
+                [],
+            )

@@ -1,0 +1,407 @@
+"""``repro loadgen``: drive a daemon, measure it, emit ``BENCH_serve.json``.
+
+Two arrival disciplines:
+
+* **closed-loop** (default) — ``--clients N`` worker threads, each
+  issuing its next request the moment the previous one answers.  Load
+  is self-limiting; this measures best-case service latency under a
+  fixed concurrency.
+* **open-loop** — ``--rate R`` arrivals per second on a fixed schedule,
+  regardless of how slowly the daemon answers.  This is the discipline
+  that actually exercises admission control: when service time exceeds
+  the arrival interval the queue fills and the daemon must shed.
+
+The output document is a valid ``repro-bench/1`` BENCH file — the 200
+responses of ``bench-cell`` requests *are* the cells block, failures
+land in ``failures`` — plus a ``serve`` top-level block with the
+service-level metrics (throughput, shed rate, per-endpoint latency
+percentiles).  ``repro perf append`` therefore ingests it unchanged,
+which is how the CI ``serve-smoke`` job feeds the per-branch perf
+history.
+
+``--fault-mix`` forwards a fault spec as the per-request
+``X-Repro-Faults`` header (daemon must run ``--chaos``); each request
+gets a distinct deterministic seed so a probabilistic mix does not fire
+identically on every request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, ServeError
+from repro.serve.client import ServeClient
+from repro.serve.state import LatencyWindow
+
+#: Default endpoint mix: mostly heavy requests with a sprinkle of the
+#: inline endpoints, so one run exercises both execution paths.
+DEFAULT_MIX = "bench-cell=4,simulate=2,compile=1,lint=1,partition=1"
+
+KNOWN_ENDPOINTS = ("bench-cell", "simulate", "compile", "lint", "partition")
+
+
+def parse_mix(text: str) -> list[tuple[str, int]]:
+    """``"bench-cell=4,compile=1"`` -> weighted endpoint list."""
+    weights: list[tuple[str, int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight_text = part.partition("=")
+        name = name.strip()
+        if name not in KNOWN_ENDPOINTS:
+            raise ReproError(
+                f"unknown endpoint {name!r} in mix; known: {KNOWN_ENDPOINTS}"
+            )
+        try:
+            weight = int(weight_text) if weight_text else 1
+        except ValueError:
+            raise ReproError(f"bad weight in mix entry {part!r}")
+        if weight < 0:
+            raise ReproError(f"negative weight in mix entry {part!r}")
+        if weight:
+            weights.append((name, weight))
+    if not weights:
+        raise ReproError(f"mix {text!r} selects no endpoints")
+    return weights
+
+
+def build_plan(
+    count: int,
+    *,
+    mix: str = DEFAULT_MIX,
+    suite: str = "smoke",
+    scale: int | None = None,
+    deadline_s: float | None = None,
+) -> list[tuple[str, dict]]:
+    """``count`` (endpoint, payload) requests cycling cells and the mix.
+
+    Deterministic: the same arguments always produce the same plan, so
+    a loadgen run is reproducible and its cache-hit profile is stable.
+    """
+    from repro.bench.matrix import suite_cells
+
+    weights = parse_mix(mix)
+    schedule: list[str] = []
+    for name, weight in weights:
+        schedule.extend([name] * weight)
+    cells = suite_cells(suite, scale)
+    plan: list[tuple[str, dict]] = []
+    for index in range(count):
+        endpoint = schedule[index % len(schedule)]
+        cell = cells[index % len(cells)]
+        if endpoint in ("bench-cell", "simulate"):
+            payload = cell.as_dict()
+            if deadline_s is not None:
+                payload["deadline_s"] = deadline_s
+        else:
+            # inline endpoints lint/compile/partition the same workload
+            # sources the heavy endpoints simulate
+            payload = {"workload": cell.workload, "scheme": cell.scheme}
+            if cell.scale is not None:
+                payload["scale"] = cell.scale
+            if endpoint == "partition" and cell.scheme == "conventional":
+                payload["scheme"] = "basic"
+            if endpoint == "lint" and cell.scheme == "conventional":
+                payload["scheme"] = "none"
+        plan.append((endpoint, payload))
+    return plan
+
+
+def _fault_header(spec: str | None, index: int) -> str | None:
+    """Re-seed the shared fault spec per request (deterministically)."""
+    if not spec:
+        return None
+    parts = [p for p in spec.split(";") if p.strip()]
+    kept = [p for p in parts if not p.strip().startswith("seed=")]
+    base = 0
+    for part in parts:
+        part = part.strip()
+        if part.startswith("seed="):
+            try:
+                base = int(part[len("seed="):])
+            except ValueError:
+                base = 0
+    return ";".join([f"seed={base + index}"] + kept)
+
+
+@dataclass
+class RequestRecord:
+    index: int
+    endpoint: str
+    status: int
+    seconds: float
+    error_type: str | None = None
+    body: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+@dataclass
+class LoadgenResult:
+    records: list[RequestRecord]
+    wall_seconds: float
+    mode: str
+    clients: int
+    rate: float | None
+    transport_errors: int = 0
+
+    def shed(self) -> int:
+        return sum(1 for r in self.records if r.status == 429)
+
+    def summary(self) -> dict:
+        total = len(self.records)
+        ok = sum(1 for r in self.records if r.ok)
+        shed = self.shed()
+        by_endpoint: dict[str, LatencyWindow] = {}
+        overall = LatencyWindow()
+        status_counts: dict[str, int] = {}
+        for record in self.records:
+            status_counts[str(record.status)] = (
+                status_counts.get(str(record.status), 0) + 1
+            )
+            overall.record(record.seconds)
+            window = by_endpoint.setdefault(record.endpoint, LatencyWindow())
+            window.record(record.seconds)
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "rate": self.rate,
+            "requests": total,
+            "ok": ok,
+            "errors": total - ok - shed,
+            "shed": shed,
+            "shed_rate": shed / total if total else 0.0,
+            "transport_errors": self.transport_errors,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "requests_per_sec": (
+                round(total / self.wall_seconds, 3) if self.wall_seconds > 0 else 0.0
+            ),
+            "status_counts": dict(sorted(status_counts.items())),
+            "latency": overall.summary(),
+            "endpoints": {
+                name: window.summary()
+                for name, window in sorted(by_endpoint.items())
+            },
+        }
+
+
+def run_load(
+    client: ServeClient,
+    plan: list[tuple[str, dict]],
+    *,
+    clients: int = 4,
+    rate: float | None = None,
+    fault_mix: str | None = None,
+    honor_retry_after: bool = False,
+) -> LoadgenResult:
+    """Execute ``plan`` against ``client``'s daemon; never raises for
+    HTTP-level failures (they are data), only for a fully unreachable
+    daemon on the very first request."""
+    if fault_mix:
+        from repro.faults.spec import parse_spec
+
+        parse_spec(fault_mix)  # validate once, loudly, before any traffic
+    records: list[RequestRecord] = [None] * len(plan)  # type: ignore[list-item]
+    transport_errors = [0]
+    lock = threading.Lock()
+
+    def issue(index: int) -> None:
+        endpoint, payload = plan[index]
+        header = _fault_header(fault_mix, index)
+        try:
+            response = client.post(endpoint, payload, fault_header=header)
+            if (
+                honor_retry_after
+                and response.status == 429
+                and response.retry_after
+            ):
+                time.sleep(min(response.retry_after, 2.0))
+            records[index] = RequestRecord(
+                index=index,
+                endpoint=endpoint,
+                status=response.status,
+                seconds=response.seconds,
+                error_type=response.error_type,
+                body=response.body,
+            )
+        except ServeError as exc:
+            with lock:
+                transport_errors[0] += 1
+            records[index] = RequestRecord(
+                index=index,
+                endpoint=endpoint,
+                status=0,
+                seconds=0.0,
+                error_type="Transport",
+                body={"error": {"type": "Transport", "message": str(exc)}},
+            )
+
+    started = time.monotonic()
+    if rate is None:
+        # closed loop: a shared cursor, each client thread pulls the next
+        cursor = [0]
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    index = cursor[0]
+                    if index >= len(plan):
+                        return
+                    cursor[0] += 1
+                issue(index)
+
+        threads = [
+            threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+            for i in range(max(1, clients))
+        ]
+        mode = "closed"
+    else:
+        # open loop: arrivals on a fixed schedule, one thread per request
+        if rate <= 0:
+            raise ReproError(f"rate must be positive, got {rate}")
+        interval = 1.0 / rate
+
+        def fire_at(index: int) -> None:
+            delay = started + index * interval - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            issue(index)
+
+        threads = [
+            threading.Thread(target=fire_at, args=(i,), daemon=True)
+            for i in range(len(plan))
+        ]
+        mode = "open"
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+    return LoadgenResult(
+        records=[r for r in records if r is not None],
+        wall_seconds=wall,
+        mode=mode,
+        clients=max(1, clients) if rate is None else len(plan),
+        rate=rate,
+        transport_errors=transport_errors[0],
+    )
+
+
+# ---------------------------------------------------------------------------
+# BENCH document assembly
+# ---------------------------------------------------------------------------
+
+
+def build_serve_document(
+    result: LoadgenResult, *, suite: str = "smoke", stats: dict | None = None
+) -> dict:
+    """A valid ``repro-bench/1`` document from a loadgen run.
+
+    ``cells`` holds the distinct (by key) successful ``bench-cell``
+    responses — each is byte-identical to what the serial CLI would
+    have produced, which the chaos suite asserts.  ``failures`` holds
+    failed cell outcomes (the daemon echoes the harness failure doc).
+    Service-level metrics live under the extra ``serve`` key, which
+    :func:`~repro.bench.results.validate_document` ignores and
+    :func:`validate_serve_document` checks.
+    """
+    import time as _time
+
+    from repro.bench.cache import code_fingerprint
+    from repro.bench.results import BENCH_SCHEMA, host_info
+
+    cells: list[dict] = []
+    failures: list[dict] = []
+    seen_keys: set[str] = set()
+    for record in result.records:
+        if record.endpoint != "bench-cell":
+            continue
+        doc = record.body
+        if not isinstance(doc, dict) or "key" not in doc:
+            continue  # shed/draining/transport responses carry no cell doc
+        if doc.get("key") in seen_keys:
+            continue
+        if record.ok and doc.get("status") == "ok":
+            seen_keys.add(doc["key"])
+            cells.append(doc)
+        elif doc.get("status") in ("failed", "timeout"):
+            seen_keys.add(doc["key"])
+            failures.append(doc)
+    hits = sum(1 for c in cells if c.get("cached"))
+    total_cells = len(cells) + len(failures)
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "suite": f"serve:{suite}",
+        "created_unix": _time.time(),
+        "code_version": code_fingerprint(),
+        "host": host_info(),
+        "jobs": result.clients,
+        "total_seconds": result.wall_seconds,
+        "cache": {
+            "dir": None,
+            "hits": hits,
+            "misses": total_cells - hits,
+            "hit_rate": hits / total_cells if total_cells else 0.0,
+        },
+        "cells": cells,
+        "failures": failures,
+        "serve": result.summary(),
+    }
+    if stats:
+        # daemon-side /stats snapshot taken after the run: breaker
+        # states, queue depth, daemon-side shed counts
+        doc["serve"]["daemon"] = stats
+        breakers = stats.get("breakers")
+        if breakers:
+            doc["breakers"] = breakers
+    return doc
+
+
+_SERVE_REQUIRED = (
+    "mode",
+    "requests",
+    "ok",
+    "errors",
+    "shed",
+    "shed_rate",
+    "requests_per_sec",
+    "latency",
+    "endpoints",
+)
+
+
+def validate_serve_document(doc: dict) -> None:
+    """BENCH validation plus the ``serve`` block contract."""
+    from repro.bench.results import validate_document
+
+    serve = doc.get("serve") if isinstance(doc, dict) else None
+    problems: list[str] = []
+    if not isinstance(serve, dict):
+        raise ReproError("serve document missing the 'serve' block")
+    for field_name in _SERVE_REQUIRED:
+        if field_name not in serve:
+            problems.append(f"serve block missing {field_name!r}")
+    latency = serve.get("latency")
+    if isinstance(latency, dict) and latency.get("count"):
+        for pct in ("p50_ms", "p99_ms"):
+            if pct not in latency:
+                problems.append(f"serve.latency missing {pct!r}")
+    if problems:
+        raise ReproError(
+            "invalid serve document: " + "; ".join(problems)
+        )
+    validate_document(doc)
+
+
+def save_serve_document(doc: dict, path: str) -> None:
+    from repro.ioutil import atomic_write_bytes
+
+    atomic_write_bytes(
+        path, (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    )

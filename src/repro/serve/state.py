@@ -1,0 +1,274 @@
+"""Shared daemon state: configuration, admission control, counters.
+
+One :class:`ServeState` lives for the whole daemon process and is
+shared by every request-handler thread.  It owns the process-wide
+warm resources — the :class:`~repro.bench.cache.ResultCache`, the
+in-process trace pool, the cross-client circuit breaker — plus the
+admission gate and the observability counters the ``/stats`` endpoint
+reports.  Everything here is thread-safe; the request handlers hold no
+state of their own.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.bench.harness import CircuitBreaker
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Daemon configuration (CLI flags map 1:1 onto these fields)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8173
+    #: Total in-flight bound (queued + executing); past it, requests are
+    #: shed with 429 + ``Retry-After``.
+    queue_depth: int = 32
+    #: Concurrently *executing* heavy requests; the rest of the queue
+    #: waits for a slot (bounded by the request deadline).
+    workers: int = 4
+    #: Per-cell soft stall limit (seconds) for the progress-aware
+    #: watchdog; always set, so workload execution is always
+    #: process-isolated (a crash fault kills a worker, not the daemon).
+    timeout: float = 60.0
+    #: Absolute per-cell wall-clock ceiling (seconds).
+    hard_timeout: float = 300.0
+    #: Extra attempts per failing cell.
+    retries: int = 1
+    #: Base of the retry backoff (seconds).
+    backoff: float = 0.1
+    #: Per-(workload, scheme) consecutive-failure threshold for the
+    #: shared circuit breaker; 0 disables.
+    breaker_threshold: int = 3
+    #: Seconds SIGTERM waits for in-flight work before aborting it.
+    drain_grace: float = 30.0
+    #: Result-cache directory; ``None`` disables the disk cache.
+    cache_dir: str | None = ".repro-bench-cache"
+    #: Honour per-request ``X-Repro-Faults`` chaos headers.
+    chaos: bool = False
+    #: Suppress per-request log lines.
+    quiet: bool = False
+    #: Cap on accepted request bodies, bytes.
+    max_body_bytes: int = 1 << 20
+
+
+class AdmissionGate:
+    """Bounded admission: at most ``capacity`` requests in flight.
+
+    ``try_enter`` never blocks — a full service answers *now* with 429
+    rather than stacking connections until something falls over.  The
+    drain path waits on the internal condition for in-flight work to
+    finish.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, capacity)
+        self._in_flight = 0
+        self._cond = threading.Condition()
+
+    def try_enter(self) -> bool:
+        with self._cond:
+            if self._in_flight >= self.capacity:
+                return False
+            self._in_flight += 1
+            return True
+
+    def leave(self) -> None:
+        with self._cond:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._cond.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until nothing is in flight; False when time ran out."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+
+class LatencyWindow:
+    """Bounded reservoir of recent request latencies (seconds).
+
+    Percentiles over a sliding window of the newest ``cap`` samples —
+    enough for /stats to be honest about the recent past without
+    unbounded memory over a long-lived daemon.
+    """
+
+    def __init__(self, cap: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=cap)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
+
+    def percentile(self, fraction: float) -> float | None:
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self.count, self.total
+        if not samples:
+            return {"count": 0}
+        ordered = sorted(samples)
+
+        def pct(fraction: float) -> float:
+            return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+        return {
+            "count": count,
+            "mean_ms": round(1000.0 * total / count, 3),
+            "p50_ms": round(1000.0 * pct(0.50), 3),
+            "p90_ms": round(1000.0 * pct(0.90), 3),
+            "p99_ms": round(1000.0 * pct(0.99), 3),
+            "max_ms": round(1000.0 * max(ordered), 3),
+        }
+
+
+class Counters:
+    """Monotonic service counters, lock-guarded."""
+
+    FIELDS = (
+        "accepted",
+        "completed",
+        "failed",
+        "shed",
+        "rejected_draining",
+        "coalesced",
+        "timeouts",
+        "bad_requests",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values = {name: 0 for name in self.FIELDS}
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + by
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._values)
+
+
+@dataclass(eq=False)
+class ServeState:
+    """Everything the handler threads share; built once per daemon."""
+
+    config: ServeConfig
+    gate: AdmissionGate = field(init=False)
+    breaker: CircuitBreaker = field(init=False)
+    counters: Counters = field(init=False)
+    #: Set when SIGTERM arrived: readyz flips, new work is refused.
+    draining: threading.Event = field(init=False)
+    #: Set when the drain grace expired: in-flight ``run_cells`` calls
+    #: abort promptly instead of finishing.
+    stop: threading.Event = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.gate = AdmissionGate(self.config.queue_depth)
+        self.exec_slots = threading.Semaphore(max(1, self.config.workers))
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
+        self.counters = Counters()
+        self.draining = threading.Event()
+        self.stop = threading.Event()
+        self.started_unix = time.time()
+        self.started_monotonic = time.monotonic()
+        self.latency_overall = LatencyWindow()
+        self.latency_by_endpoint: dict[str, LatencyWindow] = {}
+        self._latency_lock = threading.Lock()
+        # single-flight table: cell key -> in-progress computation
+        self.flights: dict[str, object] = {}
+        self.flights_lock = threading.Lock()
+        if self.config.cache_dir:
+            from repro.bench.cache import shared_result_cache
+
+            self.cache = shared_result_cache(self.config.cache_dir)
+        else:
+            self.cache = None
+
+    def record_latency(self, endpoint: str, seconds: float) -> None:
+        self.latency_overall.record(seconds)
+        with self._latency_lock:
+            window = self.latency_by_endpoint.get(endpoint)
+            if window is None:
+                window = self.latency_by_endpoint[endpoint] = LatencyWindow()
+        window.record(seconds)
+
+    def retry_after(self) -> int:
+        """Advisory ``Retry-After`` seconds for a shed request.
+
+        Scales with load: an almost-drained queue suggests a quick
+        retry, a deep one a longer pause.  Clients treat it as a hint.
+        """
+        depth = self.gate.in_flight
+        return max(1, min(30, depth // max(1, self.config.workers)))
+
+    def uptime(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def snapshot(self) -> dict:
+        """The ``/stats`` document."""
+        from repro.trace.store import shared_trace_store, trace_pool
+
+        trace_store = shared_trace_store()
+        with self._latency_lock:
+            endpoints = {
+                name: window.summary()
+                for name, window in sorted(self.latency_by_endpoint.items())
+            }
+        return {
+            "pid": os.getpid(),
+            "uptime_s": round(self.uptime(), 3),
+            "started_unix": self.started_unix,
+            "draining": self.draining.is_set(),
+            "queue": {
+                "capacity": self.gate.capacity,
+                "in_flight": self.gate.in_flight,
+                "workers": self.config.workers,
+            },
+            "counters": self.counters.snapshot(),
+            "latency": self.latency_overall.summary(),
+            "endpoints": endpoints,
+            "breakers": self.breaker.snapshot(),
+            "caches": {
+                "result": None if self.cache is None else self.cache.stats(),
+                "trace_pool": trace_pool().stats(),
+                "trace_store": None if trace_store is None else trace_store.stats(),
+            },
+            "config": {
+                "queue_depth": self.config.queue_depth,
+                "workers": self.config.workers,
+                "timeout": self.config.timeout,
+                "hard_timeout": self.config.hard_timeout,
+                "retries": self.config.retries,
+                "breaker_threshold": self.config.breaker_threshold,
+                "drain_grace": self.config.drain_grace,
+                "chaos": self.config.chaos,
+            },
+        }

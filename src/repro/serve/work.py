@@ -1,0 +1,376 @@
+"""Request executors: the bridge from HTTP requests to the pipeline.
+
+Two classes of work, with very different failure envelopes:
+
+* **Source-based** requests (``compile``, ``lint``, ``partition``) run
+  inline in the handler thread.  They are CPU-light, deterministic and
+  raise only :class:`~repro.errors.ReproError` subclasses, which the
+  HTTP layer maps to 4xx via :mod:`repro.serve.codes`.
+
+* **Workload-based** requests (``simulate``, ``bench-cell``) go through
+  the fault-tolerant bench harness — :func:`~repro.bench.harness.run_cells`
+  with a timeout, so execution always happens in a *worker process*.
+  A crash fault (or a real interpreter bug) kills the worker, never the
+  daemon; a hang trips the progress-aware watchdog; repeated failures
+  trip the daemon-wide circuit breaker shared across all clients.
+  ``run_cells`` never raises: the resulting
+  :class:`~repro.bench.harness.CellOutcome` is translated to an HTTP
+  status per failure type.
+
+Concurrent identical requests are **coalesced** ("single flight"): the
+first becomes the leader and computes, the rest wait on the leader's
+outcome and share it.  Combined with the content-addressed
+:class:`~repro.bench.cache.ResultCache`, a thundering herd of clients
+asking for the same cell costs one interpretation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.faults import fault_point
+
+#: Follower slack (seconds) past the leader's hard deadline before a
+#: coalesced waiter gives up on the shared outcome.
+FOLLOWER_SLACK = 5.0
+
+
+class RequestProblem(Exception):
+    """A request the daemon refuses before running any pipeline stage.
+
+    Carries the HTTP status directly; the handler renders it with
+    :func:`repro.serve.codes.error_body`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        error_type: str = "BadRequest",
+        stage: str = "serve",
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.stage = stage
+
+
+def _require_str(params: dict, name: str) -> str:
+    value = params.get(name)
+    if not isinstance(value, str) or not value:
+        raise RequestProblem(f"field {name!r} must be a non-empty string")
+    return value
+
+
+def _optional_scale(params: dict):
+    scale = params.get("scale")
+    if scale is None:
+        return None
+    if not isinstance(scale, int) or isinstance(scale, bool) or scale <= 0:
+        raise RequestProblem("field 'scale' must be a positive integer")
+    return scale
+
+
+def resolve_source(params: dict) -> str:
+    """The MiniC source for a request: inline ``source`` or a named
+    ``workload`` (with optional ``scale``), exactly like the CLI's
+    ``workload:<name>`` spelling."""
+    source = params.get("source")
+    if source is not None:
+        if not isinstance(source, str):
+            raise RequestProblem("field 'source' must be a string")
+        return source
+    if params.get("workload") is not None:
+        from repro.workloads import workload_source
+
+        return workload_source(_require_str(params, "workload"), _optional_scale(params))
+    raise RequestProblem("request needs either 'source' or 'workload'")
+
+
+def _build_cell(params: dict):
+    from repro.bench.matrix import Cell
+
+    workload = _require_str(params, "workload")
+    scheme = params.get("scheme", "advanced")
+    width = params.get("width", 4)
+    if not isinstance(width, int) or isinstance(width, bool):
+        raise RequestProblem("field 'width' must be an integer")
+    try:
+        return Cell(workload, scheme, width, _optional_scale(params))
+    except ReproError as exc:
+        # Cell validates with the base error class (CLI exit 1); at the
+        # service boundary an unknown workload/scheme/width is the
+        # client's fault, not the server's.
+        raise RequestProblem(str(exc)) from exc
+
+
+# ---------------------------------------------------------------------------
+# Source-based executors (inline, handler thread)
+# ---------------------------------------------------------------------------
+
+
+def do_compile(state, params: dict) -> tuple[int, dict]:
+    from repro.analysis.warnings import AnalysisWarning
+    from repro.ir.printer import print_program
+    from repro.minic.compile import compile_source
+
+    warnings: list[AnalysisWarning] = []
+    program = compile_source(
+        resolve_source(params),
+        optimize=bool(params.get("optimize", True)),
+        warnings=warnings,
+    )
+    return 200, {
+        "ir": print_program(program),
+        "warnings": [w.render() for w in warnings],
+        "functions": sorted(program.functions),
+    }
+
+
+def _lint_result(params: dict):
+    from repro.lint import lint_program, partition_rule_ids
+    from repro.minic.compile import compile_source
+
+    program = compile_source(resolve_source(params), optimize=True)
+    scheme = params.get("scheme", "advanced")
+    if scheme not in ("none", "basic", "advanced"):
+        raise RequestProblem(f"unknown lint scheme {scheme!r}")
+    rules = params.get("rules")
+    if rules is not None and (
+        not isinstance(rules, list) or not all(isinstance(r, str) for r in rules)
+    ):
+        raise RequestProblem("field 'rules' must be a list of rule ids")
+    if scheme == "none":
+        return lint_program(program, rules=rules)
+    from repro.ir.verify import verify_program
+    from repro.partition.advanced import advanced_partition
+    from repro.partition.basic import basic_partition
+    from repro.partition.rewrite import apply_partition
+
+    partitions = {}
+    for name, func in program.functions.items():
+        if scheme == "basic":
+            partitions[name] = basic_partition(func)
+        else:
+            partitions[name] = advanced_partition(func)
+    partition_only = partition_rule_ids()
+    pre_rules = (
+        [r for r in rules if r in partition_only] if rules is not None else partition_only
+    )
+    result = lint_program(
+        program, partitions=partitions, scheme=scheme, rules=pre_rules
+    )
+    for name, func in program.functions.items():
+        apply_partition(func, partitions[name])
+    verify_program(program)
+    post_rules = (
+        [r for r in rules if r not in partition_only] if rules is not None else None
+    )
+    result.extend(lint_program(program, scheme=scheme, rules=post_rules))
+    result.finalize()
+    return result
+
+
+def do_lint(state, params: dict) -> tuple[int, dict]:
+    from repro.lint import render_json
+
+    result = _lint_result(params)
+    # diagnostics are the *product* of a lint request, not a failure:
+    # the request itself succeeded even when the program did not
+    return 200, json.loads(render_json(result))
+
+
+def do_partition(state, params: dict) -> tuple[int, dict]:
+    from repro.minic.compile import compile_source
+    from repro.partition.advanced import advanced_partition
+    from repro.partition.basic import basic_partition
+    from repro.partition.partition import partition_stats
+    from repro.partition.report import offload_by_opcode
+
+    program = compile_source(resolve_source(params), optimize=True)
+    scheme = params.get("scheme", "advanced")
+    if scheme not in ("basic", "advanced"):
+        raise RequestProblem(f"unknown partition scheme {scheme!r}")
+    functions = {}
+    for name, func in program.functions.items():
+        if scheme == "basic":
+            partition = basic_partition(func)
+        else:
+            partition = advanced_partition(func)
+        doc = dict(partition_stats(partition))
+        doc["opcodes"] = {op: n for op, n in sorted(offload_by_opcode(partition).items())}
+        functions[name] = doc
+    return 200, {"scheme": scheme, "functions": functions}
+
+
+# ---------------------------------------------------------------------------
+# Workload-based executors (process pool via run_cells)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Flight:
+    """One in-progress cell computation other requests can latch onto."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    outcome: object | None = None
+
+
+def _deadline(state, params: dict) -> tuple[float, float]:
+    """(soft, hard) per-cell limits honouring the request deadline."""
+    config = state.config
+    deadline_s = params.get("deadline_s")
+    if deadline_s is None:
+        return config.timeout, config.hard_timeout
+    if not isinstance(deadline_s, (int, float)) or isinstance(deadline_s, bool):
+        raise RequestProblem("field 'deadline_s' must be a number")
+    if not 0 < deadline_s <= config.hard_timeout:
+        raise RequestProblem(
+            f"field 'deadline_s' must be in (0, {config.hard_timeout}]"
+        )
+    return min(config.timeout, float(deadline_s)), float(deadline_s)
+
+
+def run_cell(state, cell, *, force: bool = False, soft: float, hard: float):
+    """Run one cell under full supervision; returns a CellOutcome.
+
+    Never raises for pipeline failures — crash, hang, timeout and error
+    all come back as a failed outcome.  The daemon-wide circuit breaker
+    is threaded through, so consecutive failures of one
+    (workload, scheme) family open its breaker for *every* client.
+    """
+    from repro.bench.cache import cell_key
+    from repro.bench.harness import run_cells
+
+    fault_point("serve_work", cell.label)
+    key = cell_key(cell)
+    flight: _Flight | None = None
+    leader = True
+    if not force:
+        # ``force`` requests must recompute, so they never piggyback on
+        # (or lead) a shared flight
+        with state.flights_lock:
+            flight = state.flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                state.flights[key] = flight
+            else:
+                leader = False
+    if flight is not None and not leader:
+        state.counters.bump("coalesced")
+        if not flight.done.wait(hard + FOLLOWER_SLACK):
+            raise RequestProblem(
+                f"coalesced wait for {cell.label} exceeded {hard:.0f}s",
+                status=504,
+                error_type="Timeout",
+            )
+        if flight.outcome is None:
+            raise RequestProblem(
+                f"shared computation for {cell.label} was aborted",
+                status=503,
+                error_type="Aborted",
+                stage="serve",
+            )
+        return flight.outcome
+    try:
+        # bound *executing* requests separately from admitted ones: the
+        # queue may hold queue_depth requests but only ``workers`` cells
+        # interpret at once
+        if not state.exec_slots.acquire(timeout=hard):
+            raise RequestProblem(
+                f"no execution slot for {cell.label} within {hard:.0f}s",
+                status=503,
+                error_type="Aborted",
+            )
+        try:
+            outcomes = run_cells(
+                [cell],
+                jobs=1,
+                cache=state.cache,
+                force=force,
+                # a non-None timeout forces pool isolation even for one
+                # serial cell — crash faults must kill a worker process,
+                # never the daemon (see ServeConfig.timeout)
+                timeout=soft,
+                hard_timeout=hard,
+                retries=state.config.retries,
+                backoff=state.config.backoff,
+                breaker=state.breaker,
+                stop=state.stop,
+            )
+        finally:
+            state.exec_slots.release()
+        outcome = outcomes[0]
+        if flight is not None:
+            flight.outcome = outcome
+        return outcome
+    finally:
+        if flight is not None:
+            with state.flights_lock:
+                state.flights.pop(key, None)
+            flight.done.set()
+
+
+def outcome_response(state, outcome) -> tuple[int, dict]:
+    """Map a CellOutcome to (HTTP status, JSON body).
+
+    The success body is exactly the BENCH ``cells`` entry layout, so a
+    client can splice daemon responses into a ``repro-bench/1`` document
+    (``repro loadgen`` does precisely that).
+    """
+    from repro.bench.results import outcome_cell_doc
+    from repro.serve.codes import http_status_for_type
+
+    doc = outcome_cell_doc(outcome)
+    if outcome.ok:
+        return 200, doc
+    error_type = doc.get("error", {}).get("type", "Unknown")
+    if outcome.status == "timeout" or error_type == "Timeout":
+        state.counters.bump("timeouts")
+    return http_status_for_type(error_type), doc
+
+
+def do_bench_cell(state, params: dict) -> tuple[int, dict]:
+    cell = _build_cell(params)
+    soft, hard = _deadline(state, params)
+    outcome = run_cell(
+        state, cell, force=bool(params.get("force", False)), soft=soft, hard=hard
+    )
+    return outcome_response(state, outcome)
+
+
+def do_simulate(state, params: dict) -> tuple[int, dict]:
+    """bench-cell with a trimmed, human-oriented response body."""
+    cell = _build_cell(params)
+    soft, hard = _deadline(state, params)
+    outcome = run_cell(state, cell, soft=soft, hard=hard)
+    status, doc = outcome_response(state, outcome)
+    if status != 200:
+        return status, doc
+    result = doc.get("result", {})
+    return 200, {
+        "workload": cell.workload,
+        "scheme": cell.scheme,
+        "width": cell.width,
+        "scale": cell.scale,
+        "cached": doc.get("cached", False),
+        "checksum": result.get("checksum"),
+        "cycles": result.get("cycles"),
+        "ipc": result.get("ipc"),
+        "offload_fraction": result.get("offload_fraction"),
+        "degraded": result.get("degraded", False),
+    }
+
+
+#: Endpoint table the HTTP layer dispatches from.
+EXECUTORS = {
+    "compile": do_compile,
+    "lint": do_lint,
+    "partition": do_partition,
+    "simulate": do_simulate,
+    "bench-cell": do_bench_cell,
+}

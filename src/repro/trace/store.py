@@ -30,12 +30,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import TracePackError
 from repro.faults import corrupt_point, fault_point
-from repro.ioutil import atomic_write_bytes
+from repro.ioutil import atomic_write_bytes, reap_orphan_tmp_files
 from repro.partition.cost import CostParams
 from repro.trace.pack import TRACE_FORMAT_VERSION, PackedTrace
 
@@ -94,11 +95,18 @@ def trace_key(
 
 
 class TracePool:
-    """In-process LRU of decoded packs, keyed by :func:`trace_key`."""
+    """In-process LRU of decoded packs, keyed by :func:`trace_key`.
+
+    Thread-safe: the process-wide instance is shared by every worker
+    thread of a ``repro serve`` daemon, so the LRU bookkeeping and the
+    hit/miss counters are guarded by a lock (decoded packs themselves
+    are immutable once published).
+    """
 
     def __init__(self, cap: int | None = None) -> None:
         self._packs: OrderedDict[str, PackedTrace] = OrderedDict()
         self._cap = cap
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -111,30 +119,46 @@ class TracePool:
             return DEFAULT_POOL_CAP
 
     def get(self, key: str) -> PackedTrace | None:
-        pack = self._packs.get(key)
-        if pack is None:
-            self.misses += 1
-            return None
-        self._packs.move_to_end(key)
-        self.hits += 1
-        return pack
+        with self._lock:
+            pack = self._packs.get(key)
+            if pack is None:
+                self.misses += 1
+                return None
+            self._packs.move_to_end(key)
+            self.hits += 1
+            return pack
 
     def put(self, key: str, pack: PackedTrace) -> None:
         cap = self.cap()
         if cap == 0:
             return
-        self._packs[key] = pack
-        self._packs.move_to_end(key)
-        while len(self._packs) > cap:
-            self._packs.popitem(last=False)
+        with self._lock:
+            self._packs[key] = pack
+            self._packs.move_to_end(key)
+            while len(self._packs) > cap:
+                self._packs.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            size = len(self._packs)
+        total = hits + misses
+        return {
+            "size": size,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
 
     def clear(self) -> None:
-        self._packs.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._packs.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._packs)
+        with self._lock:
+            return len(self._packs)
 
 
 #: The process-wide pool (one per worker process under the bench pool).
@@ -159,6 +183,8 @@ class TraceStore:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
+        reap_orphan_tmp_files(self.root)
 
     @classmethod
     def from_env(cls, env: str = TRACE_CACHE_ENV) -> "TraceStore | None":
@@ -178,7 +204,7 @@ class TraceStore:
         try:
             data = path.read_bytes()
         except OSError:
-            self.misses += 1
+            self._miss()
             return None
         # chaos hook: REPRO_FAULTS can flip bytes here, proving the
         # decoder treats stored packs as untrusted input
@@ -186,17 +212,22 @@ class TraceStore:
         try:
             pack = PackedTrace.from_bytes(data)
         except TracePackError:
-            self.misses += 1
+            self._miss()
             return None
         recorded = pack.meta.get("code_version")
         if recorded is not None:
             from repro.bench.cache import code_fingerprint
 
             if recorded != code_fingerprint():
-                self.misses += 1
+                self._miss()
                 return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return pack
+
+    def _miss(self) -> None:
+        with self._lock:
+            self.misses += 1
 
     def put(self, key: str, pack: PackedTrace) -> None:
         """Atomically publish ``pack`` under ``key`` (best effort).
@@ -214,13 +245,35 @@ class TraceStore:
             pass
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
         return {
             "dir": str(self.root),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
         }
+
+
+#: (env value, store) — one process-wide instance per configured root,
+#: so hit/miss accounting accumulates across a long-lived process (the
+#: ``repro serve`` daemon reports it via ``/stats``) instead of being
+#: reset by every ``from_env`` construction.
+_STORE_CACHE: tuple[str, TraceStore] | None = None
+_STORE_LOCK = threading.Lock()
+
+
+def shared_trace_store() -> TraceStore | None:
+    """The process-wide store for the current env value, or ``None``."""
+    global _STORE_CACHE
+    value = os.environ.get(TRACE_CACHE_ENV, "").strip()
+    if not value or value == "0":
+        return None
+    with _STORE_LOCK:
+        if _STORE_CACHE is None or _STORE_CACHE[0] != value:
+            _STORE_CACHE = (value, TraceStore(value))
+        return _STORE_CACHE[1]
 
 
 def load_trace(key: str, label: str = "") -> PackedTrace | None:
@@ -228,7 +281,7 @@ def load_trace(key: str, label: str = "") -> PackedTrace | None:
     pack = _POOL.get(key)
     if pack is not None:
         return pack
-    store = TraceStore.from_env()
+    store = shared_trace_store()
     if store is None:
         return None
     pack = store.get(key, label)
@@ -240,6 +293,24 @@ def load_trace(key: str, label: str = "") -> PackedTrace | None:
 def store_trace(key: str, pack: PackedTrace, label: str = "") -> None:
     """Publish a freshly captured pack to the pool and (if set) the store."""
     _POOL.put(key, pack)
-    store = TraceStore.from_env()
+    store = shared_trace_store()
     if store is not None:
         store.put(key, pack)
+
+
+def _after_fork_reinit() -> None:
+    """Re-arm module locks in a forked child.
+
+    The bench pool forks workers from a process that may have many live
+    threads (the serve daemon); a lock captured mid-acquisition by the
+    fork would deadlock the child on its first trace access, so the
+    child gets fresh locks before it runs any task.
+    """
+    global _STORE_LOCK
+    _POOL._lock = threading.Lock()
+    _STORE_LOCK = threading.Lock()
+    if _STORE_CACHE is not None:
+        _STORE_CACHE[1]._lock = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_after_fork_reinit)

@@ -1,0 +1,146 @@
+"""Concurrent access to the process-wide shared stores.
+
+The serve daemon points many handler threads at one
+:class:`ResultCache` / :class:`TracePool`; these tests hammer the same
+keys from many threads and assert no torn reads, no lost entries, and
+accounting that adds up exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.bench.cache import (
+    ResultCache,
+    clear_shared_result_caches,
+    shared_result_cache,
+)
+from repro.trace.store import TracePool
+
+THREADS = 8
+ROUNDS = 50
+
+
+def _run_threads(target, count: int = THREADS) -> list[BaseException]:
+    errors: list[BaseException] = []
+
+    def guarded(index: int) -> None:
+        try:
+            target(index)
+        except BaseException as exc:  # noqa: BLE001 — collected for assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=guarded, args=(i,), daemon=True)
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    return errors
+
+
+class TestSharedResultCache:
+    def test_one_instance_per_root(self, tmp_path):
+        clear_shared_result_caches()
+        a = shared_result_cache(tmp_path / "c")
+        b = shared_result_cache(tmp_path / "c")
+        other = shared_result_cache(tmp_path / "d")
+        assert a is b
+        assert a is not other
+        clear_shared_result_caches()
+
+    def test_concurrent_same_key_no_torn_reads(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "ee" + "0" * 62
+        payload = {"result": {"cycles": 123, "blob": "x" * 512}}
+
+        def worker(index: int) -> None:
+            for _ in range(ROUNDS):
+                cache.put(key, dict(payload))
+                entry = cache.get(key)
+                # concurrent writers are publishing identical content:
+                # a reader sees the full entry or (never) a torn one
+                if entry is not None:
+                    assert entry["result"] == payload["result"]
+
+        errors = _run_threads(worker)
+        assert errors == []
+        final = cache.get(key)
+        assert final is not None and final["result"] == payload["result"]
+
+    def test_hit_miss_accounting_adds_up(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        present = "aa" + "0" * 62
+        absent = "bb" + "0" * 62
+        cache.put(present, {"result": 1})
+
+        def worker(index: int) -> None:
+            for _ in range(ROUNDS):
+                cache.get(present)
+                cache.get(absent)
+
+        errors = _run_threads(worker)
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] == THREADS * ROUNDS
+        assert stats["misses"] == THREADS * ROUNDS
+        assert 0.0 < stats["hit_rate"] < 1.0
+
+    def test_distinct_keys_from_many_threads(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                key = f"{index:02d}" + f"{round_no:062d}"
+                cache.put(key, {"result": [index, round_no]})
+                entry = cache.get(key)
+                assert entry is not None
+                assert entry["result"] == [index, round_no]
+
+        errors = _run_threads(worker)
+        assert errors == []
+
+
+class TestTracePoolConcurrency:
+    class _FakePack:
+        def __init__(self, tag: int) -> None:
+            self.tag = tag
+            self.meta = {}
+
+    def test_concurrent_get_put_and_eviction(self):
+        pool = TracePool(cap=4)
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                key = f"k{round_no % 6}"
+                pack = pool.get(key)
+                if pack is None:
+                    pool.put(key, self._FakePack(round_no))
+                else:
+                    assert isinstance(pack.tag, int)
+
+        errors = _run_threads(worker)
+        assert errors == []
+        assert len(pool) <= 4
+        stats = pool.stats()
+        assert stats["hits"] + stats["misses"] == THREADS * ROUNDS
+
+    def test_clear_during_traffic_is_safe(self):
+        pool = TracePool(cap=8)
+        stop = threading.Event()
+
+        def churn(index: int) -> None:
+            round_no = 0
+            while not stop.is_set() and round_no < ROUNDS * 4:
+                pool.put(f"k{round_no % 3}", self._FakePack(round_no))
+                pool.get(f"k{round_no % 3}")
+                if index == 0 and round_no % 10 == 0:
+                    pool.clear()
+                round_no += 1
+
+        errors = _run_threads(churn, count=4)
+        stop.set()
+        assert errors == []
+        assert len(pool) <= 8

@@ -1,0 +1,223 @@
+"""Chaos tests: the serve daemon under worker crashes, hangs and
+corrupted caches, with many concurrent clients.
+
+The acceptance bar (mirrors the batch-harness chaos suite, lifted to
+the service level):
+
+* healthy requests return results **bit-identical** to the serial,
+  fault-free pipeline, no matter what is failing around them;
+* the daemon process never dies — a crash fault kills a forked pool
+  worker, and ``/healthz`` stays green throughout;
+* SIGTERM drains within the grace period and the process exits 0;
+* the shared circuit breaker opens for a consistently-crashing family
+  and answers 503 to *every* client, while other families keep serving.
+
+The daemon runs ``--chaos`` with ``REPRO_FAULTS`` in its environment:
+``execute:crash`` faults fire inside pool workers (each fresh fork
+inherits an unfired budget, so the crashing family fails on every
+attempt), and ``cache.get``/``trace_pack`` corruption exercises the
+read-validation fallbacks under concurrent traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.results import result_to_dict
+from repro.experiments.runner import run_benchmark
+from repro.serve.client import ServeClient
+
+from tests.faults.conftest import SMALL
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Workers crash on every m88ksim execution; cache/trace reads are
+#: corrupted half the time.  compress must be completely unaffected.
+CHAOS_SPEC = (
+    "seed=11;"
+    "execute:crash:match=m88ksim;"
+    "cache.get:corrupt:p=0.5;"
+    "trace_pack:corrupt:p=0.5"
+)
+
+CLIENTS = 8
+SCHEMES = ("conventional", "basic", "advanced")
+
+
+@pytest.fixture(scope="module")
+def chaos_daemon(tmp_path_factory):
+    """A ``repro serve`` subprocess with the chaos spec active."""
+    tmp = tmp_path_factory.mktemp("serve-chaos")
+    port_file = tmp / "port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env["REPRO_FAULTS"] = CHAOS_SPEC
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--port-file", str(port_file),
+            "--workers", "2", "--queue-depth", "16",
+            "--retries", "1", "--breaker-threshold", "3",
+            "--timeout", "30", "--hard-timeout", "90",
+            "--drain-grace", "20", "--chaos", "--quiet",
+            "--cache-dir", str(tmp / "cache"),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and not port_file.exists():
+        assert process.poll() is None, (
+            "daemon died at startup: "
+            + process.stderr.read().decode(errors="replace")
+        )
+        time.sleep(0.05)
+    assert port_file.exists(), "daemon never wrote its port file"
+    port = int(port_file.read_text().strip())
+    client = ServeClient("127.0.0.1", port, timeout=120.0)
+    assert client.wait_ready(15.0), "daemon never became ready"
+    yield process, client
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10.0)
+
+
+def _expected_results() -> dict[str, dict]:
+    """scheme -> fault-free serial result for the healthy workload."""
+    from repro.bench.harness import clear_memo
+    from repro.faults import reset_faults
+
+    clear_memo()
+    reset_faults()
+    expected = {
+        scheme: result_to_dict(
+            run_benchmark("compress", scheme, width=4, scale=SMALL["compress"])
+        )
+        for scheme in SCHEMES
+    }
+    clear_memo()
+    return expected
+
+
+class TestServeChaos:
+    def test_concurrent_clients_survive_crashes_and_corruption(
+        self, chaos_daemon
+    ):
+        process, client = chaos_daemon
+        expected = _expected_results()
+        responses: list[tuple[str, object]] = []
+        lock = threading.Lock()
+
+        def client_worker(index: int) -> None:
+            # each client issues three requests: two healthy compress
+            # cells and one from the crash-poisoned m88ksim family
+            plan = [
+                ("compress", SCHEMES[index % 3]),
+                ("m88ksim", SCHEMES[(index + 1) % 3]),
+                ("compress", SCHEMES[(index + 2) % 3]),
+            ]
+            for workload, scheme in plan:
+                response = client.post(
+                    "bench-cell",
+                    {
+                        "workload": workload,
+                        "scheme": scheme,
+                        "width": 4,
+                        "scale": SMALL[workload],
+                    },
+                )
+                with lock:
+                    responses.append((workload, response))
+
+        threads = [
+            threading.Thread(target=client_worker, args=(i,), daemon=True)
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        health_failures = 0
+        while any(t.is_alive() for t in threads):
+            # liveness stays green under fire
+            if client.healthz().status != 200:
+                health_failures += 1
+            time.sleep(0.25)
+        for thread in threads:
+            thread.join(timeout=120.0)
+
+        assert health_failures == 0
+        assert len(responses) == CLIENTS * 3
+        compress = [r for w, r in responses if w == "compress"]
+        m88ksim = [r for w, r in responses if w == "m88ksim"]
+        # every healthy request answered 200 with the bit-identical
+        # serial result, despite crashes and corrupt cache reads nearby
+        assert all(r.status == 200 for r in compress)
+        for response in compress:
+            scheme = response.body["scheme"]
+            assert response.body["result"] == expected[scheme], (
+                f"divergent result for compress/{scheme}"
+            )
+        # the poisoned family failed *as data*: the daemon reported
+        # each failure (worker crash or open breaker), never died
+        assert all(r.status in (500, 503) for r in m88ksim)
+        assert any(
+            r.error_type in ("BrokenProcessPool", "CircuitOpen")
+            for r in m88ksim
+        )
+        assert process.poll() is None, "daemon process died under chaos"
+
+    def test_stats_expose_breakers_and_failures(self, chaos_daemon):
+        process, client = chaos_daemon
+        stats = client.stats()
+        counters = stats["counters"]
+        assert counters["accepted"] >= CLIENTS * 3
+        assert counters["failed"] >= 1
+        assert counters["completed"] >= 1
+        # the crashing family's breaker is visible to every client
+        breakers = stats["breakers"]
+        assert any("m88ksim" in family for family in breakers)
+
+    def test_breaker_opens_for_crashing_family(self, chaos_daemon):
+        process, client = chaos_daemon
+        # hammer one family sequentially (coalescing dedups concurrent
+        # identical requests, so the parallel phase alone may not reach
+        # the threshold); after 3 consecutive failures the breaker opens
+        payload = {"workload": "m88ksim", "scheme": "basic", "width": 4,
+                   "scale": SMALL["m88ksim"]}
+        hammered = [client.post("bench-cell", payload) for _ in range(4)]
+        assert all(r.status in (500, 503) for r in hammered)
+        assert hammered[-1].error_type == "CircuitOpen", (
+            "breaker never opened: "
+            + str([r.error_type for r in hammered])
+        )
+        # open means fail-fast: no pool spawn, answered in milliseconds
+        assert hammered[-1].seconds < 1.0
+        # a healthy family still serves
+        ok = client.post(
+            "bench-cell",
+            {"workload": "compress", "scheme": "basic", "width": 4,
+             "scale": SMALL["compress"]},
+        )
+        assert ok.status == 200
+
+    def test_sigterm_drains_cleanly(self, chaos_daemon):
+        process, client = chaos_daemon
+        assert client.healthz().status == 200
+        process.send_signal(signal.SIGTERM)
+        try:
+            returncode = process.wait(timeout=40.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            pytest.fail("daemon did not drain within the grace period")
+        assert returncode == 0, (
+            "drain exited non-zero: "
+            + process.stderr.read().decode(errors="replace")
+        )

@@ -1,0 +1,73 @@
+"""Fixtures for the serve tests: an embedded daemon per test.
+
+The daemon runs on a background thread *inside* the pytest process
+(port 0 → ephemeral), so tests can reach into ``daemon.state`` to
+assert on counters and monkeypatch collaborators.  Workload execution
+still happens in forked pool workers — exactly as in production —
+because the daemon always sets a ``run_cells`` timeout.
+
+Every test starts from clean process-wide state (memo, trace pool,
+shared result caches, fault injector) so cache-hit and coalescing
+assertions are about this test's actions alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cache import clear_shared_result_caches
+from repro.bench.harness import clear_memo
+from repro.faults import reset_faults
+from repro.faults.inject import FAULTS_ENV
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ReproDaemon
+from repro.serve.state import ServeConfig
+from repro.trace.store import TRACE_CACHE_ENV, clear_trace_pool
+
+#: Small, fast workloads (sub-second cells) used throughout.
+SMALL = {"compress": 150, "m88ksim": 2}
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+    clear_memo()
+    clear_trace_pool()
+    clear_shared_result_caches()
+    reset_faults()
+    yield
+    clear_memo()
+    clear_trace_pool()
+    clear_shared_result_caches()
+    reset_faults()
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    """Start embedded daemons; every one is drained at teardown."""
+    started: list[ReproDaemon] = []
+
+    def make(**overrides) -> tuple[ReproDaemon, ServeClient]:
+        settings = dict(
+            port=0,
+            workers=2,
+            queue_depth=8,
+            timeout=30.0,
+            hard_timeout=60.0,
+            retries=0,
+            drain_grace=10.0,
+            quiet=True,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        settings.update(overrides)
+        daemon = ReproDaemon(ServeConfig(**settings))
+        daemon.start()
+        started.append(daemon)
+        client = ServeClient("127.0.0.1", daemon.bound_port, timeout=60.0)
+        assert client.wait_ready(10.0), "daemon never became ready"
+        return daemon, client
+
+    yield make
+    for daemon in started:
+        daemon.drain(grace=2.0)

@@ -1,0 +1,148 @@
+"""Admission control, load shedding, and graceful drain."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from tests.serve.conftest import SMALL
+
+
+def _wait_in_flight(daemon, count: int = 1, timeout: float = 3.0) -> bool:
+    """Poll until ``count`` requests occupy the admission gate."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon.state.gate.in_flight >= count:
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _hold_slot(client, barrier=None, secs: float = 1.0):
+    """A request that occupies an admission slot for ``secs`` via a
+    request-scoped hang fault (daemon must run --chaos)."""
+    return client.post(
+        "compile",
+        {"source": "int main() { return 1; }"},
+        fault_header=f"serve_admit:hang:secs={secs}",
+    )
+
+
+class TestShedding:
+    def test_full_gate_sheds_with_retry_after(self, daemon_factory):
+        daemon, client = daemon_factory(queue_depth=1, chaos=True)
+        holder = threading.Thread(
+            target=_hold_slot, args=(client,), kwargs={"secs": 2.0}, daemon=True
+        )
+        holder.start()
+        assert _wait_in_flight(daemon), "holder never occupied the gate"
+        shed = client.post("compile", {"source": "int main() { return 1; }"})
+        holder.join()
+        assert shed is not None, "never shed while the gate was held"
+        assert shed.error_type == "Overloaded"
+        assert shed.retry_after is not None and shed.retry_after >= 1
+        assert daemon.state.counters.snapshot()["shed"] >= 1
+
+    def test_shedding_is_cheap_and_recovers(self, daemon_factory):
+        daemon, client = daemon_factory(queue_depth=1, chaos=True)
+        holder = threading.Thread(
+            target=_hold_slot, args=(client,), kwargs={"secs": 1.0}, daemon=True
+        )
+        holder.start()
+        time.sleep(0.2)
+        shed = client.post("compile", {"source": "int main() { return 1; }"})
+        if shed.status == 429:
+            # a shed answer must come back far faster than service time
+            assert shed.seconds < 0.5
+        holder.join()
+        after = client.post("compile", {"source": "int main() { return 1; }"})
+        assert after.ok, "gate did not free after the holder finished"
+
+
+class TestDrain:
+    def test_drain_flips_readyz_keeps_healthz(self, daemon_factory):
+        daemon, client = daemon_factory(chaos=True)
+        assert client.get("/readyz").status == 200
+        # hold the gate so the drain stays in its grace window long
+        # enough to observe the draining daemon still answering
+        holder = threading.Thread(
+            target=_hold_slot, args=(client,), kwargs={"secs": 2.0}, daemon=True
+        )
+        holder.start()
+        assert _wait_in_flight(daemon)
+        drain_thread = threading.Thread(
+            target=daemon.drain, kwargs={"grace": 10.0}, daemon=True
+        )
+        drain_thread.start()
+        assert daemon.state.draining.wait(2.0)
+        assert client.get("/readyz").status == 503
+        assert client.healthz().status == 200
+        refused = client.post("compile", {"source": "int main() { return 1; }"})
+        assert refused.status == 503
+        assert refused.error_type == "Draining"
+        assert daemon.state.counters.snapshot()["rejected_draining"] >= 1
+        holder.join()
+        drain_thread.join(timeout=15.0)
+        assert not drain_thread.is_alive()
+
+    def test_idle_drain_is_clean_and_idempotent(self, daemon_factory):
+        daemon, client = daemon_factory()
+        client.post("compile", {"source": "int main() { return 1; }"})
+        assert daemon.drain(grace=5.0) is True
+        assert daemon.drain(grace=5.0) is True  # joins the finished drain
+        assert not daemon.state.stop.is_set()
+
+    def test_drain_waits_for_in_flight_work(self, daemon_factory):
+        daemon, client = daemon_factory(chaos=True)
+        results = {}
+
+        def slow_request():
+            results["response"] = _hold_slot(client, secs=1.0)
+
+        worker = threading.Thread(target=slow_request, daemon=True)
+        worker.start()
+        assert _wait_in_flight(daemon), "request never entered the gate"
+        clean = daemon.drain(grace=10.0)
+        worker.join(timeout=5.0)
+        assert clean is True
+        assert results["response"].ok, "in-flight work was dropped by drain"
+
+    def test_expired_grace_sets_stop(self, daemon_factory):
+        daemon, client = daemon_factory(chaos=True)
+        worker = threading.Thread(
+            target=_hold_slot, args=(client,), kwargs={"secs": 3.0}, daemon=True
+        )
+        worker.start()
+        assert _wait_in_flight(daemon)
+        clean = daemon.drain(grace=0.1)
+        assert clean is False
+        assert daemon.state.stop.is_set()
+        worker.join(timeout=10.0)
+
+
+class TestExecutionSlots:
+    def test_heavy_concurrency_bounded_by_workers(self, daemon_factory):
+        daemon, client = daemon_factory(workers=1, queue_depth=8)
+        payloads = [
+            {"workload": "compress", "scheme": scheme, "width": 4,
+             "scale": SMALL["compress"]}
+            for scheme in ("conventional", "basic", "advanced")
+        ]
+        responses = [None] * len(payloads)
+
+        def issue(index):
+            responses[index] = client.post("bench-cell", payloads[index])
+
+        threads = [
+            threading.Thread(target=issue, args=(i,), daemon=True)
+            for i in range(len(payloads))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert all(r is not None and r.ok for r in responses)
+        # distinct schemes -> distinct results, all served despite one slot
+        checksums = {r.body["result"]["checksum"] for r in responses}
+        assert len({r.body["key"] for r in responses}) == 3
+        assert all(isinstance(c, int) for c in checksums)

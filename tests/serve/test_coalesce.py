@@ -1,0 +1,109 @@
+"""Single-flight request coalescing: one computation per identical burst."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from tests.serve.conftest import SMALL
+
+PAYLOAD = {
+    "workload": "compress",
+    "scheme": "basic",
+    "width": 4,
+    "scale": SMALL["compress"],
+}
+
+
+def _slow_run_cells(monkeypatch, calls, delay: float = 0.4):
+    """Wrap run_cells with a delay + call counter (daemon is in-process)."""
+    import repro.bench.harness as harness
+
+    original = harness.run_cells
+
+    def wrapped(cells, **kwargs):
+        calls.append([c.label for c in cells])
+        time.sleep(delay)
+        return original(cells, **kwargs)
+
+    monkeypatch.setattr(harness, "run_cells", wrapped)
+
+
+def _burst(client, count: int, payload=None):
+    responses = [None] * count
+    barrier = threading.Barrier(count)
+
+    def issue(index):
+        barrier.wait()
+        responses[index] = client.post("bench-cell", payload or PAYLOAD)
+
+    threads = [
+        threading.Thread(target=issue, args=(i,), daemon=True)
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    return responses
+
+
+class TestCoalescing:
+    def test_identical_burst_computes_once(self, daemon_factory, monkeypatch):
+        daemon, client = daemon_factory(workers=4, queue_depth=16)
+        calls: list = []
+        _slow_run_cells(monkeypatch, calls)
+        responses = _burst(client, 5)
+        assert all(r is not None and r.ok for r in responses)
+        # one leader computed; everyone else latched onto its flight
+        assert len(calls) == 1
+        assert daemon.state.counters.snapshot()["coalesced"] == 4
+        results = [r.body["result"] for r in responses]
+        assert all(result == results[0] for result in results)
+
+    def test_followers_share_leader_key_and_doc(self, daemon_factory, monkeypatch):
+        daemon, client = daemon_factory(workers=4, queue_depth=16)
+        _slow_run_cells(monkeypatch, [])
+        responses = _burst(client, 3)
+        keys = {r.body["key"] for r in responses}
+        assert len(keys) == 1
+
+    def test_force_bypasses_coalescing(self, daemon_factory, monkeypatch):
+        daemon, client = daemon_factory(workers=4, queue_depth=16)
+        calls: list = []
+        _slow_run_cells(monkeypatch, calls, delay=0.2)
+        forced = dict(PAYLOAD, force=True)
+        responses = _burst(client, 3, payload=forced)
+        assert all(r is not None and r.ok for r in responses)
+        # every force request recomputes: no flight sharing
+        assert len(calls) == 3
+        assert daemon.state.counters.snapshot()["coalesced"] == 0
+
+    def test_flight_table_empties_after_burst(self, daemon_factory, monkeypatch):
+        daemon, client = daemon_factory(workers=4, queue_depth=16)
+        _slow_run_cells(monkeypatch, [])
+        _burst(client, 4)
+        assert daemon.state.flights == {}
+
+    def test_distinct_cells_do_not_coalesce(self, daemon_factory, monkeypatch):
+        daemon, client = daemon_factory(workers=4, queue_depth=16)
+        calls: list = []
+        _slow_run_cells(monkeypatch, calls, delay=0.2)
+        responses = [None, None]
+
+        def issue(index, scheme):
+            responses[index] = client.post(
+                "bench-cell", dict(PAYLOAD, scheme=scheme)
+            )
+
+        threads = [
+            threading.Thread(target=issue, args=(0, "basic"), daemon=True),
+            threading.Thread(target=issue, args=(1, "advanced"), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert all(r is not None and r.ok for r in responses)
+        assert len(calls) == 2
+        assert responses[0].body["key"] != responses[1].body["key"]

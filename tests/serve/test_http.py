@@ -1,0 +1,227 @@
+"""HTTP contract tests: routing, request validation, error mapping.
+
+Every error response must carry the structured ``error`` object with
+the CLI-equivalent exit code, so a service client can reconstruct
+exactly what ``repro <cmd>`` would have exited with.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.runner import run_benchmark
+from repro.serve.codes import http_status_for_type
+
+from tests.serve.conftest import SMALL
+
+
+class TestObservability:
+    def test_healthz_and_readyz(self, daemon_factory):
+        _, client = daemon_factory()
+        health = client.healthz()
+        assert health.status == 200
+        assert health.body["status"] == "ok"
+        assert health.body["draining"] is False
+        assert client.get("/readyz").status == 200
+
+    def test_stats_document_shape(self, daemon_factory):
+        _, client = daemon_factory()
+        client.post("compile", {"source": "int main() { return 1; }"})
+        stats = client.stats()
+        assert stats["queue"]["capacity"] == 8
+        assert stats["counters"]["accepted"] >= 1
+        assert stats["counters"]["completed"] >= 1
+        assert "result" in stats["caches"]
+        assert "trace_pool" in stats["caches"]
+        assert stats["latency"]["count"] >= 1
+        assert "compile" in stats["endpoints"]
+
+    def test_unknown_get_path_is_404(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.get("/nope")
+        assert response.status == 404
+        assert response.error_type == "BadRequest"
+
+
+class TestRequestValidation:
+    def test_unknown_endpoint_lists_alternatives(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post("frobnicate", {})
+        assert response.status == 404
+        assert "bench-cell" in response.body["error"]["message"]
+
+    def test_bad_json_is_400(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.request(
+            "POST", "/v1/compile", None, {"Content-Length": "0"}
+        )
+        # empty body defaults to {} -> missing source, still a clean 400
+        assert response.status == 400
+        assert response.body["error"]["status"] == 400
+
+    def test_non_object_body_is_400(self, daemon_factory):
+        import http.client
+
+        daemon, client = daemon_factory()
+        conn = http.client.HTTPConnection("127.0.0.1", daemon.bound_port)
+        try:
+            conn.request("POST", "/v1/compile", body=b"[1, 2]")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "JSON object" in body["error"]["message"]
+
+    def test_oversized_body_is_413(self, daemon_factory):
+        _, client = daemon_factory(max_body_bytes=64)
+        response = client.post("compile", {"source": "x" * 200})
+        assert response.status == 413
+
+    def test_unknown_workload_is_400(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "bench-cell", {"workload": "nope", "scheme": "basic", "width": 4}
+        )
+        assert response.status == 400
+        assert response.error_type == "BadRequest"
+
+    def test_parse_error_maps_to_400_with_exit_code(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post("compile", {"source": "int main( {"})
+        assert response.status == 400
+        assert response.error_type == "ParseError"
+        assert response.body["error"]["exit_code"] == 10
+
+    def test_bad_deadline_is_400(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "simulate",
+            {"workload": "compress", "scheme": "basic", "width": 4,
+             "scale": SMALL["compress"], "deadline_s": -1},
+        )
+        assert response.status == 400
+
+
+class TestInlineEndpoints:
+    def test_compile_returns_ir_and_functions(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "compile", {"source": "int main() { return 2 + 3; }"}
+        )
+        assert response.ok
+        assert "main" in response.body["functions"]
+        assert "main" in response.body["ir"]
+
+    def test_lint_diagnostics_are_data_not_errors(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "lint", {"workload": "compress", "scheme": "advanced"}
+        )
+        assert response.ok
+        assert response.body["summary"]["ok"] is True
+        assert response.body["summary"]["rules_run"]
+
+    def test_partition_stats_per_function(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "partition", {"workload": "compress", "scheme": "basic"}
+        )
+        assert response.ok
+        stats = response.body["functions"]["compress"]
+        assert "offloaded_instructions" in stats
+        assert "opcodes" in stats
+
+
+class TestHeavyEndpoints:
+    def test_simulate_matches_direct_run(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "simulate",
+            {"workload": "compress", "scheme": "advanced", "width": 4,
+             "scale": SMALL["compress"]},
+        )
+        assert response.ok
+        direct = run_benchmark(
+            "compress", "advanced", width=4, scale=SMALL["compress"]
+        )
+        assert response.body["checksum"] == direct.checksum
+        assert response.body["cycles"] == direct.cycles
+        assert response.body["offload_fraction"] == direct.offload_fraction
+
+    def test_bench_cell_returns_bench_cells_entry(self, daemon_factory):
+        _, client = daemon_factory()
+        payload = {"workload": "compress", "scheme": "basic", "width": 4,
+                   "scale": SMALL["compress"]}
+        response = client.post("bench-cell", payload)
+        assert response.ok
+        doc = response.body
+        assert doc["status"] == "ok"
+        assert doc["workload"] == "compress"
+        assert doc["key"]
+        assert doc["result"]["cycles"] > 0
+        assert "throughput_ips" in doc
+
+    def test_repeat_request_hits_cache(self, daemon_factory):
+        _, client = daemon_factory()
+        payload = {"workload": "compress", "scheme": "basic", "width": 4,
+                   "scale": SMALL["compress"]}
+        first = client.post("bench-cell", payload)
+        second = client.post("bench-cell", payload)
+        assert first.ok and second.ok
+        assert second.body["cached"] is True
+        assert second.body["result"] == first.body["result"]
+
+
+class TestChaosHeader:
+    def test_header_ignored_without_chaos_mode(self, daemon_factory):
+        _, client = daemon_factory(chaos=False)
+        response = client.post(
+            "compile", {"source": "int main() { return 1; }"},
+            fault_header="serve_admit:error",
+        )
+        assert response.ok
+
+    def test_error_fault_fires_per_request(self, daemon_factory):
+        _, client = daemon_factory(chaos=True)
+        bad = client.post(
+            "compile", {"source": "int main() { return 1; }"},
+            fault_header="serve_admit:error",
+        )
+        assert bad.status == 500
+        assert bad.error_type == "FaultInjected"
+        # the injector was scoped to that one request
+        good = client.post("compile", {"source": "int main() { return 1; }"})
+        assert good.ok
+
+    def test_crash_kind_is_refused(self, daemon_factory):
+        _, client = daemon_factory(chaos=True)
+        response = client.post(
+            "compile", {"source": "int main() { return 1; }"},
+            fault_header="serve_admit:crash",
+        )
+        assert response.status == 400
+        assert "crash" in response.body["error"]["message"]
+
+    def test_malformed_header_is_400(self, daemon_factory):
+        _, client = daemon_factory(chaos=True)
+        response = client.post(
+            "compile", {"source": "int main() { return 1; }"},
+            fault_header="not a spec !!",
+        )
+        assert response.status == 400
+
+
+class TestStatusMapping:
+    def test_harness_failure_types(self):
+        assert http_status_for_type("Timeout") == 504
+        assert http_status_for_type("CircuitOpen") == 503
+        assert http_status_for_type("Aborted") == 503
+        assert http_status_for_type("BrokenProcessPool") == 500
+
+    def test_pipeline_error_types(self):
+        assert http_status_for_type("ParseError") == 400
+        assert http_status_for_type("WorkloadError") == 400
+        assert http_status_for_type("PartitionError") == 422
+        assert http_status_for_type("SimulationError") == 500
+        assert http_status_for_type("NoSuchType") == 500

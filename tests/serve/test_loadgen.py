@@ -1,0 +1,130 @@
+"""Load-generator tests: plans, fault headers, and the BENCH document."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.results import validate_document
+from repro.errors import ReproError
+from repro.serve.loadgen import (
+    DEFAULT_MIX,
+    _fault_header,
+    build_plan,
+    build_serve_document,
+    parse_mix,
+    run_load,
+    validate_serve_document,
+)
+
+from tests.serve.conftest import SMALL
+
+
+class TestMix:
+    def test_default_mix_parses(self):
+        weights = dict(parse_mix(DEFAULT_MIX))
+        assert weights["bench-cell"] == 4
+        assert weights["compile"] == 1
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ReproError, match="unknown endpoint"):
+            parse_mix("bench-cell=1,frobnicate=2")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ReproError, match="bad weight"):
+            parse_mix("bench-cell=lots")
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ReproError, match="selects no endpoints"):
+            parse_mix("bench-cell=0")
+
+
+class TestPlan:
+    def test_plan_is_deterministic(self):
+        a = build_plan(20, suite="smoke")
+        b = build_plan(20, suite="smoke")
+        assert a == b
+
+    def test_plan_honours_mix_proportions(self):
+        plan = build_plan(18, mix="bench-cell=2,compile=1", suite="smoke")
+        endpoints = [endpoint for endpoint, _ in plan]
+        assert endpoints.count("bench-cell") == 12
+        assert endpoints.count("compile") == 6
+
+    def test_deadline_reaches_heavy_payloads_only(self):
+        plan = build_plan(10, mix="bench-cell=1,compile=1", deadline_s=7.5)
+        for endpoint, payload in plan:
+            if endpoint == "bench-cell":
+                assert payload["deadline_s"] == 7.5
+            else:
+                assert "deadline_s" not in payload
+
+    def test_lint_never_gets_conventional_scheme(self):
+        plan = build_plan(30, mix="lint=1", suite="smoke")
+        assert all(p["scheme"] in ("none", "basic", "advanced") for _, p in plan)
+
+
+class TestFaultHeader:
+    def test_per_request_seed_rewrite(self):
+        spec = "seed=100;serve_admit:error:p=0.5"
+        assert _fault_header(spec, 0) == "seed=100;serve_admit:error:p=0.5"
+        assert _fault_header(spec, 7) == "seed=107;serve_admit:error:p=0.5"
+
+    def test_seed_added_when_absent(self):
+        assert _fault_header("serve_admit:error", 3) == "seed=3;serve_admit:error"
+
+    def test_none_spec_passes_through(self):
+        assert _fault_header(None, 5) is None
+
+
+class TestDocument:
+    def _small_run(self, client, **kwargs):
+        plan = build_plan(
+            8, mix="bench-cell=3,compile=1", suite="smoke", deadline_s=45.0
+        )
+        return run_load(client, plan, clients=4, **kwargs)
+
+    def test_document_is_valid_bench_and_serve(self, daemon_factory):
+        _, client = daemon_factory()
+        result = self._small_run(client)
+        doc = build_serve_document(result, stats=client.stats())
+        validate_document(doc)       # plain BENCH consumers accept it
+        validate_serve_document(doc)  # and the serve block is complete
+        assert doc["suite"] == "serve:smoke"
+        assert doc["cells"], "no bench-cell response made it into cells"
+        serve = doc["serve"]
+        assert serve["requests"] == 8
+        assert serve["ok"] + serve["errors"] + serve["shed"] == 8
+        assert serve["latency"]["count"] == 8
+        assert "bench-cell" in serve["endpoints"]
+        assert serve["daemon"]["counters"]["accepted"] >= 8
+
+    def test_cells_are_deduped_by_key(self, daemon_factory):
+        _, client = daemon_factory()
+        result = self._small_run(client)
+        doc = build_serve_document(result)
+        keys = [cell["key"] for cell in doc["cells"]]
+        assert len(keys) == len(set(keys))
+
+    def test_missing_serve_block_rejected(self):
+        with pytest.raises(ReproError, match="missing the 'serve' block"):
+            validate_serve_document({"schema": "repro-bench/1"})
+
+    def test_incomplete_serve_block_rejected(self):
+        with pytest.raises(ReproError, match="serve block missing"):
+            validate_serve_document({"schema": "repro-bench/1", "serve": {}})
+
+    def test_fault_mix_failures_are_data(self, daemon_factory):
+        _, client = daemon_factory(chaos=True)
+        plan = build_plan(6, mix="compile=1")
+        result = run_load(
+            client, plan, clients=3, fault_mix="serve_admit:error"
+        )
+        summary = result.summary()
+        assert summary["errors"] == 6  # every request hit the injected error
+        assert summary["status_counts"].get("500") == 6
+        assert result.transport_errors == 0
+
+    def test_invalid_fault_mix_rejected_before_traffic(self, daemon_factory):
+        _, client = daemon_factory()
+        with pytest.raises(ReproError):
+            run_load(client, build_plan(2), fault_mix="not a spec !!")
