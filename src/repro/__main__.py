@@ -15,18 +15,22 @@ Usage::
     python -m repro perf check                 # statistical degradation gate
     python -m repro serve --port 8173          # pipeline as a local daemon
     python -m repro loadgen --port 8173 -n 60  # drive it -> BENCH_serve.json
+    python -m repro fuzz --seeds 200           # differential partition fuzzing
+    python -m repro fuzz --replay              # replay the regression corpus
 
 ``prog.mc`` is a MiniC source file (see ``examples/`` and the README for
 the language).  ``-`` reads from stdin, and ``workload:<name>`` uses the
 generated source of a registered benchmark workload (e.g.
 ``workload:compress``) so CI can lint exactly what the harness runs.
+Generator specs (``gen:mixer?seed=7&ldst=0.3`` — see ``docs/fuzzing.md``)
+are accepted anywhere a workload name is.
 
 Exit codes are documented per error class — 0 success, 1 generic
 failure, 2 usage, 3 unreadable input file, 4 the bench failure gate,
-10-24 the :mod:`repro.errors` hierarchy, including 23 for a confirmed
-performance degradation from ``perf check`` (see ``docs/robustness.md``,
-which also documents how ``repro serve`` maps the same hierarchy onto
-HTTP statuses).
+10-25 the :mod:`repro.errors` hierarchy, including 23 for a confirmed
+performance degradation from ``perf check`` and 25 for a differential
+fuzzing violation (see ``docs/robustness.md``, which also documents how
+``repro serve`` maps the same hierarchy onto HTTP statuses).
 """
 
 from __future__ import annotations
@@ -40,10 +44,12 @@ from repro.errors import EXIT_IO, ReproError, exit_code_for
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
-    if path.startswith("workload:"):
+    if path.startswith("workload:") or path.startswith("gen:"):
         from repro.workloads import workload_source
 
-        return workload_source(path[len("workload:"):])
+        if path.startswith("workload:"):
+            path = path[len("workload:"):]
+        return workload_source(path)
     with open(path) as handle:
         return handle.read()
 
@@ -408,6 +414,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return run_loadgen(args)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.gen.cli import run as fuzz_run
+
+    return fuzz_run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -547,6 +559,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     configure_loadgen_parser(p)
     p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential partition fuzzing: random MiniC vs the §6.1 "
+        "contract, with crash bundles and a replayable corpus",
+    )
+    from repro.gen.cli import configure_parser as configure_fuzz_parser
+
+    configure_fuzz_parser(p)
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

@@ -234,6 +234,11 @@ class _Auditor:
                 )
         for src, dst in sorted(conv, key=lambda e: (_node_key(e[0]), _node_key(e[1]))):
             if src in self.fp and dst not in self.fp and src not in back:
+                if self._is_copy_instr(src):
+                    # a pre-existing cp_from_comp already delivers into
+                    # the INT file; its edge is a cut edge, no back-copy
+                    # bookkeeping is owed for it
+                    continue
                 yield (
                     f"convention edge {src!r} → {dst!r} leaves FPa without a "
                     "bookkept back-copy",

@@ -204,6 +204,17 @@ def run(args: argparse.Namespace) -> int:
             print(f"{name:8s} {len(cells):3d} cells  "
                   + ", ".join(c.label for c in cells[:4])
                   + (", ..." if len(cells) > 4 else ""))
+        from repro.gen import GENERATORS
+
+        print()
+        print("generator specs (usable anywhere a workload name is; "
+              "see docs/fuzzing.md):")
+        for gname in sorted(GENERATORS):
+            generator = GENERATORS[gname]
+            axes = ", ".join(generator.axes)
+            print(f"  gen:{gname:8s} {generator.description}  [axes: {axes}]")
+        print("  example: repro bench --suite gen-smoke, or any cell with "
+              "workload='gen:mixer?seed=7&ldst=0.3'")
         return 0
 
     if args.validate is not None:

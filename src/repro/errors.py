@@ -176,6 +176,17 @@ class ServeError(ReproError):
     stage = "serve"
 
 
+class FuzzViolationError(ReproError):
+    """``repro fuzz`` found programs violating the differential oracle
+    (see :mod:`repro.gen.fuzz`): a checksum divergence between schemes,
+    a lint error on a generated program, a failed §6.1 profit
+    certification, or an advanced partition losing to basic beyond the
+    copy-overhead bound.  The message lists every violating seed."""
+
+    exit_code = 25
+    stage = "fuzz"
+
+
 class FaultInjected(ReproError):
     """A fault deliberately injected by :mod:`repro.faults`.
 
@@ -222,6 +233,7 @@ EXIT_CODES: dict[str, int] = {
     "CheckpointError": CheckpointError.exit_code,
     "PerfDegradation": PerfDegradation.exit_code,
     "ServeError": ServeError.exit_code,
+    "FuzzViolationError": FuzzViolationError.exit_code,
 }
 
 

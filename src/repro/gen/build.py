@@ -1,0 +1,532 @@
+"""Grammar-directed random MiniC program builder for the fuzzer.
+
+Builds well-typed ASTs directly (rendered through
+:mod:`repro.minic.printer`), so every emitted program passes semantic
+analysis by construction.  The builder bakes in the guarantees the
+differential oracle needs:
+
+* **termination** — all loops are constant-bounded ``for`` loops whose
+  induction variable is never reassigned in the body, and bounded
+  ``while`` counters whose increment cannot be skipped (``break`` /
+  ``continue`` are emitted only inside ``for`` bodies);
+* **no traps** — ``/`` and ``%`` only ever see nonzero constant
+  divisors; array indices are masked to the power-of-two array size;
+* **MiniC typing** — int-only function params/args, explicit
+  ``(int)`` casts on every float→int boundary, no local shadowing of
+  globals (disjoint name prefixes), ``main()`` takes no params and
+  returns an int checksum folding all mutated state;
+* **determinism** — one ``random.Random(seed)`` stream drives every
+  choice; equal seeds give byte-identical source on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.minic.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Index,
+    IntLit,
+    Name,
+    ParamDecl,
+    Return,
+    Stmt,
+    TranslationUnit,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.minic.printer import print_unit
+
+_INT_BINOPS = ("+", "-", "*", "&", "|", "^", "<<", ">>")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_FLOAT_BINOPS = ("+", "-", "*")
+_ARRAY_SIZES = (16, 64, 256)
+
+
+@dataclass(frozen=True, slots=True)
+class BuildConfig:
+    """Size/shape knobs for one generated program."""
+
+    max_helpers: int = 3
+    max_stmts: int = 7  # statements per block
+    max_stmt_depth: int = 3  # control-flow nesting
+    max_expr_depth: int = 3
+    float_prob: float = 0.3  # probability the program uses floats at all
+    max_locals: int = 4
+
+
+@dataclass
+class _Scope:
+    """Names visible while building one function body."""
+
+    int_vars: list[str] = field(default_factory=list)
+    float_vars: list[str] = field(default_factory=list)
+    loop_vars: list[str] = field(default_factory=list)  # readable, not writable
+    int_arrays: list[tuple[str, int]] = field(default_factory=list)
+    float_arrays: list[tuple[str, int]] = field(default_factory=list)
+    callables: list[tuple[str, int]] = field(default_factory=list)  # (name, arity)
+
+    def readable_ints(self) -> list[str]:
+        return self.int_vars + self.loop_vars
+
+
+class ProgramBuilder:
+    """Builds one random, well-typed, terminating MiniC program."""
+
+    def __init__(self, seed: int, config: BuildConfig | None = None) -> None:
+        self.rng = random.Random(seed)
+        self.config = config or BuildConfig()
+        self.use_floats = self.rng.random() < self.config.float_prob
+        self._loop_counter = 0
+        # per-function shape limits (helpers are kept small so a chain of
+        # calls nested under main's loops stays within any sane fuel)
+        self._max_depth = self.config.max_stmt_depth
+        self._helper_mode = False
+
+    # -- entry point ------------------------------------------------------
+    def build(self) -> TranslationUnit:
+        globals_, base_scope = self._globals()
+        functions: list[FuncDecl] = []
+        n_helpers = self.rng.randrange(0, self.config.max_helpers + 1)
+        for k in range(n_helpers):
+            functions.append(self._helper(f"fn{k}", base_scope))
+        functions.append(self._main(base_scope))
+        return TranslationUnit(globals=globals_, functions=functions)
+
+    def build_source(self) -> str:
+        return print_unit(self.build())
+
+    # -- globals ----------------------------------------------------------
+    def _globals(self) -> tuple[list[GlobalDecl], _Scope]:
+        rng = self.rng
+        decls: list[GlobalDecl] = []
+        scope = _Scope()
+        for k in range(rng.randrange(1, 3)):
+            size = rng.choice(_ARRAY_SIZES)
+            decls.append(GlobalDecl(name=f"garr{k}", var_type="int", array_size=size))
+            scope.int_arrays.append((f"garr{k}", size))
+        for k in range(rng.randrange(1, 4)):
+            decls.append(
+                GlobalDecl(name=f"gs{k}", var_type="int", init=[rng.randrange(0, 100)])
+            )
+            scope.int_vars.append(f"gs{k}")
+        if self.use_floats:
+            size = rng.choice(_ARRAY_SIZES[:2])
+            decls.append(GlobalDecl(name="gfarr", var_type="float", array_size=size))
+            scope.float_arrays.append(("gfarr", size))
+            decls.append(
+                GlobalDecl(
+                    name="gf0", var_type="float", init=[round(rng.uniform(0.5, 4.0), 3)]
+                )
+            )
+            scope.float_vars.append("gf0")
+        return decls, scope
+
+    # -- functions --------------------------------------------------------
+    def _helper(self, name: str, base: _Scope) -> FuncDecl:
+        rng = self.rng
+        arity = rng.randrange(1, 3)
+        params = [ParamDecl(name=f"p{k}", var_type="int") for k in range(arity)]
+        scope = _Scope(
+            int_vars=base.int_vars + [p.name for p in params],
+            float_vars=list(base.float_vars),
+            int_arrays=list(base.int_arrays),
+            float_arrays=list(base.float_arrays),
+            callables=list(base.callables),  # earlier helpers only: acyclic
+        )
+        # helpers stay cheap: one loop level max, and calls to earlier
+        # helpers only in straight-line code — the call-cost chain is then
+        # additive per helper, so main's loop nest bounds total work
+        self._helper_mode = True
+        self._max_depth = 1
+        try:
+            body = self._body(scope, checksum=False)
+            body.statements.append(Return(value=self._int_expr(scope, 0)))
+        finally:
+            self._helper_mode = False
+            self._max_depth = self.config.max_stmt_depth
+        base.callables.append((name, arity))
+        return FuncDecl(name=name, ret_type="int", params=params, body=Block(statements=body.statements))
+
+    def _main(self, base: _Scope) -> FuncDecl:
+        scope = _Scope(
+            int_vars=list(base.int_vars),
+            float_vars=list(base.float_vars),
+            int_arrays=list(base.int_arrays),
+            float_arrays=list(base.float_arrays),
+            callables=list(base.callables),
+        )
+        body = self._body(scope, checksum=True)
+        return FuncDecl(name="main", ret_type="int", params=[], body=body)
+
+    def _body(self, scope: _Scope, checksum: bool) -> Block:
+        rng = self.rng
+        stmts: list[Stmt] = []
+        # locals first (unique names, no shadowing by prefix discipline)
+        n_locals = rng.randrange(1, self.config.max_locals + 1)
+        for k in range(n_locals):
+            if self.use_floats and scope.float_vars and rng.random() < 0.25:
+                stmts.append(
+                    VarDecl(name=f"vf{k}", var_type="float", init=FloatLit(value=1.0))
+                )
+                scope.float_vars.append(f"vf{k}")
+            else:
+                stmts.append(
+                    VarDecl(
+                        name=f"v{k}",
+                        var_type="int",
+                        init=IntLit(value=rng.randrange(0, 64)),
+                    )
+                )
+                scope.int_vars.append(f"v{k}")
+        if checksum:
+            # deterministic array seeding so loads are data-dependent
+            stmts.extend(self._array_init(scope))
+        for _ in range(rng.randrange(2, self.config.max_stmts + 1)):
+            stmts.append(self._stmt(scope, depth=0, in_for=False))
+        if checksum:
+            stmts.extend(self._checksum_fold(scope))
+        return Block(statements=stmts)
+
+    def _array_init(self, scope: _Scope) -> list[Stmt]:
+        rng = self.rng
+        out: list[Stmt] = []
+        for arr, size in scope.int_arrays:
+            var = self._fresh_loop_var()
+            out.append(VarDecl(name=var, var_type="int"))
+            body = Block(
+                statements=[
+                    Assign(
+                        target=Index(name=arr, index=Name(name=var)),
+                        value=Binary(
+                            op="&",
+                            left=Binary(
+                                op="*",
+                                left=Binary(
+                                    op="+",
+                                    left=Name(name=var),
+                                    right=IntLit(value=rng.randrange(1, 32)),
+                                ),
+                                right=IntLit(value=rng.choice((7, 13, 31, 61))),
+                            ),
+                            right=IntLit(value=1023),
+                        ),
+                    )
+                ]
+            )
+            out.append(self._counted_for(var, size, body))
+        for arr, size in scope.float_arrays:
+            var = self._fresh_loop_var()
+            out.append(VarDecl(name=var, var_type="int"))
+            body = Block(
+                statements=[
+                    Assign(
+                        target=Index(name=arr, index=Name(name=var)),
+                        value=Binary(
+                            op="*",
+                            left=Cast(target="float", operand=Binary(
+                                op="+", left=Name(name=var), right=IntLit(value=1)
+                            )),
+                            right=FloatLit(value=0.5),
+                        ),
+                    )
+                ]
+            )
+            out.append(self._counted_for(var, size, body))
+        return out
+
+    def _checksum_fold(self, scope: _Scope) -> list[Stmt]:
+        # fold every array and scalar into one int so all mutated state
+        # is architecturally observable by the differential oracle
+        out: list[Stmt] = [VarDecl(name="chk", var_type="int", init=IntLit(value=0))]
+        for arr, size in scope.int_arrays:
+            var = self._fresh_loop_var()
+            out.append(VarDecl(name=var, var_type="int"))
+            fold = Assign(
+                target=Name(name="chk"),
+                value=Binary(
+                    op="&",
+                    left=Binary(
+                        op="+",
+                        left=Binary(
+                            op="*", left=Name(name="chk"), right=IntLit(value=31)
+                        ),
+                        right=Index(name=arr, index=Name(name=var)),
+                    ),
+                    right=IntLit(value=0xFFFFFF),
+                ),
+            )
+            out.append(self._counted_for(var, size, Block(statements=[fold])))
+        for arr, size in scope.float_arrays:
+            var = self._fresh_loop_var()
+            out.append(VarDecl(name=var, var_type="int"))
+            fold = Assign(
+                target=Name(name="chk"),
+                value=Binary(
+                    op="&",
+                    left=Binary(
+                        op="+",
+                        left=Name(name="chk"),
+                        right=Cast(
+                            target="int",
+                            operand=Index(name=arr, index=Name(name=var)),
+                        ),
+                    ),
+                    right=IntLit(value=0xFFFFFF),
+                ),
+            )
+            out.append(self._counted_for(var, size, Block(statements=[fold])))
+        for name in scope.int_vars:
+            out.append(
+                Assign(
+                    target=Name(name="chk"),
+                    value=Binary(
+                        op="&",
+                        left=Binary(op="^", left=Name(name="chk"), right=Name(name=name)),
+                        right=IntLit(value=0xFFFFFF),
+                    ),
+                )
+            )
+        for name in scope.float_vars:
+            out.append(
+                Assign(
+                    target=Name(name="chk"),
+                    value=Binary(
+                        op="&",
+                        left=Binary(
+                            op="+",
+                            left=Name(name="chk"),
+                            right=Cast(target="int", operand=Name(name=name)),
+                        ),
+                        right=IntLit(value=0xFFFFFF),
+                    ),
+                )
+            )
+        out.append(Return(value=Name(name="chk")))
+        return out
+
+    # -- statements -------------------------------------------------------
+    def _stmt(self, scope: _Scope, depth: int, in_for: bool) -> Stmt:
+        rng = self.rng
+        choices = ["assign", "assign", "assign"]
+        if scope.int_arrays:
+            choices += ["store", "store"]
+        if self.use_floats and scope.float_vars:
+            choices.append("fassign")
+        if self.use_floats and scope.float_arrays:
+            choices.append("fstore")
+        if scope.callables:
+            choices.append("call")
+        if depth < self._max_depth:
+            choices += ["if", "if", "for", "while"]
+        if in_for and depth > 0 and rng.random() < 0.15:
+            choices.append("breakish")
+        kind = rng.choice(choices)
+        if kind == "assign":
+            target = rng.choice(scope.int_vars)
+            return Assign(target=Name(name=target), value=self._int_expr(scope, 0))
+        if kind == "store":
+            arr, size = rng.choice(scope.int_arrays)
+            return Assign(
+                target=Index(name=arr, index=self._index_expr(scope, size)),
+                value=self._int_expr(scope, 0),
+            )
+        if kind == "fassign":
+            target = rng.choice(scope.float_vars)
+            return Assign(target=Name(name=target), value=self._float_expr(scope, 0))
+        if kind == "fstore":
+            arr, size = rng.choice(scope.float_arrays)
+            return Assign(
+                target=Index(name=arr, index=self._index_expr(scope, size)),
+                value=self._float_expr(scope, 0),
+            )
+        if kind == "call":
+            name, arity = rng.choice(scope.callables)
+            args = [self._int_expr(scope, 1) for _ in range(arity)]
+            if scope.int_vars and rng.random() < 0.8:
+                target = rng.choice(scope.int_vars)
+                return Assign(target=Name(name=target), value=Call(name=name, args=args))
+            return ExprStmt(expr=Call(name=name, args=args))
+        if kind == "if":
+            then_body = self._block(scope, depth + 1, in_for)
+            else_body = self._block(scope, depth + 1, in_for) if rng.random() < 0.5 else None
+            return If(cond=self._cond_expr(scope), then_body=then_body, else_body=else_body)
+        if kind == "for":
+            var = self._fresh_loop_var()
+            scope.loop_vars.append(var)
+            body = self._block(scope, depth + 1, in_for=True)
+            scope.loop_vars.remove(var)
+            trips = rng.randrange(2, 9)
+            loop = self._counted_for(var, trips, body)
+            decl = VarDecl(name=var, var_type="int")
+            return Block(statements=[decl, loop])
+        if kind == "while":
+            # bounded while: counter increments first so `continue` (never
+            # emitted here anyway) could not skip it
+            var = self._fresh_loop_var()
+            trips = rng.randrange(2, 7)
+            inner = self._block(scope, depth + 1, in_for=False)
+            body = Block(
+                statements=[
+                    Assign(
+                        target=Name(name=var),
+                        value=Binary(op="+", left=Name(name=var), right=IntLit(value=1)),
+                    )
+                ]
+                + inner.statements
+            )
+            return Block(
+                statements=[
+                    VarDecl(name=var, var_type="int", init=IntLit(value=0)),
+                    While(
+                        cond=Binary(op="<", left=Name(name=var), right=IntLit(value=trips)),
+                        body=body,
+                    ),
+                ]
+            )
+        if kind == "breakish":
+            guard = self._cond_expr(scope)
+            exit_stmt: Stmt = Break() if rng.random() < 0.5 else Continue()
+            return If(cond=guard, then_body=Block(statements=[exit_stmt]))
+        raise AssertionError(kind)
+
+    def _block(self, scope: _Scope, depth: int, in_for: bool) -> Block:
+        n = self.rng.randrange(1, max(2, self.config.max_stmts - depth))
+        saved = scope.callables
+        if self._helper_mode and depth >= 1:
+            scope.callables = []  # no helper->helper calls under loops
+        try:
+            return Block(
+                statements=[self._stmt(scope, depth, in_for) for _ in range(n)]
+            )
+        finally:
+            scope.callables = saved
+
+    def _counted_for(self, var: str, trips: int, body: Block) -> For:
+        return For(
+            init=Assign(target=Name(name=var), value=IntLit(value=0)),
+            cond=Binary(op="<", left=Name(name=var), right=IntLit(value=trips)),
+            step=Assign(
+                target=Name(name=var),
+                value=Binary(op="+", left=Name(name=var), right=IntLit(value=1)),
+            ),
+            body=body,
+        )
+
+    def _fresh_loop_var(self) -> str:
+        self._loop_counter += 1
+        return f"it{self._loop_counter}"
+
+    # -- expressions ------------------------------------------------------
+    def _int_expr(self, scope: _Scope, depth: int) -> Expr:
+        rng = self.rng
+        if depth >= self.config.max_expr_depth or rng.random() < 0.3:
+            return self._int_leaf(scope)
+        roll = rng.random()
+        if roll < 0.62:
+            op = rng.choice(_INT_BINOPS)
+            left = self._int_expr(scope, depth + 1)
+            if op in ("<<", ">>"):
+                right: Expr = IntLit(value=rng.randrange(0, 9))
+            else:
+                right = self._int_expr(scope, depth + 1)
+            return Binary(op=op, left=left, right=right)
+        if roll < 0.72:
+            # trap-free division: nonzero constant divisor
+            op = rng.choice(("/", "%"))
+            return Binary(
+                op=op,
+                left=self._int_expr(scope, depth + 1),
+                right=IntLit(value=rng.randrange(1, 17)),
+            )
+        if roll < 0.80:
+            op = rng.choice(("-", "~", "!"))
+            return Unary(op=op, operand=self._int_expr(scope, depth + 1))
+        if roll < 0.88:
+            return Binary(
+                op=rng.choice(_CMP_OPS),
+                left=self._int_expr(scope, depth + 1),
+                right=self._int_expr(scope, depth + 1),
+            )
+        if roll < 0.94 and scope.callables:
+            name, arity = rng.choice(scope.callables)
+            return Call(
+                name=name, args=[self._int_expr(scope, depth + 1) for _ in range(arity)]
+            )
+        if self.use_floats and (scope.float_vars or scope.float_arrays):
+            return Cast(target="int", operand=self._float_expr(scope, depth + 1))
+        return self._int_leaf(scope)
+
+    def _int_leaf(self, scope: _Scope) -> Expr:
+        rng = self.rng
+        readable = scope.readable_ints()
+        roll = rng.random()
+        if roll < 0.45 and readable:
+            return Name(name=rng.choice(readable))
+        if roll < 0.7 and scope.int_arrays:
+            arr, size = rng.choice(scope.int_arrays)
+            return Index(name=arr, index=self._index_expr(scope, size))
+        return IntLit(value=rng.randrange(0, 256))
+
+    def _index_expr(self, scope: _Scope, size: int) -> Expr:
+        """An in-bounds index: arbitrary int expr masked to ``size - 1``."""
+        return Binary(
+            op="&",
+            left=self._int_expr(scope, self.config.max_expr_depth - 1),
+            right=IntLit(value=size - 1),
+        )
+
+    def _cond_expr(self, scope: _Scope) -> Expr:
+        return Binary(
+            op=self.rng.choice(_CMP_OPS),
+            left=self._int_expr(scope, 1),
+            right=self._int_expr(scope, 1),
+        )
+
+    def _float_expr(self, scope: _Scope, depth: int) -> Expr:
+        rng = self.rng
+        if depth >= self.config.max_expr_depth or rng.random() < 0.35:
+            return self._float_leaf(scope)
+        roll = rng.random()
+        if roll < 0.7:
+            return Binary(
+                op=rng.choice(_FLOAT_BINOPS),
+                left=self._float_expr(scope, depth + 1),
+                right=self._float_expr(scope, depth + 1),
+            )
+        if roll < 0.85:
+            return Cast(target="float", operand=self._int_expr(scope, depth + 1))
+        return Unary(op="-", operand=self._float_expr(scope, depth + 1))
+
+    def _float_leaf(self, scope: _Scope) -> Expr:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.4 and scope.float_vars:
+            return Name(name=rng.choice(scope.float_vars))
+        if roll < 0.7 and scope.float_arrays:
+            arr, size = rng.choice(scope.float_arrays)
+            return Index(name=arr, index=self._index_expr(scope, size))
+        return FloatLit(value=round(rng.uniform(0.0, 8.0), 3))
+
+
+def build_program(seed: int, config: BuildConfig | None = None) -> str:
+    """Deterministic random MiniC source for ``seed``."""
+    return ProgramBuilder(seed, config).build_source()
+
+
+__all__ = ["BuildConfig", "ProgramBuilder", "build_program"]

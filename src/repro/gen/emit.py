@@ -1,0 +1,326 @@
+"""Parameterized MiniC program generators.
+
+Each generator maps a :class:`~repro.gen.spec.GeneratorSpec` plus a
+workload ``scale`` to deterministic MiniC source.  Determinism is the
+contract everything downstream leans on: the bench result cache and the
+trace store key on the generated *source text*, so the same
+``(spec, seed, scale)`` must be byte-identical across processes,
+platforms and ``PYTHONHASHSEED`` values (guarded by
+``tests/gen/test_determinism.py``).  All structural choices therefore
+come from one ``random.Random(seed)`` stream and plain insertion-ordered
+data structures — never from set/dict iteration of hashed objects.
+
+Generators:
+
+``mixer``
+    The flagship: nested loops (``depth``) whose bodies mix four kernel
+    families weighted by the axes — array traffic (``ldst``), branch
+    slices over loaded flags (``branch``), pure integer compute chains
+    (the offloadable remainder), and call-dense helper work (``calls``)
+    — plus an optional genuine floating-point stencil (``fp``).
+
+``chains``
+    Long store-value dependence chains (ijpeg/m88ksim-style): each
+    iteration loads a value, pushes it through ``depth`` chain segments
+    of shifts/adds/xors, and stores it back; ``branch`` adds compare
+    slices over the chain value, ``ldst`` widens the array traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular: spec validates against GENERATORS
+    from repro.gen.spec import GeneratorSpec
+
+#: Odd multipliers for address/index scrambling, drawn per site.
+_SCRAMBLE = (3, 5, 7, 11, 13, 17, 19, 23)
+
+#: Int constants for compute kernels.
+_MASKS = (0x7FFFFFFF, 0xFFFFFF, 0x3FFFF, 0x1FFF)
+
+
+@dataclass(frozen=True, slots=True)
+class Generator:
+    """One registered program generator."""
+
+    name: str
+    description: str
+    axes: tuple[str, ...]
+    emit: Callable[["GeneratorSpec", int], str]
+
+    def example(self) -> str:
+        return f"gen:{self.name}?seed=7"
+
+
+def _header(spec: "GeneratorSpec", scale: int) -> str:
+    return (
+        f"// generated workload {spec.canonical()} (scale={scale})\n"
+        "// deterministic: same spec + scale -> byte-identical source\n"
+    )
+
+
+def _rng_hex(rng: random.Random) -> str:
+    return hex(rng.randrange(1, 1 << 20))
+
+
+# ---------------------------------------------------------------------------
+# mixer
+# ---------------------------------------------------------------------------
+
+_MIXER_ARRAY = 256  # power of two: indices are masked in-bounds
+_MIXER_FARRAY = 64
+
+
+def _mixer_helpers(rng: random.Random, count: int) -> tuple[list[str], list[str]]:
+    """(function texts, callable names) for the call-density axis."""
+    texts, names = [], []
+    for k in range(count):
+        name = f"mix_step{k}"
+        shift_a = rng.randrange(1, 6)
+        shift_b = rng.randrange(1, 6)
+        add = rng.randrange(1, 1 << 16)
+        # helpers are memory-less on purpose: the paper's §6.6 anecdote
+        # (compress's RNG) — greedy schemes can move them to FPa wholesale
+        texts.append(
+            f"int {name}(int x, int k) {{\n"
+            f"    int t = ((x << {shift_a}) ^ (x >> {shift_b})) + k;\n"
+            f"    return (t + {add}) & 0x7fffffff;\n"
+            f"}}\n"
+        )
+        names.append(name)
+    return texts, names
+
+
+def _mixer_kernel(
+    kind: str,
+    rng: random.Random,
+    indices: list[str],
+    helpers: list[str],
+) -> list[str]:
+    """One kernel statement group of the innermost loop body."""
+    ix = rng.choice(indices)
+    iy = rng.choice(indices)
+    m1 = rng.choice(_SCRAMBLE)
+    m2 = rng.choice(_SCRAMBLE)
+    off = rng.randrange(0, _MIXER_ARRAY)
+    mask = _MIXER_ARRAY - 1
+    if kind == "ldst":
+        # Figure 4 shape: load values feed a store value, the address
+        # slice shares the induction variables
+        return [
+            f"out[({ix} * {m1} + {iy} + {off}) & {mask}] = "
+            f"data[({ix} + {off}) & {mask}] + "
+            f"(aux[({iy} * {m2}) & {mask}] ^ {_rng_hex(rng)});",
+        ]
+    if kind == "branch":
+        # branch slice fed by loads: deep compare work over loaded flags
+        thresh = rng.randrange(0, 256)
+        return [
+            f"if (data[({ix} * {m1}) & {mask}] > "
+            f"(aux[({iy} + {off}) & {mask}] & {thresh})) {{",
+            f"    s = s + {_rng_hex(rng)};",
+            "} else {",
+            f"    s = s ^ {_rng_hex(rng)};",
+            "}",
+        ]
+    if kind == "call":
+        helper = rng.choice(helpers)
+        return [f"s = {helper}(s + {iy}, {ix} * {m2});"]
+    if kind == "fp":
+        fmask = _MIXER_FARRAY - 1
+        coeff = round(rng.uniform(0.125, 0.875), 3)
+        return [
+            f"fbuf[({ix} + {off}) & {fmask}] = "
+            f"fbuf[({iy} * {m1}) & {fmask}] * {coeff} + (float)(s & 255);",
+        ]
+    # pure integer compute chain: the offloadable remainder
+    sh1 = rng.randrange(1, 8)
+    sh2 = rng.randrange(1, 8)
+    return [
+        f"s = ((s << {sh1}) ^ (s >> {sh2})) + ({ix} * {m1});",
+        f"s = (s + {_rng_hex(rng)}) & {hex(rng.choice(_MASKS))};",
+    ]
+
+
+def emit_mixer(spec: "GeneratorSpec", scale: int) -> str:
+    rng = random.Random(spec.seed)
+    n_helpers = max(1, round(spec.calls * 3)) if spec.calls > 0 else 0
+    helper_texts, helper_names = _mixer_helpers(rng, n_helpers)
+
+    # kernel schedule: a fixed draw of ~(4 + 2*depth) kernels weighted by
+    # the axes; weights renormalize over the enabled families
+    weights = [
+        ("ldst", spec.ldst),
+        ("branch", spec.branch),
+        ("call", spec.calls if helper_names else 0.0),
+        ("fp", spec.fp),
+        ("compute", max(0.05, 1.0 - spec.ldst - spec.branch - spec.calls - spec.fp)),
+    ]
+    kinds = [k for k, w in weights if w > 0]
+    kind_weights = [w for _, w in weights if w > 0]
+    n_kernels = 4 + 2 * spec.depth
+    schedule = rng.choices(kinds, weights=kind_weights, k=n_kernels)
+
+    # loop nest: outermost trips = scale, inner levels small constants
+    inner_trips = [rng.randrange(2, 5) for _ in range(spec.depth - 1)]
+    indices = [f"i{level}" for level in range(spec.depth)]
+
+    lines: list[str] = []
+    lines.append(_header(spec, scale))
+    lines.append(f"int data[{_MIXER_ARRAY}];")
+    lines.append(f"int aux[{_MIXER_ARRAY}];")
+    lines.append(f"int out[{_MIXER_ARRAY}];")
+    if spec.fp > 0:
+        lines.append(f"float fbuf[{_MIXER_FARRAY}];")
+    lines.append("")
+    lines.extend(helper_texts)
+
+    lines.append("int main() {")
+    for ix in indices:
+        lines.append(f"    int {ix};")
+    lines.append("    int s = 7;")
+    lines.append("    int t = 99;")
+    lines.append("    int checksum = 0;")
+    # deterministic array init (LCG, no memory reads)
+    lines.append(f"    for (i0 = 0; i0 < {_MIXER_ARRAY}; i0 = i0 + 1) {{")
+    lines.append("        t = t * 1103515245 + 12345;")
+    lines.append("        data[i0] = (t >> 8) & 255;")
+    lines.append("        aux[i0] = (t >> 16) & 255;")
+    lines.append("        out[i0] = 0;")
+    lines.append("    }")
+    if spec.fp > 0:
+        lines.append(f"    for (i0 = 0; i0 < {_MIXER_FARRAY}; i0 = i0 + 1) {{")
+        lines.append("        fbuf[i0] = (float)(i0 + 1) * 0.5;")
+        lines.append("    }")
+
+    # the loop nest
+    pad = "    "
+    lines.append(f"{pad}for (i0 = 0; i0 < {scale}; i0 = i0 + 1) {{")
+    for level, trips in enumerate(inner_trips, start=1):
+        pad += "    "
+        lines.append(
+            f"{pad}for (i{level} = 0; i{level} < {trips}; i{level} = i{level} + 1) {{"
+        )
+    body_pad = pad + "    "
+    for kind in schedule:
+        for text in _mixer_kernel(kind, rng, indices, helper_names):
+            lines.append(body_pad + text)
+    for _ in range(spec.depth):
+        lines.append(pad + "}")
+        pad = pad[:-4]
+
+    # checksum fold: everything observable lands in the return value
+    lines.append(f"    for (i0 = 0; i0 < {_MIXER_ARRAY}; i0 = i0 + 1) {{")
+    lines.append(
+        "        checksum = (checksum * 31 + out[i0] + (data[i0] ^ aux[i0])) & 0xffffff;"
+    )
+    lines.append("    }")
+    if spec.fp > 0:
+        lines.append(f"    for (i0 = 0; i0 < {_MIXER_FARRAY}; i0 = i0 + 1) {{")
+        lines.append("        checksum = (checksum + ((int)fbuf[i0] & 255)) & 0xffffff;")
+        lines.append("    }")
+    lines.append("    checksum = (checksum ^ s) & 0xffffff;")
+    lines.append("    return checksum;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# chains
+# ---------------------------------------------------------------------------
+
+_CHAINS_ARRAY = 512
+
+
+def emit_chains(spec: "GeneratorSpec", scale: int) -> str:
+    rng = random.Random(spec.seed)
+    mask = _CHAINS_ARRAY - 1
+    segments = 2 + spec.depth  # chain length rides the depth axis
+    n_stores = max(1, round(spec.ldst * 3))
+    n_branches = max(0, round(spec.branch * 3))
+
+    lines = [_header(spec, scale)]
+    lines.append(f"int buf[{_CHAINS_ARRAY}];")
+    lines.append(f"int tab[{_CHAINS_ARRAY}];")
+    lines.append("")
+    lines.append("int main() {")
+    lines.append("    int i;")
+    lines.append("    int x;")
+    lines.append("    int s = 3;")
+    lines.append("    int t = 41;")
+    lines.append("    int checksum = 0;")
+    lines.append(f"    for (i = 0; i < {_CHAINS_ARRAY}; i = i + 1) {{")
+    lines.append("        t = t * 69069 + 1;")
+    lines.append("        buf[i] = (t >> 7) & 1023;")
+    lines.append("        tab[i] = (t >> 17) & 1023;")
+    lines.append("    }")
+    lines.append(f"    for (i = 0; i < {scale}; i = i + 1) {{")
+    lines.append(f"        x = buf[(i * {rng.choice(_SCRAMBLE)}) & {mask}];")
+    for _ in range(segments):
+        sh1 = rng.randrange(1, 8)
+        add = rng.randrange(1, 1 << 16)
+        lines.append(f"        x = ((x << {sh1}) + {add}) ^ (x >> {rng.randrange(1, 6)});")
+    for k in range(n_stores):
+        m = rng.choice(_SCRAMBLE)
+        off = rng.randrange(0, _CHAINS_ARRAY)
+        lines.append(f"        buf[(i * {m} + {off}) & {mask}] = x + {k};")
+    for _ in range(n_branches):
+        lines.append(f"        if ((x & {rng.randrange(1, 64)}) != 0) {{")
+        lines.append(f"            s = s + tab[(x + i) & {mask}];")
+        lines.append("        } else {")
+        lines.append(f"            s = s ^ {_rng_hex(rng)};")
+        lines.append("        }")
+    lines.append("        s = (s + x) & 0xffffff;")
+    lines.append("    }")
+    lines.append(f"    for (i = 0; i < {_CHAINS_ARRAY}; i = i + 1) {{")
+    lines.append("        checksum = (checksum * 33 + buf[i]) & 0xffffff;")
+    lines.append("    }")
+    lines.append("    return (checksum ^ s) & 0xffffff;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+GENERATORS: dict[str, Generator] = {
+    gen.name: gen
+    for gen in (
+        Generator(
+            name="mixer",
+            description=(
+                "nested-loop kernel mix: array traffic, branch slices, "
+                "int compute chains, calls, optional FP stencil"
+            ),
+            axes=("seed", "calls", "branch", "ldst", "fp", "depth", "scale"),
+            emit=emit_mixer,
+        ),
+        Generator(
+            name="chains",
+            description=(
+                "long store-value dependence chains with tunable store "
+                "and branch density (ijpeg/m88ksim shape)"
+            ),
+            axes=("seed", "branch", "ldst", "depth", "scale"),
+            emit=emit_chains,
+        ),
+    )
+}
+
+
+def generate_source(spec: "GeneratorSpec", scale: int | None = None) -> str:
+    """MiniC source for ``spec`` at ``scale`` (default: the spec's)."""
+    from repro.errors import WorkloadError
+
+    if scale is None:
+        scale = spec.scale
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    return GENERATORS[spec.generator].emit(spec, scale)
+
+
+__all__ = ["GENERATORS", "Generator", "emit_chains", "emit_mixer", "generate_source"]

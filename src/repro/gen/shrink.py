@@ -1,0 +1,374 @@
+"""Greedy AST-level shrinker for failing fuzz programs.
+
+Reduces a MiniC source while a caller-supplied *interestingness*
+predicate keeps holding (for fuzz failures: "the differential oracle
+still reports the same kind of violation").  The reduction loop mutates
+the parsed AST in place, re-renders through the printer, and reverts any
+edit that breaks the predicate — an edit that makes the program invalid
+MiniC simply fails the predicate (the oracle can't reproduce a
+violation on a program that doesn't parse), so type-correctness never
+needs special-casing here.
+
+Passes, iterated to a fixpoint (every accepted edit strictly shrinks
+the AST, so termination is structural):
+
+1. delete whole statements;
+2. flatten control flow (``if``/loops/blocks -> their bodies);
+3. drop entire helper functions and globals;
+4. simplify expressions (binary -> one operand, unwrap unary/cast,
+   calls/loads/names -> small literals).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.minic.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    Stmt,
+    TranslationUnit,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.minic.parser import parse
+from repro.minic.printer import print_unit
+
+
+@dataclass(eq=False, slots=True)
+class ShrinkResult:
+    """Outcome of one shrink campaign."""
+
+    source: str
+    tests: int = 0
+    accepted: int = 0
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def lines(self) -> int:
+        return len([ln for ln in self.source.splitlines() if ln.strip()])
+
+
+@dataclass(eq=False, slots=True)
+class _Budget:
+    max_tests: int
+    deadline: float | None
+    tests: int = 0
+    exhausted: bool = False
+
+    def spent(self) -> bool:
+        if self.exhausted:
+            return True
+        if self.tests >= self.max_tests or (
+            self.deadline is not None and time.monotonic() > self.deadline
+        ):
+            self.exhausted = True
+        return self.exhausted
+
+
+class _Slot:
+    """One mutable expression position (object attribute or list item)."""
+
+    __slots__ = ("obj", "key")
+
+    def __init__(self, obj, key) -> None:
+        self.obj = obj
+        self.key = key
+
+    def get(self) -> Expr:
+        if isinstance(self.key, int):
+            return self.obj[self.key]
+        return getattr(self.obj, self.key)
+
+    def set(self, value: Expr) -> None:
+        if isinstance(self.key, int):
+            self.obj[self.key] = value
+        else:
+            setattr(self.obj, self.key, value)
+
+
+def _expr_slots_of_stmt(stmt: Stmt) -> list[_Slot]:
+    if isinstance(stmt, VarDecl) and stmt.init is not None:
+        return [_Slot(stmt, "init")]
+    if isinstance(stmt, Assign):
+        return [_Slot(stmt, "value")]
+    if isinstance(stmt, ExprStmt):
+        return [_Slot(stmt, "expr")]
+    if isinstance(stmt, Return) and stmt.value is not None:
+        return [_Slot(stmt, "value")]
+    if isinstance(stmt, (If, While)):
+        return [_Slot(stmt, "cond")]
+    if isinstance(stmt, For) and stmt.cond is not None:
+        return [_Slot(stmt, "cond")]
+    return []
+
+
+def _sub_slots(expr: Expr) -> list[_Slot]:
+    if isinstance(expr, Binary):
+        return [_Slot(expr, "left"), _Slot(expr, "right")]
+    if isinstance(expr, (Unary, Cast)):
+        return [_Slot(expr, "operand")]
+    if isinstance(expr, Index):
+        return [_Slot(expr, "index")]
+    if isinstance(expr, Call):
+        return [_Slot(expr.args, i) for i in range(len(expr.args))]
+    return []
+
+
+def _replacements(expr: Expr) -> list[Expr]:
+    """Candidate strictly-smaller replacements for ``expr``."""
+    if isinstance(expr, Binary):
+        return [expr.left, expr.right, IntLit(value=1)]
+    if isinstance(expr, (Unary, Cast)):
+        return [expr.operand, IntLit(value=1)]
+    if isinstance(expr, (Call, Index)):
+        return [IntLit(value=1)]
+    if isinstance(expr, Name):
+        return [IntLit(value=1)]
+    return []
+
+
+def _inner_stmts(stmt: Stmt) -> list[Stmt] | None:
+    """Statements a control-flow statement can be flattened into."""
+    if isinstance(stmt, Block):
+        return list(stmt.statements)
+    if isinstance(stmt, If):
+        inner = list(stmt.then_body.statements)
+        if stmt.else_body is not None:
+            inner += list(stmt.else_body.statements)
+        return inner
+    if isinstance(stmt, (While, For)):
+        return list(stmt.body.statements)
+    return None
+
+
+def _blocks_of(unit: TranslationUnit) -> list[list[Stmt]]:
+    """Every statement list in the unit, outermost first."""
+    out: list[list[Stmt]] = []
+
+    def walk(stmts: list[Stmt]) -> None:
+        out.append(stmts)
+        for stmt in stmts:
+            if isinstance(stmt, Block):
+                walk(stmt.statements)
+            elif isinstance(stmt, If):
+                walk(stmt.then_body.statements)
+                if stmt.else_body is not None:
+                    walk(stmt.else_body.statements)
+            elif isinstance(stmt, (While, For)):
+                walk(stmt.body.statements)
+
+    for func in unit.functions:
+        walk(func.body.statements)
+    return out
+
+
+class Shrinker:
+    """Greedy reducer around an interestingness predicate.
+
+    Args:
+        interesting: ``source -> bool``; must hold for the input and is
+            re-checked after every candidate edit.
+        max_tests: Cap on predicate evaluations.
+        budget: Optional wall-clock budget in seconds.
+    """
+
+    def __init__(
+        self,
+        interesting: Callable[[str], bool],
+        max_tests: int = 2000,
+        budget: float | None = None,
+    ) -> None:
+        self.interesting = interesting
+        self.max_tests = max_tests
+        self.budget = budget
+
+    def shrink(self, source: str) -> ShrinkResult:
+        t0 = time.monotonic()
+        budget = _Budget(
+            max_tests=self.max_tests,
+            deadline=None if self.budget is None else t0 + self.budget,
+        )
+        if not self.interesting(source):
+            raise ValueError("input program is not interesting to begin with")
+        unit = parse(source)
+        best = print_unit(unit)
+        accepted = 0
+        changed = True
+        while changed and not budget.spent():
+            changed = False
+            for pass_fn in (
+                self._pass_delete_stmts,
+                self._pass_flatten,
+                self._pass_drop_decls,
+                self._pass_simplify_exprs,
+            ):
+                unit = parse(best)  # fresh AST per pass
+                got, best = pass_fn(unit, best, budget)
+                accepted += got
+                if got:
+                    changed = True
+                if budget.spent():
+                    break
+        return ShrinkResult(
+            source=best,
+            tests=budget.tests,
+            accepted=accepted,
+            elapsed=time.monotonic() - t0,
+            budget_exhausted=budget.exhausted,
+        )
+
+    # -- plumbing ---------------------------------------------------------
+    def _try(self, unit: TranslationUnit, best: str, budget: _Budget) -> str | None:
+        """Render ``unit``; return the new source if still interesting."""
+        if budget.spent():
+            return None
+        try:
+            candidate = print_unit(unit)
+        except Exception:
+            return None
+        if candidate == best:
+            return None
+        budget.tests += 1
+        try:
+            if self.interesting(candidate):
+                return candidate
+        except Exception:
+            return None
+        return None
+
+    # -- passes -----------------------------------------------------------
+    def _pass_delete_stmts(
+        self, unit: TranslationUnit, best: str, budget: _Budget
+    ) -> tuple[int, str]:
+        accepted = 0
+        progress = True
+        while progress and not budget.spent():
+            progress = False
+            for stmts in _blocks_of(unit):
+                i = len(stmts) - 1
+                while i >= 0 and not budget.spent():
+                    removed = stmts.pop(i)
+                    got = self._try(unit, best, budget)
+                    if got is None:
+                        stmts.insert(i, removed)
+                    else:
+                        best = got
+                        accepted += 1
+                        progress = True
+                    i -= 1
+        return accepted, best
+
+    def _pass_flatten(
+        self, unit: TranslationUnit, best: str, budget: _Budget
+    ) -> tuple[int, str]:
+        accepted = 0
+        progress = True
+        while progress and not budget.spent():
+            progress = False
+            for stmts in _blocks_of(unit):
+                for i, stmt in enumerate(stmts):
+                    inner = _inner_stmts(stmt)
+                    if inner is None:
+                        continue
+                    stmts[i : i + 1] = inner
+                    got = self._try(unit, best, budget)
+                    if got is None:
+                        stmts[i : i + len(inner)] = [stmt]
+                    else:
+                        best = got
+                        accepted += 1
+                        progress = True
+                    break  # statement lists changed; re-walk
+                if progress or budget.spent():
+                    break
+        return accepted, best
+
+    def _pass_drop_decls(
+        self, unit: TranslationUnit, best: str, budget: _Budget
+    ) -> tuple[int, str]:
+        accepted = 0
+        for functions in (unit.functions,):
+            i = len(functions) - 1
+            while i >= 0 and not budget.spent():
+                if functions[i].name == "main":
+                    i -= 1
+                    continue
+                removed = functions.pop(i)
+                got = self._try(unit, best, budget)
+                if got is None:
+                    functions.insert(i, removed)
+                else:
+                    best = got
+                    accepted += 1
+                i -= 1
+        i = len(unit.globals) - 1
+        while i >= 0 and not budget.spent():
+            removed = unit.globals.pop(i)
+            got = self._try(unit, best, budget)
+            if got is None:
+                unit.globals.insert(i, removed)
+            else:
+                best = got
+                accepted += 1
+            i -= 1
+        return accepted, best
+
+    def _pass_simplify_exprs(
+        self, unit: TranslationUnit, best: str, budget: _Budget
+    ) -> tuple[int, str]:
+        accepted = 0
+        progress = True
+        while progress and not budget.spent():
+            progress = False
+            slots: list[_Slot] = []
+            for stmts in _blocks_of(unit):
+                for stmt in stmts:
+                    work = _expr_slots_of_stmt(stmt)
+                    while work:
+                        slot = work.pop()
+                        slots.append(slot)
+                        work.extend(_sub_slots(slot.get()))
+            for slot in slots:
+                if budget.spent():
+                    break
+                original = slot.get()
+                for candidate in _replacements(original):
+                    slot.set(candidate)
+                    got = self._try(unit, best, budget)
+                    if got is None:
+                        slot.set(original)
+                    else:
+                        best = got
+                        accepted += 1
+                        progress = True
+                        break
+        return accepted, best
+
+
+def shrink_source(
+    source: str,
+    interesting: Callable[[str], bool],
+    max_tests: int = 2000,
+    budget: float | None = None,
+) -> ShrinkResult:
+    """Convenience wrapper: shrink ``source`` under ``interesting``."""
+    return Shrinker(interesting, max_tests=max_tests, budget=budget).shrink(source)
+
+
+__all__ = ["ShrinkResult", "Shrinker", "shrink_source"]

@@ -123,7 +123,15 @@ class _AdvancedPartitioner:
 
     def _is_actual_param_producer(self, node: Node) -> bool:
         """True if ``node`` feeds a call argument or return value via a
-        convention edge (and so, if left in FPa, needs a cp_from_comp)."""
+        convention edge (and so, if left in FPa, needs a cp_from_comp).
+
+        A producer that is itself a copy instruction (a pre-existing
+        ``cp_from_comp`` from an int/float conversion) already delivers
+        its result into the INT file — its edge is a cut edge, no new
+        back-copy is needed (or even expressible: its def is INT-class).
+        """
+        if self.rdg.instruction(node).kind is OpKind.COPY:
+            return False
         return any(
             self._is_conv(node, child) for child in self.rdg.succs[node]
         )

@@ -48,6 +48,19 @@ def _u32(a: int) -> int:
     return a & 0xFFFFFFFF
 
 
+def _cvt_w_s(a: float) -> int:
+    # MIPS cvt.w.s: non-finite inputs don't trap, they produce the IEEE
+    # invalid-operation default (saturated max for +/-inf, 0 for NaN);
+    # finite values truncate and wrap like the rest of the integer ALU
+    if a != a:  # NaN
+        return 0
+    if a == float("inf"):
+        return 0x7FFFFFFF
+    if a == float("-inf"):
+        return -0x80000000
+    return s32(int(a))
+
+
 _ALU = {
     Opcode.ADDU: lambda a, b: s32(a + b),
     Opcode.SUBU: lambda a, b: s32(a - b),
@@ -84,7 +97,7 @@ _ALU = {
     Opcode.MOV_S: lambda a, b: a,
     Opcode.LI_S: lambda a, b: float(b),
     Opcode.CVT_S_W: lambda a, b: float(a),
-    Opcode.CVT_W_S: lambda a, b: s32(int(a)),
+    Opcode.CVT_W_S: lambda a, b: _cvt_w_s(a),
     # copies
     Opcode.CP_TO_COMP: lambda a, b: a,
     Opcode.CP_FROM_COMP: lambda a, b: a,

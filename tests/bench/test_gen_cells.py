@@ -1,0 +1,60 @@
+"""Generator specs through the bench matrix: cell validation, canonical
+cache keys, and the gen-smoke suite end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cache import cell_key
+from repro.bench.harness import run_cells
+from repro.bench.matrix import Cell, suite_cells
+from repro.errors import ReproError
+
+
+def test_cell_accepts_and_canonicalizes_gen_specs():
+    cell = Cell("gen:mixer?seed=7&ldst=0.3&calls=0.25", "advanced", 4)
+    assert cell.workload == "gen:mixer?ldst=0.3&seed=7"
+    assert cell.label.startswith("gen:mixer?ldst=0.3&seed=7/advanced")
+
+
+def test_equivalent_spellings_share_a_cache_key():
+    a = Cell("gen:mixer?seed=7&ldst=0.3", "advanced", 4)
+    b = Cell("gen:mixer?ldst=0.3&seed=7", "advanced", 4)
+    assert cell_key(a) == cell_key(b)
+
+
+def test_different_seeds_get_different_cache_keys():
+    a = Cell("gen:mixer?seed=7", "advanced", 4)
+    b = Cell("gen:mixer?seed=8", "advanced", 4)
+    assert cell_key(a) != cell_key(b)
+
+
+def test_malformed_gen_spec_is_rejected():
+    with pytest.raises(ReproError):
+        Cell("gen:mixer?bogus=1", "advanced", 4)
+    with pytest.raises(ReproError):
+        Cell("gen:unknown?seed=1", "advanced", 4)
+
+
+def test_unknown_workload_error_mentions_generators():
+    with pytest.raises(ReproError, match="generator specs"):
+        Cell("not-a-workload", "advanced", 4)
+
+
+def test_gen_smoke_suite_shape():
+    cells = suite_cells("gen-smoke")
+    assert len(cells) == 9
+    assert all(c.workload.startswith("gen:") for c in cells)
+
+
+def test_gen_cell_runs_through_the_harness():
+    cell = Cell("gen:chains?scale=10&seed=1", "advanced", 4)
+    outcomes = run_cells([cell], jobs=1, cache=None)
+    assert len(outcomes) == 1
+    assert outcomes[0].ok
+    assert outcomes[0].result.cycles > 0
+
+
+def test_gen_cells_round_trip_through_documents():
+    cell = Cell("gen:mixer?scale=10&seed=4", "basic", 4)
+    assert Cell.from_dict(cell.as_dict()) == cell

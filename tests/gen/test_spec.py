@@ -1,0 +1,93 @@
+"""Generator spec strings: parsing, canonicalization, strictness, and
+their integration with the workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gen import GENERATORS, GeneratorSpec, generated_workload_spec
+from repro.workloads import WORKLOADS, get_workload, workload_source
+
+
+def test_defaults_round_trip():
+    spec = GeneratorSpec("mixer")
+    assert spec.canonical() == "gen:mixer"
+    assert GeneratorSpec.parse("gen:mixer") == spec
+
+
+def test_canonical_sorts_axes_and_drops_defaults():
+    spec = GeneratorSpec.parse("gen:mixer?seed=7&ldst=0.3&calls=0.25")
+    # calls=0.25 is the default, so it vanishes; the rest sort by name
+    assert spec.canonical() == "gen:mixer?ldst=0.3&seed=7"
+
+
+def test_equal_specs_have_equal_canonical_strings():
+    a = GeneratorSpec.parse("gen:chains?seed=3&depth=1")
+    b = GeneratorSpec.parse("gen:chains?depth=1&seed=3")
+    assert a == b
+    assert a.canonical() == b.canonical()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "gen:",                      # empty generator
+        "gen:nope?seed=1",           # unknown generator
+        "gen:mixer?bogus=1",         # unknown axis
+        "gen:mixer?seed=",           # missing value
+        "gen:mixer?seed",            # no '='
+        "gen:mixer?seed=x",          # non-integer
+        "gen:mixer?ldst=2.0",        # fraction out of range
+        "gen:mixer?ldst=x",          # non-float
+        "gen:mixer?depth=9",         # depth out of range
+        "gen:mixer?scale=0",         # non-positive scale
+        "gen:mixer?seed=-1",         # negative seed
+        "gen:mixer?seed=1&seed=2",   # duplicate axis
+    ],
+)
+def test_parse_is_strict(bad):
+    with pytest.raises(WorkloadError):
+        GeneratorSpec.parse(bad)
+
+
+def test_get_workload_delegates_gen_specs():
+    spec = get_workload("gen:mixer?seed=7")
+    assert spec.name == "gen:mixer?seed=7"
+    assert spec.paper_input == "(generated)"
+    # the registry of static surrogates is untouched
+    assert spec.name not in WORKLOADS
+
+
+def test_spec_name_is_canonicalized():
+    spec = get_workload("gen:mixer?seed=7&calls=0.25")
+    assert spec.name == "gen:mixer?seed=7"
+
+
+def test_equivalent_spellings_share_the_cached_workload():
+    a = generated_workload_spec("gen:chains?seed=4&branch=0.35")
+    b = generated_workload_spec("gen:chains?seed=4")
+    assert a.name == b.name
+    assert a.source_fn(10) == b.source_fn(10)
+
+
+def test_fp_axis_sets_category():
+    assert get_workload("gen:mixer?seed=1").category == "int"
+    assert get_workload("gen:mixer?seed=1&fp=0.5").category == "fp"
+
+
+def test_unknown_workload_error_mentions_generator_specs():
+    with pytest.raises(WorkloadError, match=r"gen:mixer\?seed=N"):
+        get_workload("no-such-workload")
+
+
+def test_workload_source_accepts_gen_specs():
+    source = workload_source("gen:mixer?seed=5", scale=10)
+    assert "int main()" in source
+
+
+def test_every_generator_documents_its_axes():
+    for name, generator in GENERATORS.items():
+        assert generator.description
+        assert "seed" in generator.axes, name
+        assert "scale" in generator.axes, name

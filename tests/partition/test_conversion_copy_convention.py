@@ -1,0 +1,80 @@
+"""Regression: a pre-existing conversion copy (cp_from_comp from an
+int/float cast) feeding a call argument or return value must NOT be
+treated as a back-copy site.
+
+The copy already delivers its value into the INT file — its outgoing
+edge is a cut edge.  Before the fix, the advanced scheme marked such
+copies in back_copy_sites(), and the rewriter emitted a degenerate
+``vN(INT) = cp_from_comp vN(INT)`` that failed the IR verifier; the
+certifier's audit_edges had the matching blind spot for basic
+partitions.  Found by the differential fuzzer (builder seed 8); the
+shrunk program is committed as
+``tests/corpus/regressions/cp-from-comp-back-copy.mc``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.certify import certify_partition
+from repro.ir.verify import verify_program
+from repro.minic.compile import compile_source
+from repro.partition.advanced import advanced_partition
+from repro.partition.basic import basic_partition
+from repro.partition.program import partition_program
+from repro.runtime.interp import run_program
+
+#: A cast result feeding a call argument: codegen materializes the
+#: float->int conversion as a cp_from_comp whose use is a convention
+#: edge into the call.
+SOURCE = """
+int sink(int a, int b) {
+  return a + b;
+}
+
+int main() {
+  float f;
+  f = 236.5;
+  return sink(1, (int) f);
+}
+"""
+
+
+@pytest.mark.parametrize("scheme", ["basic", "advanced"])
+def test_partition_rewrites_verify(scheme):
+    program = compile_source(SOURCE)
+    baseline = run_program(program).value
+    partitioned = compile_source(SOURCE)
+    partition_program(partitioned, scheme)
+    verify_program(partitioned)
+    assert run_program(partitioned).value == baseline
+
+
+def test_conversion_copy_is_not_a_back_copy_site():
+    from repro.ir.opcodes import OpKind
+
+    program = compile_source(SOURCE)
+    profile = run_program(program).profile
+    for func in program.functions.values():
+        partition = advanced_partition(func, profile=profile)
+        by_uid = {
+            instr.uid: instr
+            for block in func.blocks
+            for instr in block.instructions
+        }
+        for node in partition.back_copies:
+            instr = by_uid[node.uid]
+            assert instr.kind is not OpKind.COPY, (
+                f"{func.name}: conversion copy {instr} bookkept as a "
+                "back-copy site"
+            )
+
+
+def test_certifier_accepts_basic_partition_with_fpa_conversion_copy():
+    program = compile_source(SOURCE)
+    profile = run_program(program).profile
+    for func in program.functions.values():
+        certificate = certify_partition(
+            basic_partition(func), profile=profile
+        )
+        assert certificate.ok, certificate.violations

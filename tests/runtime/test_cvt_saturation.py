@@ -1,0 +1,56 @@
+"""cvt.w.s edge semantics: float->int casts of non-finite values must
+saturate like MIPS cvt.w.s, not crash the interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minic.compile import compile_source
+from repro.runtime.interp import run_program
+
+
+def _result(expr: str) -> int:
+    source = (
+        "int main() {\n"
+        "  float f;\n"
+        "  int i;\n"
+        f"  {expr}\n"
+        "  return (int) f;\n"
+        "}\n"
+    )
+    return run_program(compile_source(source)).value
+
+
+def test_positive_overflow_saturates_to_int_max():
+    # squaring 1e6 eight times overflows float range to +inf
+    code = (
+        "f = 1000000.0; i = 0; "
+        "while (i < 8) { f = f * f; i = i + 1; }"
+    )
+    assert _result(code) == 0x7FFFFFFF
+
+
+def test_negative_overflow_saturates_to_int_min():
+    code = (
+        "f = 1000000.0; i = 0; "
+        "while (i < 8) { f = f * f; i = i + 1; } "
+        "f = 0.0 - f;"
+    )
+    assert _result(code) == -0x80000000
+
+
+def test_nan_converts_to_zero():
+    # grow f to +inf, then inf - inf is NaN (this family of programs
+    # used to abort the interpreter with a raw OverflowError — found by
+    # the differential fuzzer)
+    code = (
+        "f = 1000000.0; i = 0; "
+        "while (i < 8) { f = f * f; i = i + 1; } "
+        "f = f - f;"
+    )
+    assert _result(code) == 0
+
+
+@pytest.mark.parametrize("value,expected", [("2.9", 2), ("0.0 - 2.9", -2)])
+def test_finite_casts_still_truncate_toward_zero(value, expected):
+    assert _result(f"f = {value};") == expected

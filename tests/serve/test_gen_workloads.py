@@ -1,0 +1,53 @@
+"""Generator specs over the service boundary: every endpoint that takes
+a workload name must accept ``gen:`` specs, and malformed specs must
+map to clean 400s, never 500s."""
+
+from __future__ import annotations
+
+
+class TestGenSpecsOverHttp:
+    def test_lint_accepts_a_gen_workload(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "lint", {"workload": "gen:mixer?seed=1", "scale": 10}
+        )
+        assert response.status == 200
+        assert response.body["summary"]["ok"] is True
+
+    def test_bench_cell_runs_a_gen_spec(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "bench-cell",
+            {"workload": "gen:chains?scale=10&seed=2",
+             "scheme": "advanced", "width": 4},
+        )
+        assert response.status == 200
+        assert response.body["result"]["cycles"] > 0
+
+    def test_equivalent_spellings_coalesce_in_the_result_cache(
+        self, daemon_factory
+    ):
+        _, client = daemon_factory()
+        params = {"scheme": "basic", "width": 4}
+        first = client.post(
+            "bench-cell",
+            {"workload": "gen:mixer?scale=10&seed=3", **params},
+        )
+        assert first.status == 200
+        second = client.post(
+            "bench-cell",
+            {"workload": "gen:mixer?seed=3&scale=10&calls=0.25", **params},
+        )
+        assert second.status == 200
+        assert second.body["cached"] is True
+        assert second.body["result"]["cycles"] == first.body["result"]["cycles"]
+
+    def test_malformed_spec_is_a_clean_400(self, daemon_factory):
+        _, client = daemon_factory()
+        response = client.post(
+            "bench-cell",
+            {"workload": "gen:mixer?bogus=1", "scheme": "basic", "width": 4},
+        )
+        assert response.status == 400
+        response = client.post("lint", {"workload": "gen:nope?seed=1"})
+        assert response.status == 400
